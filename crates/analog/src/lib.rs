@@ -1,0 +1,97 @@
+//! # pab-analog — the battery-free analog front end
+//!
+//! Models every block of the paper's Fig. 5 circuit:
+//!
+//! * [`impedance`] — complex impedance algebra for Ls, Cs, Rs;
+//! * [`matching`] — the L-section impedance matching network soldered
+//!   between transducer and rectifier (§4.2.1, "Energy Harvesting");
+//! * [`rectifier`] — the multi-stage (Dickson-style) rectifier that
+//!   passively amplifies the harvested voltage;
+//! * [`storage`] — the 1000 µF supercapacitor and cold-start dynamics;
+//! * [`regulator`] — the LP5900 1.8 V low-dropout regulator;
+//! * [`switch`] — the series transistor pair that shorts the piezo for the
+//!   reflective backscatter state;
+//! * [`frontend`] — the **recto-piezo**: transducer + matching + rectifier
+//!   assembled into the frequency-tunable energy-harvesting front end of
+//!   §3.3.1, with the reflection coefficients of Eq. 2 for both switch
+//!   states.
+//!
+//! Amplitude convention: sinusoid amplitudes are *peak* values; the power
+//! carried into a resistance R by amplitude V is `V²/(2R)`.
+//!
+//! ```
+//! use pab_analog::RectoPiezo;
+//! use pab_piezo::Transducer;
+//!
+//! // A recto-piezo electrically matched at 15 kHz harvests best there.
+//! let fe = RectoPiezo::design(Transducer::pab_node(), 15_000.0).unwrap();
+//! let at_match = fe.rectified_voltage(1_000.0, 15_000.0, 1e6);
+//! let off_band = fe.rectified_voltage(1_000.0, 20_000.0, 1e6);
+//! assert!(at_match > 2.5);        // crosses the power-up threshold
+//! assert!(at_match > off_band);   // and is channel-selective
+//! ```
+// `!(x > 0.0)` is used deliberately throughout: unlike `x <= 0.0` it is
+// also true for NaN, so one guard rejects non-positive *and* non-numeric
+// parameters.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+
+
+pub mod frontend;
+pub mod impedance;
+pub mod matching;
+pub mod rectifier;
+pub mod regulator;
+pub mod storage;
+pub mod switch;
+
+pub use frontend::{RectoPiezo, SwitchState};
+pub use matching::MatchingNetwork;
+pub use rectifier::MultiStageRectifier;
+pub use regulator::Ldo;
+pub use storage::Supercap;
+
+/// Errors for invalid analog parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnalogError {
+    /// A parameter that must be positive was not.
+    NonPositive(&'static str),
+    /// Matching-network numerical design failed to converge.
+    MatchingFailed { freq_hz: f64 },
+    /// Underlying transducer model rejected its parameters.
+    Piezo(pab_piezo::PiezoError),
+}
+
+impl std::fmt::Display for AnalogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AnalogError::NonPositive(what) => write!(f, "{what} must be positive"),
+            AnalogError::MatchingFailed { freq_hz } => {
+                write!(f, "matching design failed at {freq_hz} Hz")
+            }
+            AnalogError::Piezo(e) => write!(f, "piezo: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AnalogError {}
+
+impl From<pab_piezo::PiezoError> for AnalogError {
+    fn from(e: pab_piezo::PiezoError) -> Self {
+        AnalogError::Piezo(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display() {
+        assert!(AnalogError::NonPositive("cap").to_string().contains("cap"));
+        assert!(AnalogError::MatchingFailed { freq_hz: 15e3 }
+            .to_string()
+            .contains("15000"));
+        let e: AnalogError = pab_piezo::PiezoError::NonPositive("q").into();
+        assert!(e.to_string().contains("piezo"));
+    }
+}

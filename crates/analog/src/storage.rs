@@ -1,0 +1,163 @@
+//! The supercapacitor energy store and cold-start dynamics.
+//!
+//! §4.2.1: "The rectified DC charge is stored in a 1000 µF supercapacitor."
+//! The pull-down transistor keeps the decoder path open during cold start
+//! so all harvested energy charges the capacitor (§4.2.1, "Decoding").
+
+use crate::AnalogError;
+
+/// A supercapacitor integrating harvested charge and supplying the node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Supercap {
+    /// Capacitance, farads.
+    pub capacitance_f: f64,
+    /// Self-leakage modelled as a parallel resistance, ohms.
+    pub leakage_ohms: f64,
+    voltage_v: f64,
+}
+
+impl Supercap {
+    /// New capacitor starting fully discharged.
+    pub fn new(capacitance_f: f64, leakage_ohms: f64) -> Result<Self, AnalogError> {
+        if !(capacitance_f > 0.0) || !capacitance_f.is_finite() {
+            return Err(AnalogError::NonPositive("capacitance_f"));
+        }
+        if !(leakage_ohms > 0.0) {
+            return Err(AnalogError::NonPositive("leakage_ohms"));
+        }
+        Ok(Supercap {
+            capacitance_f,
+            leakage_ohms,
+            voltage_v: 0.0,
+        })
+    }
+
+    /// The PAB node's 1000 µF supercapacitor.
+    pub fn pab_node() -> Self {
+        Supercap {
+            capacitance_f: 1_000e-6,
+            leakage_ohms: 10e6,
+            voltage_v: 0.0,
+        }
+    }
+
+    /// Current terminal voltage.
+    pub fn voltage_v(&self) -> f64 {
+        self.voltage_v
+    }
+
+    /// Force the terminal voltage (e.g. start a scenario pre-charged).
+    pub fn set_voltage(&mut self, v: f64) {
+        self.voltage_v = v.max(0.0);
+    }
+
+    /// Stored energy, joules: `½CV²`.
+    pub fn energy_j(&self) -> f64 {
+        0.5 * self.capacitance_f * self.voltage_v * self.voltage_v
+    }
+
+    /// Advance the capacitor by `dt` seconds with a charging source
+    /// (`source_v` behind `source_ohms`) and a constant load current draw.
+    ///
+    /// Uses a forward-Euler step; callers should keep `dt` well below the
+    /// RC time constants involved (the simulation harness uses 1 ms).
+    pub fn step(&mut self, source_v: f64, source_ohms: f64, load_current_a: f64, dt: f64) {
+        let i_charge = if source_ohms > 0.0 && source_v > self.voltage_v {
+            (source_v - self.voltage_v) / source_ohms
+        } else {
+            0.0
+        };
+        let i_leak = self.voltage_v / self.leakage_ohms;
+        let di = i_charge - i_leak - load_current_a.max(0.0);
+        self.voltage_v = (self.voltage_v + di * dt / self.capacitance_f).max(0.0);
+    }
+
+    /// Time (seconds) to charge from the current voltage to `target_v`
+    /// given a Thevenin source, ignoring load and leakage. Returns `None`
+    /// if the source can never reach the target.
+    pub fn time_to_reach(&self, target_v: f64, source_v: f64, source_ohms: f64) -> Option<f64> {
+        if source_v <= target_v {
+            return None;
+        }
+        if self.voltage_v >= target_v {
+            return Some(0.0);
+        }
+        let tau = source_ohms * self.capacitance_f;
+        // V(t) = Vs + (V0 - Vs) e^(-t/τ)  ⇒  t = τ ln((Vs-V0)/(Vs-Vt)).
+        Some(tau * ((source_v - self.voltage_v) / (source_v - target_v)).ln())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_toward_source() {
+        let mut c = Supercap::pab_node();
+        for _ in 0..20_000 {
+            c.step(4.0, 8_000.0, 0.0, 1e-3);
+        }
+        // After 20 s (2.5 τ), should be most of the way to 4 V.
+        assert!(c.voltage_v() > 3.5, "v={}", c.voltage_v());
+        assert!(c.voltage_v() <= 4.0);
+    }
+
+    #[test]
+    fn load_discharges() {
+        let mut c = Supercap::pab_node();
+        c.set_voltage(3.0);
+        for _ in 0..1000 {
+            c.step(0.0, 8_000.0, 1e-3, 1e-3);
+        }
+        // 1 mA from 1000 µF for 1 s = 1000 µC = 1 V drop... i.e. down to 2 V.
+        assert!((c.voltage_v() - 2.0).abs() < 0.05, "v={}", c.voltage_v());
+    }
+
+    #[test]
+    fn voltage_never_negative() {
+        let mut c = Supercap::pab_node();
+        c.set_voltage(0.01);
+        for _ in 0..100 {
+            c.step(0.0, 8_000.0, 10e-3, 1e-3);
+        }
+        assert_eq!(c.voltage_v(), 0.0);
+    }
+
+    #[test]
+    fn energy_formula() {
+        let mut c = Supercap::pab_node();
+        c.set_voltage(2.0);
+        assert!((c.energy_j() - 0.5 * 1e-3 * 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_to_reach_analytical() {
+        let c = Supercap::pab_node();
+        let t = c.time_to_reach(2.5, 4.0, 8_000.0).unwrap();
+        // τ = 8 s; t = 8 ln(4/1.5) ≈ 7.85 s.
+        assert!((t - 8.0 * (4.0f64 / 1.5).ln()).abs() < 1e-9);
+        assert!(c.time_to_reach(5.0, 4.0, 8_000.0).is_none());
+        let mut pre = Supercap::pab_node();
+        pre.set_voltage(3.0);
+        assert_eq!(pre.time_to_reach(2.5, 4.0, 8_000.0), Some(0.0));
+    }
+
+    #[test]
+    fn leakage_drains_slowly() {
+        let mut c = Supercap::pab_node();
+        c.set_voltage(3.0);
+        for _ in 0..10_000 {
+            c.step(0.0, 8_000.0, 0.0, 1e-3);
+        }
+        // RC leak constant = 10 MΩ · 1 mF = 10,000 s; 10 s barely moves it.
+        assert!(c.voltage_v() > 2.99);
+        assert!(c.voltage_v() < 3.0);
+    }
+
+    #[test]
+    fn rejects_invalid() {
+        assert!(Supercap::new(0.0, 1e6).is_err());
+        assert!(Supercap::new(1e-3, 0.0).is_err());
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based tests for the analog front end: conservation laws and
+//! matching optimality must hold for arbitrary (plausible) components.
+
+use num_complex::Complex64;
+use pab_analog::impedance::{available_power, delivered_power};
+use pab_analog::{Ldo, MatchingNetwork, MultiStageRectifier, RectoPiezo, Supercap};
+use pab_piezo::{Transducer, TransducerBuilder};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The analytic L-match achieves the source's available power (the
+    /// conjugate-match bound) whenever it is designable.
+    #[test]
+    fn lmatch_achieves_available_power(
+        rs in 1.0f64..4_000.0,
+        xs in -5_000.0f64..5_000.0,
+        r_load in 10.0f64..100_000.0,
+        f in 5_000.0f64..50_000.0,
+    ) {
+        prop_assume!(rs < r_load);
+        let zs = Complex64::new(rs, xs);
+        let m = MatchingNetwork::design(zs, f, r_load).unwrap();
+        let got = m.delivered_power(1.0, zs, f, r_load);
+        let bound = available_power(1.0, zs);
+        prop_assert!(got <= bound * (1.0 + 1e-6));
+        prop_assert!(got >= bound * (1.0 - 1e-6), "got {got} of {bound}");
+    }
+
+    /// No load ever extracts more than the available power (passivity of
+    /// the matching analysis).
+    #[test]
+    fn no_load_beats_available_power(
+        rs in 1.0f64..4_000.0,
+        xs in -5_000.0f64..5_000.0,
+        r_load in 1.0f64..1e6,
+        l in 1e-6f64..1.0,
+        c in 1e-12f64..1e-5,
+        f in 5_000.0f64..50_000.0,
+    ) {
+        let zs = Complex64::new(rs, xs);
+        let m = MatchingNetwork::new(
+            pab_analog::matching::SeriesElement::Inductor(l),
+            c,
+        ).unwrap();
+        let got = m.delivered_power(1.0, zs, f, r_load);
+        prop_assert!(got <= available_power(1.0, zs) * (1.0 + 1e-9));
+        // Direct (unmatched) connection obeys the same bound.
+        let direct = delivered_power(1.0, zs, Complex64::new(r_load, 0.0));
+        prop_assert!(direct <= available_power(1.0, zs) * (1.0 + 1e-9));
+    }
+
+    /// Rectifier: output is monotone in drive, zero below the dead zone,
+    /// and never violates the efficiency cap.
+    #[test]
+    fn rectifier_monotone_and_conservative(
+        stages in 1usize..6,
+        drop in 0.05f64..0.5,
+        v1 in 0.0f64..5.0,
+        dv in 0.0f64..5.0,
+        r_load in 100.0f64..1e6,
+    ) {
+        let r = MultiStageRectifier::new(stages, drop, 20_000.0, 8_000.0).unwrap();
+        let lo = r.dc_into_load_v(v1, r_load);
+        let hi = r.dc_into_load_v(v1 + dv, r_load);
+        prop_assert!(hi >= lo - 1e-12);
+        prop_assert_eq!(r.dc_into_load_v(drop * 0.99, r_load), 0.0);
+        let p_in = (v1 + dv).powi(2) / (2.0 * r.input_resistance_ohms);
+        let p_out = hi * hi / r_load;
+        prop_assert!(p_out <= r.max_efficiency * p_in + 1e-15);
+    }
+
+    /// Supercap: voltage never goes negative and never overshoots the
+    /// charging source.
+    #[test]
+    fn supercap_stays_physical(
+        v_src in 0.0f64..10.0,
+        r_src in 100.0f64..100_000.0,
+        i_load in 0.0f64..5e-3,
+        steps in 1usize..5_000,
+    ) {
+        let mut c = Supercap::pab_node();
+        for _ in 0..steps {
+            c.step(v_src, r_src, i_load, 1e-3);
+            prop_assert!(c.voltage_v() >= 0.0);
+            prop_assert!(c.voltage_v() <= v_src.max(0.0) + 1e-9);
+        }
+    }
+
+    /// LDO: output never exceeds the regulation setpoint nor the input.
+    #[test]
+    fn ldo_output_bounded(vin in 0.0f64..12.0) {
+        let ldo = Ldo::lp5900_1v8();
+        let vout = ldo.output_for(vin);
+        prop_assert!(vout <= ldo.output_v + 1e-12);
+        prop_assert!(vout <= vin.max(0.0) + 1e-12);
+        prop_assert!(vout >= 0.0);
+    }
+
+    /// Recto-piezo: the rectified voltage is maximal near the match
+    /// frequency relative to far-out-of-band drive, for any match choice
+    /// within the ceramic's usable range.
+    #[test]
+    fn rectopiezo_prefers_its_match_band(f_match in 13_000.0f64..19_000.0) {
+        let fe = RectoPiezo::design(Transducer::pab_node(), f_match).unwrap();
+        let near = fe.rectified_voltage(1_000.0, f_match, 1e6);
+        let far_lo = fe.rectified_voltage(1_000.0, 5_000.0, 1e6);
+        let far_hi = fe.rectified_voltage(1_000.0, 60_000.0, 1e6);
+        prop_assert!(near > far_lo, "near {near} vs {far_lo}");
+        prop_assert!(near > far_hi, "near {near} vs {far_hi}");
+    }
+
+    /// Backscatter gains are passive for any transducer/load state.
+    #[test]
+    fn backscatter_gains_passive(
+        f_match in 13_000.0f64..19_000.0,
+        freq in 8_000.0f64..30_000.0,
+        q in 1.5f64..20.0,
+    ) {
+        let t = TransducerBuilder::new().q(q).build().unwrap();
+        let fe = RectoPiezo::design(t, f_match).unwrap();
+        for state in [
+            pab_analog::SwitchState::Reflective,
+            pab_analog::SwitchState::Absorptive,
+        ] {
+            let g = fe.backscatter_gain(state, freq);
+            prop_assert!(g.norm() <= 1.0 + 1e-9, "{state:?}: {}", g.norm());
+        }
+        prop_assert!(fe.modulation_depth(freq) <= 2.0 + 1e-9);
+    }
+}

@@ -1,0 +1,90 @@
+//! # pab-channel — underwater acoustic propagation substrate
+//!
+//! The paper evaluates PAB in two enclosed water tanks at the MIT Sea Grant
+//! (§5.1(d)): Pool A (3 m × 4 m × 1.3 m) and Pool B (1.2 m × 10 m × 1 m, a
+//! corridor that focuses the projector's signal and yields longer power-up
+//! range, Fig. 9). Since we cannot fill a water tank in CI, this crate
+//! simulates the acoustics:
+//!
+//! * [`water`] — sound speed (Mackenzie), density, Thorp absorption;
+//! * [`spreading`] — geometric spreading laws;
+//! * [`pool`] — rectangular-tank multipath via the image-source method,
+//!   which naturally reproduces the corridor-focusing effect;
+//! * [`noise`] — ambient-noise level (Wenz-style wind/shipping terms) and
+//!   Gaussian noise generation;
+//! * [`propagation`] — applying a tapped-delay-line channel to sampled
+//!   pressure waveforms;
+//! * [`mobility`] — time-varying (Doppler) propagation for moving nodes,
+//!   one of the paper's §8 open challenges.
+//!
+//! All randomness flows through caller-provided [`rand::Rng`]s so that
+//! simulations are deterministic and reproducible.
+//!
+//! ```
+//! use pab_channel::{Pool, Position};
+//!
+//! // The paper's Pool A, projector to node over 2 m, 3rd-order images.
+//! let pool = Pool::pool_a();
+//! let ch = pool
+//!     .channel(&Position::new(0.5, 1.5, 0.6), &Position::new(2.5, 1.5, 0.6), 3, 15_000.0)
+//!     .unwrap();
+//! assert!(ch.taps().len() > 1); // direct path + reflections
+//! let delayed = ch.apply(&[1.0, 0.0, 0.0], 192_000.0);
+//! assert!(delayed.len() > 3); // extended by the multipath tail
+//! ```
+// `!(x > 0.0)` is used deliberately throughout: unlike `x <= 0.0` it is
+// also true for NaN, so one guard rejects non-positive *and* non-numeric
+// parameters.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+
+
+pub mod mobility;
+pub mod noise;
+pub mod pool;
+pub mod propagation;
+pub mod spreading;
+pub mod water;
+
+pub use pool::{Pool, Position};
+pub use propagation::{MultipathChannel, Tap};
+pub use water::WaterProperties;
+
+/// Errors from channel construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChannelError {
+    /// A physical parameter was non-positive or non-finite.
+    InvalidParameter(&'static str),
+    /// A position lies outside the pool volume.
+    OutOfBounds { axis: char, value: f64, max: f64 },
+}
+
+impl std::fmt::Display for ChannelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChannelError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+            ChannelError::OutOfBounds { axis, value, max } => {
+                write!(f, "{axis} = {value} outside pool [0, {max}]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ChannelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display() {
+        let e = ChannelError::OutOfBounds {
+            axis: 'x',
+            value: 5.0,
+            max: 3.0,
+        };
+        assert!(e.to_string().contains('x'));
+        assert!(ChannelError::InvalidParameter("fs")
+            .to_string()
+            .contains("fs"));
+    }
+}

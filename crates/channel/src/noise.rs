@@ -1,0 +1,181 @@
+//! Ambient noise: Wenz-style spectral levels and Gaussian sample
+//! generation.
+//!
+//! In the 10–20 kHz band PAB occupies, open-water ambient noise is
+//! dominated by wind/sea-state (thermal noise takes over above ~50 kHz);
+//! enclosed test tanks are much quieter and mostly limited by the
+//! receiving chain. Both are modelled as Gaussian noise whose standard
+//! deviation derives from a spectral level integrated over the receiver
+//! bandwidth.
+
+use crate::ChannelError;
+use rand::Rng;
+
+/// Ambient-noise environment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NoiseEnvironment {
+    /// Quiet indoor test tank; `level_db` is the flat spectral level in
+    /// dB re 1 µPa²/Hz.
+    Tank { level_db: f64 },
+    /// Open water parameterised by wind speed (m/s) and shipping activity
+    /// (0..1), using the classic empirical formulas.
+    OpenWater { wind_m_s: f64, shipping: f64 },
+}
+
+impl NoiseEnvironment {
+    /// Quiet laboratory tank (≈ 40 dB re 1 µPa²/Hz: instrument-limited).
+    pub fn quiet_tank() -> Self {
+        NoiseEnvironment::Tank { level_db: 40.0 }
+    }
+
+    /// Noise power spectral density at `freq_hz`, dB re 1 µPa²/Hz.
+    ///
+    /// Open-water model (f in kHz):
+    /// * turbulence: `17 - 30 log f`
+    /// * shipping:   `40 + 20(s - 0.5) + 26 log f - 60 log(f + 0.03)`
+    /// * wind:       `50 + 7.5 √w + 20 log f - 40 log(f + 0.4)`
+    /// * thermal:    `-15 + 20 log f`
+    ///
+    /// summed in power.
+    pub fn spectral_level_db(&self, freq_hz: f64) -> f64 {
+        match *self {
+            NoiseEnvironment::Tank { level_db } => level_db,
+            NoiseEnvironment::OpenWater { wind_m_s, shipping } => {
+                let f = (freq_hz / 1000.0).max(1e-3);
+                let lf = f.log10();
+                let turb = 17.0 - 30.0 * lf;
+                let ship = 40.0 + 20.0 * (shipping - 0.5) + 26.0 * lf
+                    - 60.0 * (f + 0.03).log10();
+                let wind = 50.0 + 7.5 * wind_m_s.max(0.0).sqrt() + 20.0 * lf
+                    - 40.0 * (f + 0.4).log10();
+                let therm = -15.0 + 20.0 * lf;
+                let total_power = 10f64.powf(turb / 10.0)
+                    + 10f64.powf(ship / 10.0)
+                    + 10f64.powf(wind / 10.0)
+                    + 10f64.powf(therm / 10.0);
+                10.0 * total_power.log10()
+            }
+        }
+    }
+
+    /// RMS pressure (pascals) of the noise integrated over `bandwidth_hz`
+    /// around `freq_hz`.
+    pub fn rms_pressure_pa(&self, freq_hz: f64, bandwidth_hz: f64) -> Result<f64, ChannelError> {
+        if !(bandwidth_hz > 0.0) {
+            return Err(ChannelError::InvalidParameter("bandwidth_hz"));
+        }
+        let psd_db = self.spectral_level_db(freq_hz);
+        // dB re 1 µPa²/Hz -> µPa² / Hz -> Pa².
+        let psd_upa2 = 10f64.powf(psd_db / 10.0);
+        let power_pa2 = psd_upa2 * bandwidth_hz * 1e-12;
+        Ok(power_pa2.sqrt())
+    }
+}
+
+/// Draw one standard-normal sample (Box–Muller; avoids an extra dependency).
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Add white Gaussian noise with standard deviation `sigma` to a signal in
+/// place.
+pub fn add_awgn<R: Rng + ?Sized>(signal: &mut [f64], sigma: f64, rng: &mut R) {
+    if sigma <= 0.0 {
+        return;
+    }
+    for s in signal.iter_mut() {
+        *s += sigma * standard_normal(rng);
+    }
+}
+
+/// Generate `n` samples of white Gaussian noise with standard deviation
+/// `sigma`.
+pub fn awgn<R: Rng + ?Sized>(n: usize, sigma: f64, rng: &mut R) -> Vec<f64> {
+    (0..n).map(|_| sigma * standard_normal(rng)).collect()
+}
+
+/// Sigma needed for a target SNR (dB) given a signal power (linear).
+pub fn sigma_for_snr_db(signal_power: f64, snr_db: f64) -> f64 {
+    (signal_power / 10f64.powf(snr_db / 10.0)).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn tank_level_is_flat() {
+        let env = NoiseEnvironment::quiet_tank();
+        assert_eq!(env.spectral_level_db(1_000.0), env.spectral_level_db(20_000.0));
+    }
+
+    #[test]
+    fn wind_raises_open_water_noise() {
+        let calm = NoiseEnvironment::OpenWater { wind_m_s: 0.0, shipping: 0.3 };
+        let windy = NoiseEnvironment::OpenWater { wind_m_s: 15.0, shipping: 0.3 };
+        assert!(windy.spectral_level_db(15_000.0) > calm.spectral_level_db(15_000.0));
+    }
+
+    #[test]
+    fn shipping_matters_at_low_frequency_not_high() {
+        let lo_ship = NoiseEnvironment::OpenWater { wind_m_s: 5.0, shipping: 0.0 };
+        let hi_ship = NoiseEnvironment::OpenWater { wind_m_s: 5.0, shipping: 1.0 };
+        let delta_100 = hi_ship.spectral_level_db(100.0) - lo_ship.spectral_level_db(100.0);
+        let delta_15k = hi_ship.spectral_level_db(15_000.0) - lo_ship.spectral_level_db(15_000.0);
+        assert!(delta_100 > 5.0, "delta_100={delta_100}");
+        assert!(delta_15k < 1.0, "delta_15k={delta_15k}");
+    }
+
+    #[test]
+    fn open_water_levels_in_plausible_band() {
+        // Sea state with moderate wind at 15 kHz: ~35-55 dB re µPa²/Hz.
+        let env = NoiseEnvironment::OpenWater { wind_m_s: 7.0, shipping: 0.5 };
+        let l = env.spectral_level_db(15_000.0);
+        assert!((30.0..60.0).contains(&l), "l={l}");
+    }
+
+    #[test]
+    fn rms_pressure_scales_with_bandwidth() {
+        let env = NoiseEnvironment::quiet_tank();
+        let narrow = env.rms_pressure_pa(15_000.0, 100.0).unwrap();
+        let wide = env.rms_pressure_pa(15_000.0, 10_000.0).unwrap();
+        assert!((wide / narrow - 10.0).abs() < 1e-9);
+        assert!(env.rms_pressure_pa(15_000.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn awgn_statistics() {
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let x = awgn(100_000, 2.0, &mut rng);
+        let mean = x.iter().sum::<f64>() / x.len() as f64;
+        let var = x.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / x.len() as f64;
+        assert!(mean.abs() < 0.05, "mean={mean}");
+        assert!((var - 4.0).abs() < 0.15, "var={var}");
+    }
+
+    #[test]
+    fn add_awgn_zero_sigma_is_noop() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut x = vec![1.0, 2.0];
+        add_awgn(&mut x, 0.0, &mut rng);
+        assert_eq!(x, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn sigma_for_snr_inverts() {
+        let sigma = sigma_for_snr_db(0.5, 10.0);
+        // SNR = P_sig / sigma^2 = 0.5 / 0.05 = 10 => 10 dB.
+        assert!((0.5 / (sigma * sigma) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noise_is_deterministic_with_seed() {
+        let a = awgn(16, 1.0, &mut ChaCha8Rng::seed_from_u64(9));
+        let b = awgn(16, 1.0, &mut ChaCha8Rng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,228 @@
+//! Tapped-delay-line channels and their application to sampled waveforms.
+
+use crate::ChannelError;
+use pab_dsp::resample::add_delayed_scaled;
+
+/// Below this range the 1/d point-source law is no longer valid (the
+/// transducer is ~5 cm across); gains are clamped at this distance.
+pub const NEAR_FIELD_LIMIT_M: f64 = 0.3;
+
+/// One propagation path: an arrival with a delay and a (signed) amplitude
+/// gain relative to the source level at 1 m.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tap {
+    /// Propagation delay, seconds.
+    pub delay_s: f64,
+    /// Amplitude gain (negative for phase-inverting surface bounces).
+    pub gain: f64,
+}
+
+/// A linear time-invariant multipath channel as a list of taps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultipathChannel {
+    taps: Vec<Tap>,
+}
+
+impl MultipathChannel {
+    /// Build from explicit taps; taps are sorted by increasing delay.
+    pub fn new(mut taps: Vec<Tap>) -> Result<Self, ChannelError> {
+        if taps.is_empty() {
+            return Err(ChannelError::InvalidParameter("taps must be non-empty"));
+        }
+        for t in &taps {
+            if !(t.delay_s >= 0.0) || !t.delay_s.is_finite() || !t.gain.is_finite() {
+                return Err(ChannelError::InvalidParameter("tap delay/gain"));
+            }
+        }
+        taps.sort_by(|a, b| a.delay_s.total_cmp(&b.delay_s));
+        Ok(MultipathChannel { taps })
+    }
+
+    /// A single direct path: free-field spherical spreading over
+    /// `distance_m` at sound speed `c`.
+    pub fn free_field(distance_m: f64, sound_speed_m_s: f64) -> Result<Self, ChannelError> {
+        if !(distance_m > 0.0) {
+            return Err(ChannelError::InvalidParameter("distance_m"));
+        }
+        if !(sound_speed_m_s > 0.0) {
+            return Err(ChannelError::InvalidParameter("sound_speed_m_s"));
+        }
+        MultipathChannel::new(vec![Tap {
+            delay_s: distance_m / sound_speed_m_s,
+            gain: 1.0 / distance_m.max(NEAR_FIELD_LIMIT_M),
+        }])
+    }
+
+    /// The taps, sorted by delay.
+    pub fn taps(&self) -> &[Tap] {
+        &self.taps
+    }
+
+    /// First-arrival (direct-path) tap.
+    pub fn direct(&self) -> Tap {
+        self.taps[0]
+    }
+
+    /// Coherent sum of tap gains — the steady-state channel gain for a
+    /// narrowband carrier at `freq_hz` (complex phasor magnitude).
+    pub fn coherent_gain_at(&self, freq_hz: f64) -> f64 {
+        let w = std::f64::consts::TAU * freq_hz;
+        let (mut re, mut im) = (0.0, 0.0);
+        for t in &self.taps {
+            re += t.gain * (w * t.delay_s).cos();
+            im -= t.gain * (w * t.delay_s).sin();
+        }
+        (re * re + im * im).sqrt()
+    }
+
+    /// Sum of |gain| — an upper bound on constructive interference.
+    pub fn total_energy_gain(&self) -> f64 {
+        self.taps.iter().map(|t| t.gain * t.gain).sum::<f64>().sqrt()
+    }
+
+    /// RMS delay spread, seconds — multipath severity metric.
+    pub fn rms_delay_spread_s(&self) -> f64 {
+        let p_total: f64 = self.taps.iter().map(|t| t.gain * t.gain).sum();
+        if p_total == 0.0 {
+            return 0.0;
+        }
+        let mean: f64 = self
+            .taps
+            .iter()
+            .map(|t| t.delay_s * t.gain * t.gain)
+            .sum::<f64>()
+            / p_total;
+        let var: f64 = self
+            .taps
+            .iter()
+            .map(|t| (t.delay_s - mean).powi(2) * t.gain * t.gain)
+            .sum::<f64>()
+            / p_total;
+        var.sqrt()
+    }
+
+    /// Apply the channel to a sampled waveform at sample rate `fs`.
+    ///
+    /// The output buffer is extended by the maximum tap delay so no energy
+    /// is truncated; fractional delays use linear interpolation.
+    pub fn apply(&self, signal: &[f64], fs: f64) -> Vec<f64> {
+        let max_delay = self.taps.last().map(|t| t.delay_s).unwrap_or(0.0);
+        let extra = (max_delay * fs).ceil() as usize + 2;
+        let mut out = vec![0.0; signal.len() + extra];
+        for t in &self.taps {
+            add_delayed_scaled(&mut out, signal, t.delay_s * fs, t.gain);
+        }
+        out
+    }
+
+    /// Apply the channel into a caller-owned accumulation buffer (for
+    /// superposing several sources at one receiver). Energy falling past
+    /// the end of `dst` is dropped.
+    pub fn apply_into(&self, dst: &mut [f64], signal: &[f64], fs: f64) {
+        for t in &self.taps {
+            add_delayed_scaled(dst, signal, t.delay_s * fs, t.gain);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn free_field_single_tap() {
+        let ch = MultipathChannel::free_field(5.0, 1500.0).unwrap();
+        assert_eq!(ch.taps().len(), 1);
+        let t = ch.direct();
+        assert!((t.delay_s - 5.0 / 1500.0).abs() < 1e-12);
+        assert!((t.gain - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sub_near_field_distance_clamps_gain() {
+        let ch = MultipathChannel::free_field(0.1, 1500.0).unwrap();
+        assert!((ch.direct().gain - 1.0 / NEAR_FIELD_LIMIT_M).abs() < 1e-12);
+        // At 0.5 m the true 1/d law applies.
+        let ch2 = MultipathChannel::free_field(0.5, 1500.0).unwrap();
+        assert!((ch2.direct().gain - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn taps_sorted_by_delay() {
+        let ch = MultipathChannel::new(vec![
+            Tap { delay_s: 0.02, gain: 0.1 },
+            Tap { delay_s: 0.01, gain: 0.5 },
+        ])
+        .unwrap();
+        assert!(ch.taps()[0].delay_s < ch.taps()[1].delay_s);
+        assert_eq!(ch.direct().gain, 0.5);
+    }
+
+    #[test]
+    fn apply_impulse_reveals_taps() {
+        let fs = 1000.0;
+        let ch = MultipathChannel::new(vec![
+            Tap { delay_s: 0.002, gain: 1.0 },
+            Tap { delay_s: 0.005, gain: -0.5 },
+        ])
+        .unwrap();
+        let mut x = vec![0.0; 10];
+        x[0] = 1.0;
+        let y = ch.apply(&x, fs);
+        assert!((y[2] - 1.0).abs() < 1e-12);
+        assert!((y[5] + 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn apply_extends_for_late_taps() {
+        let fs = 1000.0;
+        let ch = MultipathChannel::new(vec![Tap { delay_s: 0.05, gain: 1.0 }]).unwrap();
+        let x = vec![1.0; 10];
+        let y = ch.apply(&x, fs);
+        assert!(y.len() >= 60);
+        assert!((y[55] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coherent_gain_reflects_interference() {
+        // Two equal taps half a carrier period apart cancel.
+        let f = 1_000.0;
+        let half_period = 0.5 / f;
+        let ch = MultipathChannel::new(vec![
+            Tap { delay_s: 0.0, gain: 1.0 },
+            Tap { delay_s: half_period, gain: 1.0 },
+        ])
+        .unwrap();
+        assert!(ch.coherent_gain_at(f) < 1e-9);
+        // And a full period apart they add.
+        let ch2 = MultipathChannel::new(vec![
+            Tap { delay_s: 0.0, gain: 1.0 },
+            Tap { delay_s: 1.0 / f, gain: 1.0 },
+        ])
+        .unwrap();
+        assert!((ch2.coherent_gain_at(f) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn delay_spread_zero_for_single_path() {
+        let ch = MultipathChannel::free_field(3.0, 1500.0).unwrap();
+        assert_eq!(ch.rms_delay_spread_s(), 0.0);
+    }
+
+    #[test]
+    fn rejects_invalid_taps() {
+        assert!(MultipathChannel::new(vec![]).is_err());
+        assert!(MultipathChannel::new(vec![Tap {
+            delay_s: -1.0,
+            gain: 1.0
+        }])
+        .is_err());
+        assert!(MultipathChannel::new(vec![Tap {
+            delay_s: 0.0,
+            gain: f64::NAN
+        }])
+        .is_err());
+        assert!(MultipathChannel::free_field(-2.0, 1500.0).is_err());
+        assert!(MultipathChannel::free_field(2.0, 0.0).is_err());
+    }
+}

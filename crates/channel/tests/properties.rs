@@ -1,0 +1,125 @@
+//! Property-based tests for the acoustic channel: energy accounting,
+//! geometry invariants, and reciprocity.
+
+use pab_channel::noise::NoiseEnvironment;
+use pab_channel::spreading::Spreading;
+use pab_channel::{MultipathChannel, Pool, Position, Tap, WaterProperties};
+use proptest::prelude::*;
+
+fn arb_position_in(pool: &Pool) -> impl Strategy<Value = Position> {
+    let l = pool.length_m;
+    let w = pool.width_m;
+    let d = pool.depth_m;
+    (0.05..l - 0.05, 0.05..w - 0.05, 0.05..d - 0.05)
+        .prop_map(|(x, y, z)| Position::new(x, y, z))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Channel reciprocity: swapping source and receiver gives the same
+    /// tap set (image-method geometry is symmetric).
+    #[test]
+    fn image_channel_is_reciprocal(
+        a in arb_position_in(&Pool::pool_a()),
+        b in arb_position_in(&Pool::pool_a()),
+        order in 0usize..4,
+    ) {
+        let pool = Pool::pool_a();
+        let fwd = pool.channel(&a, &b, order, 15_000.0).unwrap();
+        let rev = pool.channel(&b, &a, order, 15_000.0).unwrap();
+        prop_assert_eq!(fwd.taps().len(), rev.taps().len());
+        let sum = |ch: &MultipathChannel| -> (f64, f64) {
+            (
+                ch.taps().iter().map(|t| t.delay_s).sum(),
+                ch.taps().iter().map(|t| t.gain).sum(),
+            )
+        };
+        let (df, gf) = sum(&fwd);
+        let (dr, gr) = sum(&rev);
+        prop_assert!((df - dr).abs() < 1e-9);
+        prop_assert!((gf - gr).abs() < 1e-9);
+    }
+
+    /// The direct tap always arrives first and is the strongest in
+    /// magnitude (reflections lose energy at every bounce and travel
+    /// farther).
+    #[test]
+    fn direct_path_dominates(
+        a in arb_position_in(&Pool::pool_b()),
+        b in arb_position_in(&Pool::pool_b()),
+        order in 1usize..5,
+    ) {
+        let pool = Pool::pool_b();
+        let ch = pool.channel(&a, &b, order, 15_000.0).unwrap();
+        let direct = ch.direct();
+        let expected_delay = a.distance_to(&b) / pool.water.sound_speed_m_s();
+        prop_assert!((direct.delay_s - expected_delay).abs() < 1e-9);
+        let max_abs = ch.taps().iter().map(|t| t.gain.abs()).fold(0.0, f64::max);
+        prop_assert!(direct.gain.abs() >= max_abs - 1e-12);
+    }
+
+    /// Applying a channel preserves superposition (linearity).
+    #[test]
+    fn channel_apply_is_linear(
+        g1 in -1.0f64..1.0,
+        g2 in -1.0f64..1.0,
+        d in 0.0f64..0.01,
+    ) {
+        let ch = MultipathChannel::new(vec![
+            Tap { delay_s: 0.0, gain: g1.max(0.01) },
+            Tap { delay_s: d, gain: g2 },
+        ]).unwrap();
+        let x1: Vec<f64> = (0..256).map(|i| ((i * 37) % 17) as f64 - 8.0).collect();
+        let x2: Vec<f64> = (0..256).map(|i| ((i * 11) % 23) as f64 - 11.0).collect();
+        let xsum: Vec<f64> = x1.iter().zip(&x2).map(|(a, b)| a + b).collect();
+        let y1 = ch.apply(&x1, 48_000.0);
+        let y2 = ch.apply(&x2, 48_000.0);
+        let ys = ch.apply(&xsum, 48_000.0);
+        for i in 0..ys.len() {
+            prop_assert!((ys[i] - (y1[i] + y2[i])).abs() < 1e-9);
+        }
+    }
+
+    /// Spreading losses are monotone in distance for every law.
+    #[test]
+    fn spreading_monotone(d1 in 1.0f64..1_000.0, factor in 1.01f64..10.0, k in 0.5f64..3.0) {
+        for law in [Spreading::Spherical, Spreading::Cylindrical, Spreading::Practical(k)] {
+            let near = law.amplitude_factor(d1).unwrap();
+            let far = law.amplitude_factor(d1 * factor).unwrap();
+            prop_assert!(far < near);
+        }
+    }
+
+    /// Sound speed responds physically: warmer and deeper are both faster.
+    #[test]
+    fn sound_speed_monotone(t in 0.0f64..29.0, d in 0.0f64..1_000.0) {
+        let base = WaterProperties { temperature_c: t, salinity_ppt: 35.0, depth_m: d };
+        let warmer = WaterProperties { temperature_c: t + 1.0, ..base };
+        let deeper = WaterProperties { depth_m: d + 100.0, ..base };
+        prop_assert!(warmer.sound_speed_m_s() > base.sound_speed_m_s());
+        prop_assert!(deeper.sound_speed_m_s() > base.sound_speed_m_s());
+    }
+
+    /// Thorp absorption is non-negative and monotone in frequency over
+    /// the band we use.
+    #[test]
+    fn thorp_monotone(f in 1_000.0f64..100_000.0) {
+        let w = WaterProperties::seawater();
+        let a = w.thorp_absorption_db_per_km(f);
+        let b = w.thorp_absorption_db_per_km(f * 1.1);
+        prop_assert!(a >= 0.0);
+        prop_assert!(b >= a);
+        let att = w.absorption_amplitude_factor(f, 100.0);
+        prop_assert!((0.0..=1.0).contains(&att));
+    }
+
+    /// Ambient noise RMS scales with the square root of bandwidth.
+    #[test]
+    fn noise_rms_sqrt_bandwidth(bw in 1.0f64..50_000.0, wind in 0.0f64..20.0) {
+        let env = NoiseEnvironment::OpenWater { wind_m_s: wind, shipping: 0.5 };
+        let a = env.rms_pressure_pa(15_000.0, bw).unwrap();
+        let b = env.rms_pressure_pa(15_000.0, 4.0 * bw).unwrap();
+        prop_assert!((b / a - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,756 @@
+//! Decoding concurrent backscatter transmissions (§3.3.2, Fig. 10).
+//!
+//! Backscatter is frequency-agnostic: a powered-up node modulates *all*
+//! impinging carriers, so band-pass filtering cannot separate two
+//! concurrent nodes. But the two carriers give the hydrophone two
+//! observations of the same two unknown switching waveforms through
+//! *different* frequency-selective channels:
+//!
+//! ```text
+//! y(f1) = c1 + h11·x1 + h21·x2
+//! y(f2) = c2 + h12·x1 + h22·x2
+//! ```
+//!
+//! Estimating the (affine) channel matrix from known training data and
+//! zero-forcing (channel inversion) recovers `x1, x2` — "standard MIMO
+//! decoding techniques", exploiting frequency rather than spatial
+//! diversity.
+
+use crate::CoreError;
+use pab_dsp::stats::{mean, variance};
+
+/// Affine channel of one receive band: `y = offset + gains · x`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AffineChannel {
+    /// DC offset (un-modulated carrier + constant reflections).
+    pub offset: f64,
+    /// Gain per transmit stream.
+    pub gains: Vec<f64>,
+}
+
+/// Solve a small dense linear system `A x = b` by Gaussian elimination
+/// with partial pivoting. `a` is row-major `n×n`.
+pub fn solve_linear(a: &[Vec<f64>], b: &[f64]) -> Result<Vec<f64>, CoreError> {
+    let n = b.len();
+    if a.len() != n || a.iter().any(|r| r.len() != n) {
+        return Err(CoreError::InvalidConfig("non-square system"));
+    }
+    let mut m: Vec<Vec<f64>> = a
+        .iter()
+        .zip(b)
+        .map(|(row, &bi)| {
+            let mut r = row.clone();
+            r.push(bi);
+            r
+        })
+        .collect();
+    for col in 0..n {
+        // Pivot.
+        let (pivot, max) = (col..n)
+            .map(|r| (r, m[r][col].abs()))
+            .max_by(|x, y| x.1.total_cmp(&y.1))
+            .unwrap();
+        if max < 1e-12 {
+            return Err(CoreError::InvalidConfig("singular system"));
+        }
+        m.swap(col, pivot);
+        for row in 0..n {
+            if row != col {
+                let f = m[row][col] / m[col][col];
+                for k in col..=n {
+                    m[row][k] -= f * m[col][k];
+                }
+            }
+        }
+    }
+    Ok((0..n).map(|i| m[i][n] / m[i][i]).collect())
+}
+
+/// Least-squares estimate of one receive band's affine channel from known
+/// training streams: minimises `Σ (y − c − Σ_i a_i x_i)²`.
+pub fn estimate_channel(y: &[f64], x: &[&[f64]]) -> Result<AffineChannel, CoreError> {
+    let n = y.len();
+    if n == 0 || x.is_empty() {
+        return Err(CoreError::InvalidConfig("empty training data"));
+    }
+    if x.iter().any(|xi| xi.len() != n) {
+        return Err(CoreError::InvalidConfig("training length mismatch"));
+    }
+    let k = x.len();
+    // Design matrix columns: [1, x_0, ..., x_{k-1}]; normal equations.
+    let dim = k + 1;
+    let mut ata = vec![vec![0.0; dim]; dim];
+    let mut atb = vec![0.0; dim];
+    let col = |i: usize, t: usize| -> f64 {
+        if i == 0 {
+            1.0
+        } else {
+            x[i - 1][t]
+        }
+    };
+    for t in 0..n {
+        for i in 0..dim {
+            let ci = col(i, t);
+            atb[i] += ci * y[t];
+            for j in 0..dim {
+                ata[i][j] += ci * col(j, t);
+            }
+        }
+    }
+    let sol = solve_linear(&ata, &atb)?;
+    Ok(AffineChannel {
+        offset: sol[0],
+        gains: sol[1..].to_vec(),
+    })
+}
+
+/// Zero-forcing separation of two streams from two receive bands.
+///
+/// `y` holds the two band envelopes; `ch` their estimated affine channels
+/// (each with two gains). Returns the two recovered stream estimates.
+pub fn zero_force_two(
+    y: &[Vec<f64>; 2],
+    ch: &[AffineChannel; 2],
+) -> Result<[Vec<f64>; 2], CoreError> {
+    let n = y[0].len().min(y[1].len());
+    if ch[0].gains.len() != 2 || ch[1].gains.len() != 2 {
+        return Err(CoreError::InvalidConfig("need 2 gains per channel"));
+    }
+    let a = [
+        [ch[0].gains[0], ch[0].gains[1]],
+        [ch[1].gains[0], ch[1].gains[1]],
+    ];
+    let det = a[0][0] * a[1][1] - a[0][1] * a[1][0];
+    if det.abs() < 1e-15 {
+        return Err(CoreError::InvalidConfig("singular channel matrix"));
+    }
+    let inv = [
+        [a[1][1] / det, -a[0][1] / det],
+        [-a[1][0] / det, a[0][0] / det],
+    ];
+    let mut s1 = Vec::with_capacity(n);
+    let mut s2 = Vec::with_capacity(n);
+    for t in 0..n {
+        let r1 = y[0][t] - ch[0].offset;
+        let r2 = y[1][t] - ch[1].offset;
+        s1.push(inv[0][0] * r1 + inv[0][1] * r2);
+        s2.push(inv[1][0] * r1 + inv[1][1] * r2);
+    }
+    Ok([s1, s2])
+}
+
+/// Condition number (2-norm, via singular values) of the 2×2 channel
+/// matrix — the paper's footnote 7 argues recto-piezos make this matrix
+/// better conditioned.
+pub fn condition_number_2x2(ch: &[AffineChannel; 2]) -> f64 {
+    let a = ch[0].gains[0];
+    let b = ch[0].gains[1];
+    let c = ch[1].gains[0];
+    let d = ch[1].gains[1];
+    // Singular values of [[a,b],[c,d]].
+    let q1 = a * a + b * b + c * c + d * d;
+    let det = a * d - b * c;
+    let q2 = (q1 * q1 - 4.0 * det * det).max(0.0).sqrt();
+    let s_max = ((q1 + q2) / 2.0).sqrt();
+    let s_min = ((q1 - q2) / 2.0).max(0.0).sqrt();
+    if s_min == 0.0 {
+        f64::INFINITY
+    } else {
+        s_max / s_min
+    }
+}
+
+/// SINR (dB) of an estimated stream against its ground truth: regress
+/// `est = α + β·truth` and compare explained to residual power.
+pub fn sinr_db(estimate: &[f64], truth: &[f64]) -> f64 {
+    let n = estimate.len().min(truth.len());
+    if n < 2 {
+        return f64::NEG_INFINITY;
+    }
+    let (est, tr) = (&estimate[..n], &truth[..n]);
+    let (alpha, beta) = pab_dsp::stats::linear_fit(tr, est);
+    let signal = beta * beta * variance(tr);
+    let resid: f64 = est
+        .iter()
+        .zip(tr)
+        .map(|(&e, &t)| {
+            let r = e - alpha - beta * t;
+            r * r
+        })
+        .sum::<f64>()
+        / n as f64;
+    pab_dsp::stats::snr_db(signal, resid)
+}
+
+/// Normalise an envelope into a zero-mean stream estimate (the "before
+/// projection" baseline: treat band *i*'s envelope as if it were stream
+/// *i* alone).
+pub fn naive_stream_estimate(envelope: &[f64]) -> Vec<f64> {
+    let m = mean(envelope);
+    envelope.iter().map(|&e| e - m).collect()
+}
+
+/// Complex affine channel of one receive band's *baseband* observation:
+/// `y = offset + gains · x` with real transmit streams `x`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComplexAffineChannel {
+    /// Complex DC offset (the un-modulated carrier phasor).
+    pub offset: num_complex::Complex64,
+    /// Complex gain per transmit stream.
+    pub gains: Vec<num_complex::Complex64>,
+}
+
+/// Least-squares estimate of a complex affine channel from known real
+/// training streams (real and imaginary parts regress independently).
+pub fn estimate_channel_complex(
+    y: &[num_complex::Complex64],
+    x: &[&[f64]],
+) -> Result<ComplexAffineChannel, CoreError> {
+    let re: Vec<f64> = y.iter().map(|c| c.re).collect();
+    let im: Vec<f64> = y.iter().map(|c| c.im).collect();
+    let ch_re = estimate_channel(&re, x)?;
+    let ch_im = estimate_channel(&im, x)?;
+    Ok(ComplexAffineChannel {
+        offset: num_complex::Complex64::new(ch_re.offset, ch_im.offset),
+        gains: ch_re
+            .gains
+            .iter()
+            .zip(&ch_im.gains)
+            .map(|(&r, &i)| num_complex::Complex64::new(r, i))
+            .collect(),
+    })
+}
+
+/// Coherent zero-forcing of two real streams from two complex baseband
+/// bands: invert the complex 2×2 matrix and take the real part (the
+/// transmit streams are real switching waveforms).
+pub fn zero_force_two_complex(
+    y: &[Vec<num_complex::Complex64>; 2],
+    ch: &[ComplexAffineChannel; 2],
+) -> Result<[Vec<f64>; 2], CoreError> {
+    if ch[0].gains.len() != 2 || ch[1].gains.len() != 2 {
+        return Err(CoreError::InvalidConfig("need 2 gains per channel"));
+    }
+    let n = y[0].len().min(y[1].len());
+    let a = [
+        [ch[0].gains[0], ch[0].gains[1]],
+        [ch[1].gains[0], ch[1].gains[1]],
+    ];
+    let det = a[0][0] * a[1][1] - a[0][1] * a[1][0];
+    if det.norm() < 1e-15 {
+        return Err(CoreError::InvalidConfig("singular channel matrix"));
+    }
+    let inv = [
+        [a[1][1] / det, -a[0][1] / det],
+        [-a[1][0] / det, a[0][0] / det],
+    ];
+    let mut s1 = Vec::with_capacity(n);
+    let mut s2 = Vec::with_capacity(n);
+    for t in 0..n {
+        let r1 = y[0][t] - ch[0].offset;
+        let r2 = y[1][t] - ch[1].offset;
+        s1.push((inv[0][0] * r1 + inv[0][1] * r2).re);
+        s2.push((inv[1][0] * r1 + inv[1][1] * r2).re);
+    }
+    Ok([s1, s2])
+}
+
+/// Condition number of the complex 2×2 channel matrix (singular values of
+/// the complex matrix).
+pub fn condition_number_2x2_complex(ch: &[ComplexAffineChannel; 2]) -> f64 {
+    let a = ch[0].gains[0];
+    let b = ch[0].gains[1];
+    let c = ch[1].gains[0];
+    let d = ch[1].gains[1];
+    let q1 = a.norm_sqr() + b.norm_sqr() + c.norm_sqr() + d.norm_sqr();
+    let det = (a * d - b * c).norm();
+    let q2 = (q1 * q1 - 4.0 * det * det).max(0.0).sqrt();
+    let s_max = ((q1 + q2) / 2.0).sqrt();
+    let s_min = ((q1 - q2) / 2.0).max(0.0).sqrt();
+    if s_min == 0.0 {
+        f64::INFINITY
+    } else {
+        s_max / s_min
+    }
+}
+
+/// Solve a small dense *complex* linear system `A x = b` by Gaussian
+/// elimination with partial pivoting (row-major `n×n`).
+pub fn solve_linear_complex(
+    a: &[Vec<num_complex::Complex64>],
+    b: &[num_complex::Complex64],
+) -> Result<Vec<num_complex::Complex64>, CoreError> {
+    use num_complex::Complex64;
+    let n = b.len();
+    if a.len() != n || a.iter().any(|r| r.len() != n) {
+        return Err(CoreError::InvalidConfig("non-square system"));
+    }
+    let mut m: Vec<Vec<Complex64>> = a
+        .iter()
+        .zip(b)
+        .map(|(row, &bi)| {
+            let mut r = row.clone();
+            r.push(bi);
+            r
+        })
+        .collect();
+    for col in 0..n {
+        let (pivot, max) = (col..n)
+            .map(|r| (r, m[r][col].norm()))
+            .max_by(|x, y| x.1.total_cmp(&y.1))
+            .unwrap();
+        if max < 1e-12 {
+            return Err(CoreError::InvalidConfig("singular system"));
+        }
+        m.swap(col, pivot);
+        for row in 0..n {
+            if row != col {
+                let f = m[row][col] / m[col][col];
+                for k in col..=n {
+                    let sub = f * m[col][k];
+                    m[row][k] -= sub;
+                }
+            }
+        }
+    }
+    Ok((0..n).map(|i| m[i][n] / m[i][i]).collect())
+}
+
+/// Invert an `n×n` complex matrix by solving against identity columns.
+pub fn invert_complex(
+    a: &[Vec<num_complex::Complex64>],
+) -> Result<Vec<Vec<num_complex::Complex64>>, CoreError> {
+    use num_complex::Complex64;
+    let n = a.len();
+    let mut cols = Vec::with_capacity(n);
+    for j in 0..n {
+        let mut e = vec![Complex64::new(0.0, 0.0); n];
+        e[j] = Complex64::new(1.0, 0.0);
+        cols.push(solve_linear_complex(a, &e)?);
+    }
+    // cols[j][i] = (A^-1)[i][j]; transpose into row-major.
+    Ok((0..n)
+        .map(|i| (0..n).map(|j| cols[j][i]).collect())
+        .collect())
+}
+
+/// Coherent zero-forcing of `n` real streams from `n` complex baseband
+/// bands — the general form of [`zero_force_two_complex`] for larger FDMA
+/// deployments (§8's scaling direction).
+pub fn zero_force_n_complex(
+    y: &[Vec<num_complex::Complex64>],
+    ch: &[ComplexAffineChannel],
+) -> Result<Vec<Vec<f64>>, CoreError> {
+    let n = y.len();
+    if n == 0 || ch.len() != n || ch.iter().any(|c| c.gains.len() != n) {
+        return Err(CoreError::InvalidConfig("band/stream count mismatch"));
+    }
+    let a: Vec<Vec<num_complex::Complex64>> =
+        ch.iter().map(|c| c.gains.clone()).collect();
+    let inv = invert_complex(&a)?;
+    let len = y.iter().map(Vec::len).min().unwrap_or(0);
+    let mut out = vec![Vec::with_capacity(len); n];
+    for t in 0..len {
+        for (i, row) in inv.iter().enumerate() {
+            let mut acc = num_complex::Complex64::new(0.0, 0.0);
+            for (j, &w) in row.iter().enumerate() {
+                acc += w * (y[j][t] - ch[j].offset);
+            }
+            out[i].push(acc.re);
+        }
+    }
+    Ok(out)
+}
+
+/// Condition number of an `n×n` complex channel matrix (ratio of largest
+/// to smallest singular value, computed by power iteration on `A^H A` —
+/// adequate for the small matrices here).
+pub fn condition_number_n(ch: &[ComplexAffineChannel]) -> f64 {
+    use num_complex::Complex64;
+    let n = ch.len();
+    if n == 0 || ch.iter().any(|c| c.gains.len() != n) {
+        return f64::INFINITY;
+    }
+    if n == 2 {
+        return condition_number_2x2_complex(&[ch[0].clone(), ch[1].clone()]);
+    }
+    // Gram matrix G = A^H A (Hermitian positive semidefinite).
+    let a: Vec<Vec<Complex64>> = ch.iter().map(|c| c.gains.clone()).collect();
+    let mut g = vec![vec![Complex64::new(0.0, 0.0); n]; n];
+    for i in 0..n {
+        for j in 0..n {
+            for row in &a {
+                g[i][j] += row[i].conj() * row[j];
+            }
+        }
+    }
+    let mat_vec = |m: &Vec<Vec<Complex64>>, v: &[Complex64]| -> Vec<Complex64> {
+        m.iter()
+            .map(|row| row.iter().zip(v).map(|(&a, &b)| a * b).sum())
+            .collect()
+    };
+    // Largest eigenvalue of G by power iteration.
+    let mut v = vec![Complex64::new(1.0, 0.0); n];
+    let mut lam_max = 0.0;
+    for _ in 0..100 {
+        let w = mat_vec(&g, &v);
+        let norm = w.iter().map(|c| c.norm_sqr()).sum::<f64>().sqrt();
+        if norm == 0.0 {
+            return f64::INFINITY;
+        }
+        lam_max = norm;
+        v = w.into_iter().map(|c| c / norm).collect();
+    }
+    // Smallest via inverse power iteration (solve G x = v).
+    let mut v = vec![Complex64::new(1.0, 0.0); n];
+    let mut lam_min_inv = 0.0;
+    for _ in 0..100 {
+        let w = match solve_linear_complex(&g, &v) {
+            Ok(w) => w,
+            Err(_) => return f64::INFINITY,
+        };
+        let norm = w.iter().map(|c| c.norm_sqr()).sum::<f64>().sqrt();
+        if norm == 0.0 {
+            return f64::INFINITY;
+        }
+        lam_min_inv = norm;
+        v = w.into_iter().map(|c| c / norm).collect();
+    }
+    let lam_min = 1.0 / lam_min_inv;
+    (lam_max / lam_min).sqrt()
+}
+
+/// SINR against a *binary* ground-truth switching stream, accounting for
+/// the receive chain's band-limiting and for residual time misalignment:
+/// the truth is smoothed with the demodulator's low-pass (so the ideal
+/// edges don't count as noise) and the best lag within ±`max_lag` samples
+/// is used.
+pub fn aligned_sinr_db(
+    estimate: &[f64],
+    truth01: &[f64],
+    fs: f64,
+    bitrate_bps: f64,
+    max_lag: usize,
+) -> f64 {
+    let n = estimate.len().min(truth01.len());
+    if n < 4 * max_lag + 16 {
+        return sinr_db(estimate, truth01);
+    }
+    let cutoff = (2.0 * bitrate_bps).clamp(200.0, 0.4 * fs);
+    let smooth = match pab_dsp::iir::butter_lowpass(4, cutoff, fs) {
+        Ok(lp) => lp.filtfilt(&truth01[..n]),
+        Err(_) => truth01[..n].to_vec(),
+    };
+    let mut best = f64::NEG_INFINITY;
+    let mut lag: i64 = -(max_lag as i64);
+    while lag <= max_lag as i64 {
+        let (e_off, t_off) = if lag >= 0 {
+            (lag as usize, 0usize)
+        } else {
+            (0usize, (-lag) as usize)
+        };
+        let m = n - lag.unsigned_abs() as usize;
+        let s = sinr_db(&estimate[e_off..e_off + m], &smooth[t_off..t_off + m]);
+        if s > best {
+            best = s;
+        }
+        lag += 8;
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pab_channel::noise::standard_normal;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn square_wave(n: usize, period: usize, phase: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| if ((i + phase) / period).is_multiple_of(2) { 1.0 } else { 0.0 })
+            .collect()
+    }
+
+    #[test]
+    fn solve_linear_3x3() {
+        let a = vec![
+            vec![2.0, 1.0, -1.0],
+            vec![-3.0, -1.0, 2.0],
+            vec![-2.0, 1.0, 2.0],
+        ];
+        let b = vec![8.0, -11.0, -3.0];
+        let x = solve_linear(&a, &b).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-9);
+        assert!((x[1] - 3.0).abs() < 1e-9);
+        assert!((x[2] + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn solve_linear_rejects_singular() {
+        let a = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        assert!(solve_linear(&a, &[1.0, 2.0]).is_err());
+        assert!(solve_linear(&[vec![1.0]], &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn channel_estimation_recovers_gains() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let n = 4000;
+        let x1 = square_wave(n, 7, 0);
+        let x2 = square_wave(n, 11, 3);
+        let y: Vec<f64> = (0..n)
+            .map(|t| 0.8 + 0.5 * x1[t] - 0.2 * x2[t] + 0.01 * standard_normal(&mut rng))
+            .collect();
+        let ch = estimate_channel(&y, &[&x1, &x2]).unwrap();
+        assert!((ch.offset - 0.8).abs() < 0.01, "offset {}", ch.offset);
+        assert!((ch.gains[0] - 0.5).abs() < 0.01);
+        assert!((ch.gains[1] + 0.2).abs() < 0.01);
+    }
+
+    #[test]
+    fn zero_forcing_separates_streams() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let n = 6000;
+        let x1 = square_wave(n, 6, 0);
+        let x2 = square_wave(n, 10, 4);
+        let mk = |c: f64, g1: f64, g2: f64, rng: &mut ChaCha8Rng| -> Vec<f64> {
+            (0..n)
+                .map(|t| c + g1 * x1[t] + g2 * x2[t] + 0.02 * standard_normal(rng))
+                .collect()
+        };
+        let y1 = mk(1.0, 0.6, 0.25, &mut rng);
+        let y2 = mk(0.7, 0.2, 0.55, &mut rng);
+        let ch1 = estimate_channel(&y1, &[&x1, &x2]).unwrap();
+        let ch2 = estimate_channel(&y2, &[&x1, &x2]).unwrap();
+        let [s1, s2] = zero_force_two(&[y1.clone(), y2.clone()], &[ch1, ch2]).unwrap();
+        // After projection, each stream correlates with its truth much
+        // better than the naive per-band estimate.
+        let after1 = sinr_db(&s1, &x1);
+        let after2 = sinr_db(&s2, &x2);
+        let before1 = sinr_db(&naive_stream_estimate(&y1), &x1);
+        let before2 = sinr_db(&naive_stream_estimate(&y2), &x2);
+        assert!(after1 > before1 + 3.0, "after {after1} before {before1}");
+        assert!(after2 > before2 + 3.0, "after {after2} before {before2}");
+        assert!(after1 > 15.0);
+    }
+
+    #[test]
+    fn condition_number_identity_is_one() {
+        let ch = [
+            AffineChannel { offset: 0.0, gains: vec![1.0, 0.0] },
+            AffineChannel { offset: 0.0, gains: vec![0.0, 1.0] },
+        ];
+        assert!((condition_number_2x2(&ch) - 1.0).abs() < 1e-9);
+        let bad = [
+            AffineChannel { offset: 0.0, gains: vec![1.0, 1.0] },
+            AffineChannel { offset: 0.0, gains: vec![1.0, 1.0] },
+        ];
+        assert!(condition_number_2x2(&bad).is_infinite());
+    }
+
+    #[test]
+    fn zero_forcing_rejects_singular_channels() {
+        let ch = AffineChannel {
+            offset: 0.0,
+            gains: vec![1.0, 1.0],
+        };
+        let y = [vec![0.0; 4], vec![0.0; 4]];
+        assert!(zero_force_two(&y, &[ch.clone(), ch]).is_err());
+    }
+
+    #[test]
+    fn complex_channel_estimation_recovers_gains() {
+        use num_complex::Complex64;
+        let n = 3000;
+        let x = square_wave(n, 9, 2);
+        let g = Complex64::new(0.4, -0.7);
+        let c = Complex64::new(2.0, 1.0);
+        let y: Vec<Complex64> = (0..n).map(|t| c + g * x[t]).collect();
+        let ch = estimate_channel_complex(&y, &[&x]).unwrap();
+        assert!((ch.offset - c).norm() < 1e-9);
+        assert!((ch.gains[0] - g).norm() < 1e-9);
+    }
+
+    #[test]
+    fn complex_zero_forcing_separates_phase_orthogonal_streams() {
+        use num_complex::Complex64;
+        let n = 4000;
+        let x1 = square_wave(n, 7, 0);
+        let x2 = square_wave(n, 11, 3);
+        // Stream 2 is nearly invisible to an envelope detector on band 1
+        // (purely imaginary gain), but coherent ZF recovers both.
+        let h = [
+            [Complex64::new(1.0, 0.0), Complex64::new(0.0, 0.8)],
+            [Complex64::new(0.0, -0.5), Complex64::new(0.9, 0.1)],
+        ];
+        let mk = |row: usize| -> Vec<Complex64> {
+            (0..n)
+                .map(|t| Complex64::new(3.0, 1.0) + h[row][0] * x1[t] + h[row][1] * x2[t])
+                .collect()
+        };
+        let y = [mk(0), mk(1)];
+        let ch = [
+            ComplexAffineChannel {
+                offset: Complex64::new(3.0, 1.0),
+                gains: vec![h[0][0], h[0][1]],
+            },
+            ComplexAffineChannel {
+                offset: Complex64::new(3.0, 1.0),
+                gains: vec![h[1][0], h[1][1]],
+            },
+        ];
+        let [s1, s2] = zero_force_two_complex(&y, &ch).unwrap();
+        assert!(sinr_db(&s1, &x1) > 60.0);
+        assert!(sinr_db(&s2, &x2) > 60.0);
+        assert!(condition_number_2x2_complex(&ch).is_finite());
+    }
+
+    #[test]
+    fn complex_zero_forcing_rejects_singular() {
+        use num_complex::Complex64;
+        let g = Complex64::new(1.0, 1.0);
+        let ch = ComplexAffineChannel {
+            offset: Complex64::new(0.0, 0.0),
+            gains: vec![g, g],
+        };
+        let y = [vec![Complex64::new(0.0, 0.0); 4], vec![Complex64::new(0.0, 0.0); 4]];
+        assert!(zero_force_two_complex(&y, &[ch.clone(), ch.clone()]).is_err());
+        assert!(condition_number_2x2_complex(&[ch.clone(), ch]).is_infinite());
+    }
+
+    #[test]
+    fn aligned_sinr_finds_lagged_truth() {
+        let n = 8000;
+        let truth = square_wave(n, 200, 0);
+        // Estimate = truth shifted by 60 samples plus mild noise.
+        let mut est = vec![0.0; n];
+        est[60..n].copy_from_slice(&truth[..(n - 60)]);
+        let lagged = aligned_sinr_db(&est, &truth, 48_000.0, 120.0, 200);
+        let naive = sinr_db(&est, &truth);
+        assert!(lagged > naive, "lag search should help: {lagged} vs {naive}");
+        // Residual floor: the reference is low-pass smoothed while the
+        // estimate is an ideal square, and the lag grid is 8 samples.
+        assert!(lagged > 5.0, "lagged {lagged}");
+    }
+
+    #[test]
+    fn complex_solver_and_inverse() {
+        use num_complex::Complex64;
+        let a = vec![
+            vec![Complex64::new(2.0, 1.0), Complex64::new(0.0, -1.0)],
+            vec![Complex64::new(1.0, 0.0), Complex64::new(3.0, 0.5)],
+        ];
+        let x_true = vec![Complex64::new(1.0, -2.0), Complex64::new(0.5, 0.5)];
+        let b: Vec<Complex64> = (0..2)
+            .map(|i| a[i][0] * x_true[0] + a[i][1] * x_true[1])
+            .collect();
+        let x = solve_linear_complex(&a, &b).unwrap();
+        for (got, want) in x.iter().zip(&x_true) {
+            assert!((got - want).norm() < 1e-9);
+        }
+        let inv = invert_complex(&a).unwrap();
+        // A * A^-1 = I.
+        for i in 0..2 {
+            for j in 0..2 {
+                let mut acc = Complex64::new(0.0, 0.0);
+                for k in 0..2 {
+                    acc += a[i][k] * inv[k][j];
+                }
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((acc - Complex64::new(expect, 0.0)).norm() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn n_way_zero_forcing_separates_three_streams() {
+        use num_complex::Complex64;
+        let n = 3000;
+        let xs = [
+            square_wave(n, 7, 0),
+            square_wave(n, 11, 3),
+            square_wave(n, 13, 6),
+        ];
+        let h: [[Complex64; 3]; 3] = [
+            [
+                Complex64::new(1.0, 0.1),
+                Complex64::new(0.2, 0.3),
+                Complex64::new(-0.1, 0.2),
+            ],
+            [
+                Complex64::new(0.15, -0.2),
+                Complex64::new(0.9, -0.1),
+                Complex64::new(0.25, 0.1),
+            ],
+            [
+                Complex64::new(-0.2, 0.1),
+                Complex64::new(0.1, 0.25),
+                Complex64::new(0.8, 0.3),
+            ],
+        ];
+        let offset = Complex64::new(2.0, -1.0);
+        let y: Vec<Vec<Complex64>> = (0..3)
+            .map(|b| {
+                (0..n)
+                    .map(|t| {
+                        offset
+                            + h[b][0] * xs[0][t]
+                            + h[b][1] * xs[1][t]
+                            + h[b][2] * xs[2][t]
+                    })
+                    .collect()
+            })
+            .collect();
+        let ch: Vec<ComplexAffineChannel> = (0..3)
+            .map(|b| ComplexAffineChannel {
+                offset,
+                gains: h[b].to_vec(),
+            })
+            .collect();
+        let streams = zero_force_n_complex(&y, &ch).unwrap();
+        for (est, truth) in streams.iter().zip(&xs) {
+            assert!(sinr_db(est, truth) > 60.0);
+        }
+        assert!(condition_number_n(&ch).is_finite());
+        assert!(condition_number_n(&ch) >= 1.0);
+    }
+
+    #[test]
+    fn condition_number_n_matches_2x2_case() {
+        use num_complex::Complex64;
+        let ch = vec![
+            ComplexAffineChannel {
+                offset: Complex64::new(0.0, 0.0),
+                gains: vec![Complex64::new(2.0, 0.0), Complex64::new(0.1, 0.0)],
+            },
+            ComplexAffineChannel {
+                offset: Complex64::new(0.0, 0.0),
+                gains: vec![Complex64::new(0.0, 0.1), Complex64::new(0.5, 0.0)],
+            },
+        ];
+        let pair = [ch[0].clone(), ch[1].clone()];
+        let a = condition_number_n(&ch);
+        let b = condition_number_2x2_complex(&pair);
+        assert!((a - b).abs() / b < 1e-9, "{a} vs {b}");
+    }
+
+    #[test]
+    fn n_way_rejects_mismatched_shapes() {
+        use num_complex::Complex64;
+        let ch = vec![ComplexAffineChannel {
+            offset: Complex64::new(0.0, 0.0),
+            gains: vec![Complex64::new(1.0, 0.0)],
+        }];
+        assert!(zero_force_n_complex(&[], &ch).is_err());
+        let y = vec![vec![Complex64::new(0.0, 0.0); 4]; 2];
+        assert!(zero_force_n_complex(&y, &ch).is_err());
+    }
+
+    #[test]
+    fn sinr_of_perfect_estimate_is_huge() {
+        let x = square_wave(1000, 9, 0);
+        assert!(sinr_db(&x, &x) > 100.0);
+        assert_eq!(sinr_db(&[1.0], &[1.0]), f64::NEG_INFINITY);
+    }
+}

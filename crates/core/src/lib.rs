@@ -1,0 +1,142 @@
+//! # pab-core — Piezo-Acoustic Backscatter
+//!
+//! The full system of *Underwater Backscatter Networking* (Jang & Adib,
+//! SIGCOMM 2019), assembled from the substrate crates:
+//!
+//! * [`projector`] — the transmitter: PWM-keyed acoustic carrier synthesis
+//!   (single- or dual-frequency downlink);
+//! * [`firmware`] — the node firmware as it runs on the emulated MCU:
+//!   PWM edge decoding, query parsing, sensor reads, FM0 backscatter;
+//! * [`node`] — the battery-free node: recto-piezo front end + MCU +
+//!   firmware, turned into a sample-domain signal processor;
+//! * [`receiver`] — the hydrophone receive chain: downconversion,
+//!   Butterworth filtering, preamble detection, ML FM0 decoding, CRC;
+//! * [`collision`] — the MIMO-style decoder that separates concurrent
+//!   backscatter streams using frequency diversity (§3.3.2, Fig. 10);
+//! * [`link`] — end-to-end single-link simulation in a pool (Figs. 2, 7,
+//!   8);
+//! * [`network`] — concurrent two-node FDMA simulation (Fig. 10) and
+//!   network throughput;
+//! * [`multinode`] — the §8 scaling extension: N recto-piezo channels
+//!   decoded with an N×N zero-forcing matrix;
+//! * [`powerup`] — energy-harvesting range analysis (Figs. 3, 9);
+//! * [`baseline`] — the carrier-generating (non-backscatter) battery-free
+//!   baseline the paper compares against in §2.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use pab_core::link::{LinkConfig, LinkSimulator};
+//!
+//! let cfg = LinkConfig::default(); // 15 kHz, pool A, 1 m link, ~2.7 kbps
+//! let mut sim = LinkSimulator::new(cfg).unwrap();
+//! let report = sim.run_sensor_query(7).unwrap();
+//! assert!(report.crc_ok);
+//! ```
+// `!(x > 0.0)` is used deliberately throughout: unlike `x <= 0.0` it is
+// also true for NaN, so one guard rejects non-positive *and* non-numeric
+// parameters.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+// Numeric kernels (trellis, Gaussian elimination, sliding windows) read
+// more clearly with explicit indices than with iterator adapters.
+#![allow(clippy::needless_range_loop)]
+
+
+pub mod baseline;
+pub mod collision;
+pub mod firmware;
+pub mod link;
+pub mod multinode;
+pub mod network;
+pub mod node;
+pub mod powerup;
+pub mod projector;
+pub mod receiver;
+
+pub use firmware::PabFirmware;
+pub use link::{LinkConfig, LinkReport, LinkSimulator};
+pub use node::PabNode;
+pub use projector::Projector;
+pub use receiver::Receiver;
+
+/// Default simulation sample rate, Hz — a realistic audio-interface rate
+/// for the paper's 12–18 kHz carriers.
+pub const DEFAULT_SAMPLE_RATE_HZ: f64 = 192_000.0;
+
+/// Errors surfaced by the core simulation.
+#[derive(Debug)]
+pub enum CoreError {
+    /// Underlying DSP failure.
+    Dsp(pab_dsp::DspError),
+    /// Underlying channel failure.
+    Channel(pab_channel::ChannelError),
+    /// Underlying analog front-end failure.
+    Analog(pab_analog::AnalogError),
+    /// Underlying protocol failure.
+    Net(pab_net::NetError),
+    /// Underlying MCU failure.
+    Mcu(pab_mcu::McuError),
+    /// The node never powered up, so there is nothing to decode.
+    NodeNotPoweredUp,
+    /// No packet was found in the received signal.
+    NoPacketDetected,
+    /// A configuration value was invalid.
+    InvalidConfig(&'static str),
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::Dsp(e) => write!(f, "dsp: {e}"),
+            CoreError::Channel(e) => write!(f, "channel: {e}"),
+            CoreError::Analog(e) => write!(f, "analog: {e}"),
+            CoreError::Net(e) => write!(f, "net: {e}"),
+            CoreError::Mcu(e) => write!(f, "mcu: {e}"),
+            CoreError::NodeNotPoweredUp => write!(f, "node never powered up"),
+            CoreError::NoPacketDetected => write!(f, "no packet detected"),
+            CoreError::InvalidConfig(what) => write!(f, "invalid config: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<pab_dsp::DspError> for CoreError {
+    fn from(e: pab_dsp::DspError) -> Self {
+        CoreError::Dsp(e)
+    }
+}
+impl From<pab_channel::ChannelError> for CoreError {
+    fn from(e: pab_channel::ChannelError) -> Self {
+        CoreError::Channel(e)
+    }
+}
+impl From<pab_analog::AnalogError> for CoreError {
+    fn from(e: pab_analog::AnalogError) -> Self {
+        CoreError::Analog(e)
+    }
+}
+impl From<pab_net::NetError> for CoreError {
+    fn from(e: pab_net::NetError) -> Self {
+        CoreError::Net(e)
+    }
+}
+impl From<pab_mcu::McuError> for CoreError {
+    fn from(e: pab_mcu::McuError) -> Self {
+        CoreError::Mcu(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display() {
+        assert!(CoreError::NodeNotPoweredUp.to_string().contains("power"));
+        assert!(CoreError::NoPacketDetected.to_string().contains("packet"));
+        assert!(CoreError::InvalidConfig("fs").to_string().contains("fs"));
+        let e: CoreError = pab_net::NetError::NoPreamble.into();
+        assert!(e.to_string().contains("net"));
+    }
+}

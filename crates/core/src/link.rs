@@ -1,0 +1,499 @@
+//! End-to-end single-link simulation: projector → pool → node → pool →
+//! hydrophone → decoder. This is the machinery behind Figs. 2, 7 and 8.
+
+use crate::node::{IncidentComponent, NodeOutput, PabNode};
+use crate::projector::Projector;
+use crate::receiver::{Decoded, Receiver};
+use crate::{CoreError, DEFAULT_SAMPLE_RATE_HZ};
+use pab_channel::noise::{add_awgn, NoiseEnvironment};
+use pab_channel::{Pool, Position};
+use pab_mcu::Clock;
+use pab_net::packet::{Command, DownlinkQuery, SensorKind, UplinkPacket};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Configuration of one link experiment.
+#[derive(Debug, Clone)]
+pub struct LinkConfig {
+    /// The tank.
+    pub pool: Pool,
+    /// Projector position.
+    pub projector_pos: Position,
+    /// Node position.
+    pub node_pos: Position,
+    /// Hydrophone position.
+    pub hydrophone_pos: Position,
+    /// Downlink carrier, Hz.
+    pub carrier_hz: f64,
+    /// Projector drive voltage amplitude, volts.
+    pub drive_voltage_v: f64,
+    /// Target uplink bitrate (quantized to the MCU divider grid), bps.
+    pub bitrate_target_bps: f64,
+    /// Recto-piezo match frequency, Hz.
+    pub f_match_hz: f64,
+    /// Node address.
+    pub node_addr: u8,
+    /// Image-method reflection order.
+    pub max_reflections: usize,
+    /// Ambient noise.
+    pub noise: NoiseEnvironment,
+    /// Extra multiplier on the ambient noise sigma (lets experiments sweep
+    /// SNR without changing the environment model).
+    pub noise_scale: f64,
+    /// RNG seed (noise realisation).
+    pub seed: u64,
+    /// Sample rate, Hz.
+    pub fs: f64,
+    /// Water conditions for the node's sensors.
+    pub water: pab_sensors::WaterSample,
+    /// Battery-assisted node (bypasses the harvesting power-up threshold;
+    /// §1's future-work hybrid design).
+    pub battery_assisted: bool,
+    /// Extra selectable recto-piezo match frequencies on the node
+    /// (§3.3.2's multi-matching-circuit extension; select over the air
+    /// with `Command::SelectRectoPiezo`).
+    pub extra_match_hz: Vec<f64>,
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        LinkConfig {
+            pool: Pool::pool_a(),
+            projector_pos: Position::new(0.5, 1.5, 0.6),
+            node_pos: Position::new(1.5, 1.5, 0.6),
+            hydrophone_pos: Position::new(1.0, 1.2, 0.6),
+            carrier_hz: 15_000.0,
+            drive_voltage_v: 100.0,
+            bitrate_target_bps: 2_048.0,
+            f_match_hz: 15_000.0,
+            node_addr: 7,
+            max_reflections: 3,
+            noise: NoiseEnvironment::quiet_tank(),
+            noise_scale: 1.0,
+            seed: 1,
+            fs: DEFAULT_SAMPLE_RATE_HZ,
+            water: pab_sensors::WaterSample::bench(),
+            battery_assisted: false,
+            extra_match_hz: Vec::new(),
+        }
+    }
+}
+
+/// What happened during one link exchange.
+#[derive(Debug)]
+pub struct LinkReport {
+    /// Whether the decoded packet's CRC passed.
+    pub crc_ok: bool,
+    /// The decoded packet (when CRC passed).
+    pub packet: Option<UplinkPacket>,
+    /// Bit error rate against the expected packet bits.
+    pub ber: f64,
+    /// Receiver-estimated SNR of the backscatter modulation, dB.
+    pub snr_db: f64,
+    /// Whether the node powered up.
+    pub node_powered_up: bool,
+    /// Node's peak rectified voltage, volts.
+    pub node_rectified_v: f64,
+    /// Quantized uplink bitrate actually used, bps.
+    pub bitrate_bps: f64,
+    /// The node's average power during the exchange, watts.
+    pub node_power_w: f64,
+    /// Receiver envelope (diagnostics / Fig. 2-style plots).
+    pub envelope: Vec<f64>,
+    /// Raw recorded voltage waveform at the hydrophone (diagnostics).
+    pub received: Vec<f64>,
+    /// Node-side output (diagnostics).
+    pub node_output: NodeOutput,
+}
+
+/// The link simulator.
+#[derive(Debug)]
+pub struct LinkSimulator {
+    cfg: LinkConfig,
+    projector: Projector,
+    node: PabNode,
+    receiver: Receiver,
+    rng: ChaCha8Rng,
+}
+
+impl LinkSimulator {
+    /// Build the simulator, designing the node front end.
+    pub fn new(cfg: LinkConfig) -> Result<Self, CoreError> {
+        let mut projector = Projector::new(cfg.drive_voltage_v)?;
+        projector.fs = cfg.fs;
+        let mut node = PabNode::new(cfg.node_addr, cfg.f_match_hz)?;
+        for &f in &cfg.extra_match_hz {
+            node = node.with_extra_frontend(f)?;
+        }
+        node.battery_assisted = cfg.battery_assisted;
+        let divider = Clock::watch_crystal()
+            .divider_for_bitrate(cfg.bitrate_target_bps)
+            .map_err(CoreError::Mcu)?;
+        node.default_divider = divider as u16;
+        let receiver = Receiver {
+            sensitivity_v_per_pa: 1.0e-3,
+            fs: cfg.fs,
+        };
+        let rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+        Ok(LinkSimulator {
+            cfg,
+            projector,
+            node,
+            receiver,
+            rng,
+        })
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &LinkConfig {
+        &self.cfg
+    }
+
+    /// Mutable access to the node (tune thresholds, add front ends).
+    pub fn node_mut(&mut self) -> &mut PabNode {
+        &mut self.node
+    }
+
+    /// Mutable access to the projector (PWM timing, CFO).
+    pub fn projector_mut(&mut self) -> &mut Projector {
+        &mut self.projector
+    }
+
+    /// The quantized bitrate the node will use.
+    pub fn bitrate_bps(&self) -> f64 {
+        Clock::watch_crystal()
+            .bitrate_for_divider(self.node.default_divider as u64)
+            .expect("divider >= 1")
+    }
+
+    /// Expected response duration for a query, seconds.
+    fn response_window_s(&self, payload_len: usize) -> f64 {
+        let bits = UplinkPacket::bits_len(payload_len) as f64;
+        // guard + packet + margin
+        5e-3 + bits / self.bitrate_bps() + 30e-3
+    }
+
+    /// Run one query/response exchange with an arbitrary command,
+    /// addressed to the configured node.
+    pub fn run_query(&mut self, command: Command) -> Result<LinkReport, CoreError> {
+        self.run_query_to(self.cfg.node_addr, command)
+    }
+
+    /// Run one query/response exchange addressed to `dest`.
+    pub fn run_query_to(
+        &mut self,
+        dest: u8,
+        command: Command,
+    ) -> Result<LinkReport, CoreError> {
+        let payload_len = match command {
+            Command::ReadSensor(_) => 4,
+            _ => 0,
+        };
+        let query = DownlinkQuery { dest, command };
+        let cw_tail = self.response_window_s(payload_len);
+        let (tx_wave, _query_end) =
+            self.projector
+                .query_waveform(&query, self.cfg.carrier_hz, cw_tail)?;
+
+        // Propagate to the node.
+        let ch_pn = self.cfg.pool.channel(
+            &self.cfg.projector_pos,
+            &self.cfg.node_pos,
+            self.cfg.max_reflections,
+            self.cfg.carrier_hz,
+        )?;
+        let incident = ch_pn.apply(&tx_wave, self.cfg.fs);
+        let node_out = self.node.process(
+            &[IncidentComponent {
+                carrier_hz: self.cfg.carrier_hz,
+                samples: incident,
+            }],
+            self.cfg.fs,
+            Some(self.cfg.water),
+        )?;
+
+        // Superpose the direct projector path and the node's backscatter
+        // at the hydrophone.
+        let ch_ph = self.cfg.pool.channel(
+            &self.cfg.projector_pos,
+            &self.cfg.hydrophone_pos,
+            self.cfg.max_reflections,
+            self.cfg.carrier_hz,
+        )?;
+        let ch_nh = self.cfg.pool.channel(
+            &self.cfg.node_pos,
+            &self.cfg.hydrophone_pos,
+            self.cfg.max_reflections,
+            self.cfg.carrier_hz,
+        )?;
+        let margin = (0.01 * self.cfg.fs) as usize;
+        let n_rx = node_out.backscatter[0].len() + margin;
+        let mut y = vec![0.0; n_rx];
+        ch_ph.apply_into(&mut y, &tx_wave, self.cfg.fs);
+        ch_nh.apply_into(&mut y, &node_out.backscatter[0], self.cfg.fs);
+
+        // Ambient noise.
+        let sigma = self
+            .cfg
+            .noise
+            .rms_pressure_pa(self.cfg.carrier_hz, self.cfg.fs / 2.0)?
+            * self.cfg.noise_scale;
+        add_awgn(&mut y, sigma, &mut self.rng);
+
+        let recorded = self.receiver.record(&y);
+        let bitrate = self.bitrate_bps();
+        let decoded = self
+            .receiver
+            .decode_uplink(&recorded, self.cfg.carrier_hz, bitrate);
+        Ok(self.build_report(command, node_out, decoded, bitrate, recorded))
+    }
+
+    fn build_report(
+        &self,
+        command: Command,
+        node_out: NodeOutput,
+        decoded: Result<Decoded, CoreError>,
+        bitrate: f64,
+        received: Vec<f64>,
+    ) -> LinkReport {
+        // What the node should have sent (the simulation knows the water
+        // truth, so it can reconstruct the expected packet bits).
+        let expected_bits: Option<Vec<bool>> = node_out.decoded_query.and_then(|_q| {
+            let kind = match command {
+                Command::ReadSensor(k) => Some(k),
+                _ => None,
+            };
+            match kind {
+                Some(SensorKind::Ph) => None, // exact ADC value is quantized; skip
+                _ => None,
+            }
+        });
+        match decoded {
+            Ok(d) => {
+                let crc_ok = d.packet.is_ok();
+                let packet = d.packet.ok();
+                let ber = match (&expected_bits, crc_ok) {
+                    (_, true) => 0.0,
+                    (Some(exp), false) => {
+                        let n = exp.len().min(d.bits.len());
+                        if n == 0 {
+                            1.0
+                        } else {
+                            pab_net::bits::hamming_distance(&exp[..n], &d.bits[..n]) as f64
+                                / n as f64
+                        }
+                    }
+                    (None, false) => f64::NAN,
+                };
+                LinkReport {
+                    crc_ok,
+                    packet,
+                    ber,
+                    snr_db: d.snr_db,
+                    node_powered_up: node_out.powered_up,
+                    node_rectified_v: node_out.rectified_v,
+                    bitrate_bps: bitrate,
+                    node_power_w: node_out.average_power_w,
+                    envelope: d.envelope,
+                    received,
+                    node_output: node_out,
+                }
+            }
+            Err(_) => LinkReport {
+                crc_ok: false,
+                packet: None,
+                ber: f64::NAN,
+                snr_db: f64::NEG_INFINITY,
+                node_powered_up: node_out.powered_up,
+                node_rectified_v: node_out.rectified_v,
+                bitrate_bps: bitrate,
+                node_power_w: node_out.average_power_w,
+                envelope: Vec::new(),
+                received,
+                node_output: node_out,
+            },
+        }
+    }
+
+    /// Run a pH sensor query addressed to `addr` (the paper's flagship
+    /// application). The simulator hosts a single node at
+    /// `config().node_addr`; addressing anything else exercises the
+    /// firmware's address filter and yields no response.
+    pub fn run_sensor_query(&mut self, addr: u8) -> Result<LinkReport, CoreError> {
+        self.run_query_to(addr, Command::ReadSensor(SensorKind::Ph))
+    }
+
+    /// Fig. 2 reproduction: CW downlink, node toggling every
+    /// `half_period_s` starting `toggle_start_s` after the projector
+    /// begins at `projector_start_s`. Returns the receiver's demodulated
+    /// envelope over `total_s`.
+    pub fn run_fig2(
+        &mut self,
+        total_s: f64,
+        projector_start_s: f64,
+        toggle_start_s: f64,
+        half_period_s: f64,
+    ) -> Result<Vec<f64>, CoreError> {
+        let fs = self.cfg.fs;
+        let n = (total_s * fs) as usize;
+        let cw = self
+            .projector
+            .continuous_wave(self.cfg.carrier_hz, total_s - projector_start_s);
+        let mut tx = vec![0.0; n];
+        let off = (projector_start_s * fs) as usize;
+        for (i, &s) in cw.iter().enumerate() {
+            if off + i < n {
+                tx[off + i] = s;
+            }
+        }
+        let ch_pn = self.cfg.pool.channel(
+            &self.cfg.projector_pos,
+            &self.cfg.node_pos,
+            self.cfg.max_reflections,
+            self.cfg.carrier_hz,
+        )?;
+        let incident = ch_pn.apply(&tx, fs);
+        let comp = IncidentComponent {
+            carrier_hz: self.cfg.carrier_hz,
+            samples: incident,
+        };
+        let node_out =
+            self.node
+                .process_fixed_toggle(&comp, fs, toggle_start_s, half_period_s)?;
+        let ch_ph = self.cfg.pool.channel(
+            &self.cfg.projector_pos,
+            &self.cfg.hydrophone_pos,
+            self.cfg.max_reflections,
+            self.cfg.carrier_hz,
+        )?;
+        let ch_nh = self.cfg.pool.channel(
+            &self.cfg.node_pos,
+            &self.cfg.hydrophone_pos,
+            self.cfg.max_reflections,
+            self.cfg.carrier_hz,
+        )?;
+        let mut y = vec![0.0; n];
+        ch_ph.apply_into(&mut y, &tx, fs);
+        ch_nh.apply_into(&mut y, &node_out.backscatter[0], fs);
+        let sigma = self
+            .cfg
+            .noise
+            .rms_pressure_pa(self.cfg.carrier_hz, fs / 2.0)?
+            * self.cfg.noise_scale;
+        add_awgn(&mut y, sigma, &mut self.rng);
+        let recorded = self.receiver.record(&y);
+        self.receiver
+            .demodulate(&recorded, self.cfg.carrier_hz, 60.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_link_delivers_a_sensor_packet() {
+        let mut sim = LinkSimulator::new(LinkConfig::default()).unwrap();
+        let report = sim.run_sensor_query(7).unwrap();
+        assert!(report.node_powered_up, "rect_v={}", report.node_rectified_v);
+        assert!(report.crc_ok, "snr={} dB", report.snr_db);
+        let packet = report.packet.unwrap();
+        assert_eq!(packet.src, 7);
+        let ph = packet.sensor_value().unwrap();
+        // ADC quantization + Nernst-slope temperature mismatch allow a
+        // small deviation around the true pH 7.
+        assert!((ph - 7.0).abs() < 0.2, "ph={ph}");
+    }
+
+    #[test]
+    fn ping_roundtrip() {
+        let mut sim = LinkSimulator::new(LinkConfig::default()).unwrap();
+        let report = sim.run_query(Command::Ping).unwrap();
+        assert!(report.crc_ok);
+        assert_eq!(
+            report.packet.unwrap().kind,
+            pab_net::packet::UplinkKind::Ack
+        );
+    }
+
+    #[test]
+    fn snr_is_positive_at_one_meter() {
+        let mut sim = LinkSimulator::new(LinkConfig::default()).unwrap();
+        let report = sim.run_query(Command::Ping).unwrap();
+        assert!(report.snr_db > 5.0, "snr={}", report.snr_db);
+    }
+
+    #[test]
+    fn heavy_noise_breaks_the_link() {
+        let cfg = LinkConfig {
+            noise_scale: 100_000.0,
+            ..Default::default()
+        };
+        let mut sim = LinkSimulator::new(cfg).unwrap();
+        let report = sim.run_query(Command::Ping).unwrap();
+        assert!(!report.crc_ok);
+    }
+
+    #[test]
+    fn weak_drive_fails_to_power_node() {
+        let cfg = LinkConfig {
+            drive_voltage_v: 1.0,
+            ..Default::default()
+        };
+        let mut sim = LinkSimulator::new(cfg).unwrap();
+        let report = sim.run_query(Command::Ping).unwrap();
+        assert!(!report.node_powered_up);
+        assert!(!report.crc_ok);
+    }
+
+    #[test]
+    fn fig2_envelope_shows_projector_then_backscatter() {
+        let mut sim = LinkSimulator::new(LinkConfig::default()).unwrap();
+        let env = sim.run_fig2(1.2, 0.2, 0.6, 0.1).unwrap();
+        let fs = sim.config().fs;
+        // Quiet before the projector starts.
+        let before = pab_dsp::stats::mean(&env[..(0.15 * fs) as usize]);
+        // Constant after the projector is on but before backscatter.
+        let during_cw = pab_dsp::stats::mean(&env[(0.3 * fs) as usize..(0.55 * fs) as usize]);
+        assert!(during_cw > 10.0 * before.max(1e-12));
+        // Alternation after backscatter begins: std dev rises.
+        let bs_region = &env[(0.65 * fs) as usize..(1.15 * fs) as usize];
+        let cw_region = &env[(0.3 * fs) as usize..(0.55 * fs) as usize];
+        assert!(
+            pab_dsp::stats::std_dev(bs_region) > 3.0 * pab_dsp::stats::std_dev(cw_region),
+            "bs std {} vs cw std {}",
+            pab_dsp::stats::std_dev(bs_region),
+            pab_dsp::stats::std_dev(cw_region)
+        );
+    }
+
+    #[test]
+    fn link_survives_projector_cfo() {
+        // Footnote 12: the projector and hydrophone run on different
+        // oscillators. A 40 Hz offset on a 15 kHz carrier must still
+        // decode thanks to the receiver's CFO estimation.
+        let mut sim = LinkSimulator::new(LinkConfig::default()).unwrap();
+        sim.projector_mut().cfo_hz = 40.0;
+        let report = sim.run_query(Command::Ping).unwrap();
+        assert!(report.crc_ok, "CFO broke the link (snr {})", report.snr_db);
+    }
+
+    #[test]
+    fn run_query_to_other_address_gets_no_response() {
+        let mut sim = LinkSimulator::new(LinkConfig::default()).unwrap();
+        let report = sim.run_query_to(99, Command::Ping).unwrap();
+        assert_eq!(report.node_output.responses_sent, 0);
+        assert!(!report.crc_ok);
+    }
+
+    #[test]
+    fn bitrate_quantization_reported() {
+        let cfg = LinkConfig {
+            bitrate_target_bps: 3_000.0,
+            ..Default::default()
+        };
+        let sim = LinkSimulator::new(cfg).unwrap();
+        // 3000 bps quantizes to 32768/(2·6) = 2730.67.
+        assert!((sim.bitrate_bps() - 2730.67).abs() < 0.1);
+    }
+}

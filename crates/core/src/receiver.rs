@@ -1,0 +1,636 @@
+//! The hydrophone receive chain (§5.1(b)): record, downconvert, Butterworth
+//! low-pass, packet detection by preamble correlation, CFO estimation, and
+//! a maximum-likelihood FM0 decoder, with CRC verification.
+
+use crate::{CoreError, DEFAULT_SAMPLE_RATE_HZ};
+use pab_dsp::correlate::{argmax, normalized_cross_correlate};
+use pab_dsp::iir::butter_lowpass;
+use pab_dsp::mix::downconvert;
+use pab_dsp::stats;
+use pab_net::fm0;
+use pab_net::packet::{UplinkPacket, UPLINK_PREAMBLE};
+use pab_net::NetError;
+
+/// The hydrophone + offline decoder.
+#[derive(Debug, Clone)]
+pub struct Receiver {
+    /// Hydrophone sensitivity, volts per pascal (H2a: −180 dB re 1 V/µPa
+    /// = 1 mV/Pa).
+    pub sensitivity_v_per_pa: f64,
+    /// Sample rate, Hz.
+    pub fs: f64,
+}
+
+/// Result of decoding one uplink packet.
+#[derive(Debug)]
+pub struct Decoded {
+    /// The parsed packet, if the CRC passed.
+    pub packet: Result<UplinkPacket, NetError>,
+    /// Raw decoded bits (preamble included).
+    pub bits: Vec<bool>,
+    /// Hard half-bit decisions.
+    pub halves: Vec<bool>,
+    /// Soft half-bit values (integrate-and-dump means).
+    pub soft: Vec<f64>,
+    /// Sample index where the packet starts in the input.
+    pub start_sample: usize,
+    /// Estimated SNR of the backscatter modulation, dB (§6.1 definition).
+    pub snr_db: f64,
+    /// The demodulated envelope (diagnostics; the Fig. 2 waveform).
+    pub envelope: Vec<f64>,
+}
+
+impl Default for Receiver {
+    fn default() -> Self {
+        Receiver {
+            sensitivity_v_per_pa: 1.0e-3,
+            fs: DEFAULT_SAMPLE_RATE_HZ,
+        }
+    }
+}
+
+impl Receiver {
+    /// Convert a pressure waveform into the recorded voltage waveform.
+    pub fn record(&self, pressure: &[f64]) -> Vec<f64> {
+        pressure
+            .iter()
+            .map(|&p| p * self.sensitivity_v_per_pa)
+            .collect()
+    }
+
+    /// Demodulate a received waveform around `carrier_hz`: downconvert,
+    /// low-pass at `cutoff_hz`, return the amplitude envelope (Fig. 2).
+    pub fn demodulate(
+        &self,
+        signal: &[f64],
+        carrier_hz: f64,
+        cutoff_hz: f64,
+    ) -> Result<Vec<f64>, CoreError> {
+        let bb = downconvert(signal, carrier_hz, self.fs);
+        let lp = butter_lowpass(4, cutoff_hz, self.fs)?;
+        let filtered = lp.filtfilt_complex(&bb);
+        Ok(filtered.iter().map(|c| 2.0 * c.norm()).collect())
+    }
+
+    /// Coherent demodulation: downconvert at `carrier_hz` and low-pass,
+    /// returning the complex baseband (×2 to undo real→complex mixing
+    /// loss). This is the observation the MIMO collision decoder works on.
+    pub fn demodulate_complex(
+        &self,
+        signal: &[f64],
+        carrier_hz: f64,
+        cutoff_hz: f64,
+    ) -> Result<Vec<num_complex::Complex64>, CoreError> {
+        let bb = downconvert(signal, carrier_hz, self.fs);
+        let lp = butter_lowpass(4, cutoff_hz, self.fs)?;
+        Ok(lp
+            .filtfilt_complex(&bb)
+            .into_iter()
+            .map(|c| 2.0 * c)
+            .collect())
+    }
+
+    /// Build the ±1 preamble matched-filter template at `bitrate_bps`
+    /// for sample rate `fs`.
+    fn preamble_template(&self, bitrate_bps: f64, fs: f64) -> Vec<f64> {
+        let halves = fm0::encode(&UPLINK_PREAMBLE, false);
+        let spb = fs / (2.0 * bitrate_bps);
+        let n = (halves.len() as f64 * spb).round() as usize;
+        (0..n)
+            .map(|i| {
+                let k = ((i as f64 / spb) as usize).min(halves.len() - 1);
+                if halves[k] {
+                    1.0
+                } else {
+                    -1.0
+                }
+            })
+            .collect()
+    }
+
+    /// Maximum-likelihood FM0 half-bit sequence detection.
+    ///
+    /// Viterbi over the two-level trellis: the level must flip at every
+    /// bit boundary (FM0 invariant); the mid-bit flip is free and encodes
+    /// the data. Metric: squared distance of each soft half-bit to the
+    /// learned high/low cluster means.
+    pub fn ml_fm0_halves(soft: &[f64], mu_lo: f64, mu_hi: f64) -> Vec<bool> {
+        let lo = vec![mu_lo; soft.len()];
+        let hi = vec![mu_hi; soft.len()];
+        Self::ml_fm0_halves_adaptive(soft, &lo, &hi)
+    }
+
+    /// [`Self::ml_fm0_halves`] with per-half cluster means, tracking slow
+    /// baseline wander across long packets.
+    pub fn ml_fm0_halves_adaptive(soft: &[f64], mu_lo: &[f64], mu_hi: &[f64]) -> Vec<bool> {
+        assert_eq!(soft.len(), mu_lo.len());
+        assert_eq!(soft.len(), mu_hi.len());
+        let n_bits = soft.len() / 2;
+        if n_bits == 0 {
+            return Vec::new();
+        }
+        let cost = |k: usize, x: f64, level: bool| {
+            let mu = if level { mu_hi[k] } else { mu_lo[k] };
+            (x - mu) * (x - mu)
+        };
+        // State: level at the *end* of bit k (after the second half).
+        // path_cost[s], with backpointers per bit: (prev_state, mid_flip).
+        let mut back: Vec<[(usize, bool); 2]> = Vec::with_capacity(n_bits);
+        // Initial level before bit 0 is unknown; start both states free.
+        // For bit k with previous end-level p: first half = !p (boundary
+        // flip), second half = s (the new end state); mid flip happened if
+        // s != !p, i.e. data bit = (first == second) = (!p == s).
+        let mut prev_cost = [0.0f64; 2];
+        let mut first_bit = true;
+        for k in 0..n_bits {
+            let (a, b) = (soft[2 * k], soft[2 * k + 1]);
+            let mut new_cost = [f64::MAX; 2];
+            let mut new_back = [(0usize, false); 2];
+            for s in 0..2 {
+                let s_level = s == 1;
+                for p in 0..2 {
+                    if first_bit && p == 1 {
+                        // Collapse the unknown-start ambiguity: FM0 with
+                        // initial_level=false means the first half is
+                        // always `true` — model start level as false only.
+                        continue;
+                    }
+                    let p_level = p == 1;
+                    let first_half = !p_level;
+                    let c = prev_cost[p]
+                        + cost(2 * k, a, first_half)
+                        + cost(2 * k + 1, b, s_level);
+                    if c < new_cost[s] {
+                        new_cost[s] = c;
+                        new_back[s] = (p, first_half == s_level);
+                    }
+                }
+            }
+            back.push(new_back);
+            prev_cost = new_cost;
+            first_bit = false;
+        }
+        // Trace back from the cheaper final state.
+        let mut s = if prev_cost[0] <= prev_cost[1] { 0 } else { 1 };
+        let mut halves_rev: Vec<(bool, bool)> = Vec::with_capacity(n_bits);
+        for k in (0..n_bits).rev() {
+            let (p, _same) = back[k][s];
+            let first_half = p != 1;
+            let second_half = s == 1;
+            halves_rev.push((first_half, second_half));
+            s = p;
+        }
+        let mut out = Vec::with_capacity(2 * n_bits);
+        for (a, b) in halves_rev.into_iter().rev() {
+            out.push(a);
+            out.push(b);
+        }
+        out
+    }
+
+    /// Decode an uplink packet from a recorded waveform, coherently.
+    ///
+    /// The backscatter phasor arrives at an arbitrary angle relative to
+    /// the direct carrier; plain magnitude (envelope) detection loses the
+    /// quadrature component, so the decoder works on complex baseband:
+    /// detrend (removes the direct carrier phasor), correct the residual
+    /// CFO (§5.1(b), footnote 12), find the packet by complex preamble
+    /// correlation — whose phase reveals the modulation direction — and
+    /// project onto that direction before FM0 slicing.
+    ///
+    /// `bitrate_bps` must be the node's (quantized) FM0 bitrate, known to
+    /// the receiver because the projector commanded it.
+    pub fn decode_uplink(
+        &self,
+        signal: &[f64],
+        carrier_hz: f64,
+        bitrate_bps: f64,
+    ) -> Result<Decoded, CoreError> {
+        if !(bitrate_bps > 0.0) {
+            return Err(CoreError::InvalidConfig("bitrate_bps"));
+        }
+        if signal.len() < 64 {
+            return Err(CoreError::InvalidConfig("signal too short"));
+        }
+        let cutoff = (2.0 * bitrate_bps).clamp(200.0, 0.4 * self.fs);
+        let bb = self.demodulate_complex(signal, carrier_hz, cutoff)?;
+
+        // Decimate to ~16 samples per half-bit. One anti-alias FIR design
+        // is shared by the real and imaginary paths (the design cost would
+        // otherwise dominate Monte-Carlo sweeps).
+        let spb_raw = self.fs / (2.0 * bitrate_bps);
+        let decim = ((spb_raw / 16.0).floor() as usize).max(1);
+        let re: Vec<f64> = bb.iter().map(|c| c.re).collect();
+        let im: Vec<f64> = bb.iter().map(|c| c.im).collect();
+        let (re_d, im_d) = if decim == 1 {
+            (re, im)
+        } else {
+            let aa = pab_dsp::fir::Fir::lowpass(
+                127,
+                0.8 * self.fs / (2.0 * decim as f64),
+                self.fs,
+                pab_dsp::window::Window::Hamming,
+            )?;
+            (
+                aa.filter(&re).iter().step_by(decim).copied().collect(),
+                aa.filter(&im).iter().step_by(decim).copied().collect(),
+            )
+        };
+        let fs2 = self.fs / decim as f64;
+
+        // Complex detrend: the slow trend is the direct-carrier phasor.
+        let trend_cutoff = (bitrate_bps / 20.0).max(2.0);
+        let lp = butter_lowpass(2, trend_cutoff, fs2)?;
+        let tr_re = lp.filtfilt(&re_d);
+        let tr_im = lp.filtfilt(&im_d);
+        let mut d: Vec<num_complex::Complex64> = re_d
+            .iter()
+            .zip(&im_d)
+            .zip(tr_re.iter().zip(&tr_im))
+            .map(|((&r, &i), (&trr, &tri))| {
+                num_complex::Complex64::new(r - trr, i - tri)
+            })
+            .collect();
+
+        // CFO correction: the direct-carrier trend rotates at the CFO
+        // rate; estimate it where the carrier is strong and derotate.
+        let trend_c: Vec<num_complex::Complex64> = tr_re
+            .iter()
+            .zip(&tr_im)
+            .map(|(&r, &i)| num_complex::Complex64::new(r, i))
+            .collect();
+        // Estimate over the longest *contiguous* strong run: concatenating
+        // across carrier-off gaps would add seam phase jumps that bias the
+        // estimate.
+        let trend_peak = trend_c.iter().map(|x| x.norm()).fold(0.0, f64::max);
+        let threshold = 0.25 * trend_peak;
+        let mut best_run = (0usize, 0usize);
+        let mut run_start = None;
+        for (i, c) in trend_c.iter().enumerate() {
+            if c.norm() > threshold {
+                if run_start.is_none() {
+                    run_start = Some(i);
+                }
+            } else if let Some(s0) = run_start.take() {
+                if i - s0 > best_run.1 - best_run.0 {
+                    best_run = (s0, i);
+                }
+            }
+        }
+        if let Some(s0) = run_start {
+            if trend_c.len() - s0 > best_run.1 - best_run.0 {
+                best_run = (s0, trend_c.len());
+            }
+        }
+        let cfo = pab_dsp::correlate::estimate_cfo(&trend_c[best_run.0..best_run.1], fs2);
+        if cfo.abs() > 0.05 {
+            let w = std::f64::consts::TAU * cfo / fs2;
+            for (i, c) in d.iter_mut().enumerate() {
+                *c *= num_complex::Complex64::from_polar(1.0, -w * i as f64);
+            }
+        }
+
+        // Complex preamble correlation: peak magnitude locates the packet,
+        // peak phase is the modulation direction.
+        let template = self.preamble_template(bitrate_bps, fs2);
+        if d.len() <= template.len() {
+            return Err(CoreError::NoPacketDetected);
+        }
+        let m = template.len();
+        let t_energy: f64 = template.iter().map(|x| x * x).sum::<f64>().sqrt();
+        let mut best = (0usize, 0.0f64, num_complex::Complex64::new(0.0, 0.0));
+        // Running window energy for normalisation.
+        let mut win_energy: f64 = d[..m].iter().map(|c| c.norm_sqr()).sum();
+        for i in 0..=d.len() - m {
+            if i > 0 {
+                win_energy += d[i + m - 1].norm_sqr() - d[i - 1].norm_sqr();
+            }
+            let acc: num_complex::Complex64 = d[i..i + m]
+                .iter()
+                .zip(&template)
+                .map(|(c, &t)| c * t)
+                .sum();
+            let denom = win_energy.max(1e-30).sqrt() * t_energy;
+            let score = acc.norm() / denom;
+            if score > best.1 {
+                best = (i, score, acc);
+            }
+        }
+        let (start, peak_corr, peak_acc) = best;
+        if peak_corr < 0.3 {
+            return Err(CoreError::NoPacketDetected);
+        }
+        let theta = peak_acc.arg();
+        // Slice the *raw* (un-detrended) projected baseband: inside the
+        // packet the baseline is the constant CW illumination, and the
+        // detrending high-pass would otherwise leak a slow step transient
+        // into the first tens of milliseconds of soft values (fatal at
+        // low bitrates where that spans many bits). The cluster means in
+        // slice_and_decode absorb the constant offset.
+        let rot = num_complex::Complex64::from_polar(1.0, -theta);
+        let w_cfo = std::f64::consts::TAU * cfo / fs2;
+        let projected: Vec<f64> = re_d
+            .iter()
+            .zip(&im_d)
+            .enumerate()
+            .map(|(i, (&r, &im))| {
+                let mut c = num_complex::Complex64::new(r, im);
+                if cfo.abs() > 0.05 {
+                    c *= num_complex::Complex64::from_polar(1.0, -w_cfo * i as f64);
+                }
+                (c * rot).re
+            })
+            .collect();
+
+        let mut decoded = self.slice_and_decode(&projected, start, fs2, bitrate_bps)?;
+        decoded.start_sample = start * decim;
+        Ok(decoded)
+    }
+
+    /// Decode a packet from an already-demodulated amplitude stream (the
+    /// path used after MIMO zero-forcing, where the "envelope" is a
+    /// separated stream estimate rather than a single band's magnitude).
+    pub fn decode_envelope(
+        &self,
+        envelope: &[f64],
+        bitrate_bps: f64,
+    ) -> Result<Decoded, CoreError> {
+        if !(bitrate_bps > 0.0) {
+            return Err(CoreError::InvalidConfig("bitrate_bps"));
+        }
+        // Decimate so a half-bit spans ~16 samples: this keeps the
+        // detrending filter's normalised cutoff numerically sane at low
+        // bitrates and makes symbol processing bitrate-independent.
+        let spb_raw = self.fs / (2.0 * bitrate_bps);
+        let decim = ((spb_raw / 16.0).floor() as usize).max(1);
+        let envelope = pab_dsp::resample::decimate(envelope, decim, self.fs)?;
+        let fs = self.fs / decim as f64;
+        // Detrend: the backscatter modulation rides on the much larger
+        // direct-path carrier level (Fig. 2), and that baseline also moves
+        // when the projector keys on/off. A low-pass trend (well below the
+        // bit rate) subtracted out leaves just the modulation.
+        let trend_cutoff = (bitrate_bps / 20.0).max(2.0);
+        let trend = butter_lowpass(2, trend_cutoff, fs)?.filtfilt(&envelope);
+        let centered: Vec<f64> = envelope
+            .iter()
+            .zip(&trend)
+            .map(|(&e, &t)| e - t)
+            .collect();
+        let template = self.preamble_template(bitrate_bps, fs);
+        if centered.len() <= template.len() {
+            return Err(CoreError::NoPacketDetected);
+        }
+        let corr = normalized_cross_correlate(&centered, &template);
+        let (start, peak_corr) = argmax(&corr).ok_or(CoreError::NoPacketDetected)?;
+        if peak_corr < 0.3 {
+            return Err(CoreError::NoPacketDetected);
+        }
+        let mut decoded = self.slice_and_decode(&centered, start, fs, bitrate_bps)?;
+        decoded.start_sample = start * decim;
+        Ok(decoded)
+    }
+
+    /// Shared tail of the decode pipelines: integrate-and-dump half-bit
+    /// slicing from `start`, cluster-mean estimation, the two-pass ML
+    /// trellis, packet parsing and SNR measurement. `centered` is the
+    /// zero-mean modulation stream at sample rate `fs`.
+    fn slice_and_decode(
+        &self,
+        centered: &[f64],
+        start: usize,
+        fs: f64,
+        bitrate_bps: f64,
+    ) -> Result<Decoded, CoreError> {
+        let spb = fs / (2.0 * bitrate_bps);
+        let available = ((centered.len() - start) as f64 / spb) as usize;
+        // Longest packet: 15-byte payload.
+        let max_halves = 2 * UplinkPacket::bits_len(UplinkPacket::MAX_PAYLOAD);
+        let n_halves = available.min(max_halves) & !1usize;
+        if n_halves < 2 * UplinkPacket::bits_len(0) {
+            return Err(CoreError::NoPacketDetected);
+        }
+        let mut soft = Vec::with_capacity(n_halves);
+        for k in 0..n_halves {
+            let a = start + (k as f64 * spb) as usize;
+            let b = (start + ((k + 1) as f64 * spb) as usize).min(centered.len());
+            soft.push(stats::mean(&centered[a..b]));
+        }
+        // Cluster means: blockwise robust estimates interpolated per half,
+        // so slow baseline wander over a long packet (residual CFO,
+        // channel settling) doesn't bias the later bits. Each 32-half
+        // block has a ~balanced level mix under FM0.
+        let cluster_track = |soft: &[f64]| -> (Vec<f64>, Vec<f64>) {
+            let block = 32usize;
+            let mut centers = Vec::new();
+            let mut los = Vec::new();
+            let mut his = Vec::new();
+            let mut i = 0;
+            while i < soft.len() {
+                let end = (i + block).min(soft.len());
+                if end - i < 8 && !centers.is_empty() {
+                    break;
+                }
+                let mut chunk: Vec<f64> = soft[i..end].to_vec();
+                chunk.sort_by(f64::total_cmp);
+                los.push(stats::mean(&chunk[..chunk.len() / 2]));
+                his.push(stats::mean(&chunk[chunk.len() / 2..]));
+                centers.push((i + end) as f64 / 2.0);
+                i = end;
+            }
+            let interp = |vals: &[f64], x: f64| -> f64 {
+                if vals.len() == 1 {
+                    return vals[0];
+                }
+                let pos = centers
+                    .iter()
+                    .position(|&c| c > x)
+                    .unwrap_or(centers.len());
+                match pos {
+                    0 => vals[0],
+                    p if p == centers.len() => vals[vals.len() - 1],
+                    p => {
+                        let t = (x - centers[p - 1]) / (centers[p] - centers[p - 1]);
+                        vals[p - 1] * (1.0 - t) + vals[p] * t
+                    }
+                }
+            };
+            let mu_lo: Vec<f64> = (0..soft.len()).map(|k| interp(&los, k as f64)).collect();
+            let mu_hi: Vec<f64> = (0..soft.len()).map(|k| interp(&his, k as f64)).collect();
+            (mu_lo, mu_hi)
+        };
+
+        // Two-pass ML decode. The trellis must not run past the packet:
+        // post-packet samples carry no FM0 structure, and forcing the
+        // boundary-transition invariant through them corrupts the final
+        // data bit. Pass 1 decodes the fixed-size header to learn the
+        // payload length; pass 2 decodes exactly the packet's halves.
+        let header_halves = 2 * (16 + 8 + 8 + 4 + 4);
+        let head_len = header_halves.min(soft.len());
+        let (mu_lo_h, mu_hi_h) = cluster_track(&soft[..head_len]);
+        let head = Self::ml_fm0_halves_adaptive(&soft[..head_len], &mu_lo_h, &mu_hi_h);
+        let head_bits = fm0::decode_lenient(&head);
+        let payload_len = pab_net::bits::read_uint(&head_bits, 36, 4).unwrap_or(0) as usize;
+        let want_halves = (2 * UplinkPacket::bits_len(payload_len)).min(soft.len());
+        soft.truncate(want_halves.max(head_len));
+        let (mu_lo, mu_hi) = cluster_track(&soft);
+        let halves = Self::ml_fm0_halves_adaptive(&soft, &mu_lo, &mu_hi);
+        let bits = fm0::decode_lenient(&halves);
+        let packet = UplinkPacket::from_bits(&bits);
+
+        // SNR per §6.1: signal power = squared channel estimate (half the
+        // high/low separation), noise = residual around cluster means.
+        let h = stats::mean(
+            &soft
+                .iter()
+                .enumerate()
+                .map(|(k, _)| (mu_hi[k] - mu_lo[k]) / 2.0)
+                .collect::<Vec<f64>>(),
+        );
+        let noise: f64 = soft
+            .iter()
+            .zip(&halves)
+            .enumerate()
+            .map(|(k, (&x, &lvl))| {
+                let mu = if lvl { mu_hi[k] } else { mu_lo[k] };
+                (x - mu) * (x - mu)
+            })
+            .sum::<f64>()
+            / soft.len() as f64;
+        let snr_db = stats::snr_db(h * h, noise);
+
+        Ok(Decoded {
+            packet,
+            bits,
+            halves,
+            soft,
+            start_sample: start,
+            snr_db,
+            envelope: centered.to_vec(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pab_net::packet::UplinkKind;
+
+    /// Synthesise a clean backscatter envelope waveform for a packet.
+    fn synth_waveform(
+        packet: &UplinkPacket,
+        bitrate: f64,
+        fs: f64,
+        carrier: f64,
+        amp_hi: f64,
+        amp_lo: f64,
+        lead_s: f64,
+    ) -> Vec<f64> {
+        let halves = fm0::encode(&packet.to_bits().unwrap(), false);
+        let spb = fs / (2.0 * bitrate);
+        let lead = (lead_s * fs) as usize;
+        let n = lead + (halves.len() as f64 * spb) as usize + lead;
+        let mut w = Vec::with_capacity(n);
+        let mut nco = pab_dsp::mix::Nco::new(carrier, fs);
+        for i in 0..n {
+            let amp = if i < lead {
+                amp_lo
+            } else {
+                let k = ((i - lead) as f64 / spb) as usize;
+                if k < halves.len() {
+                    if halves[k] {
+                        amp_hi
+                    } else {
+                        amp_lo
+                    }
+                } else {
+                    amp_lo
+                }
+            };
+            w.push(amp * nco.next_sample());
+        }
+        w
+    }
+
+    fn test_packet() -> UplinkPacket {
+        UplinkPacket::sensor_reading(7, 3, pab_net::packet::SensorKind::Ph, 7.012)
+    }
+
+    #[test]
+    fn clean_packet_decodes_with_crc() {
+        let rx = Receiver::default();
+        let p = test_packet();
+        let w = synth_waveform(&p, 2730.67, rx.fs, 15_000.0, 1.0, 0.4, 0.01);
+        let d = rx.decode_uplink(&w, 15_000.0, 2730.67).unwrap();
+        assert_eq!(d.packet.unwrap(), p);
+        assert!(d.snr_db > 15.0, "snr={}", d.snr_db);
+    }
+
+    #[test]
+    fn noisy_packet_still_decodes() {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(11);
+        let rx = Receiver::default();
+        let p = test_packet();
+        let mut w = synth_waveform(&p, 1024.0, rx.fs, 15_000.0, 1.0, 0.4, 0.01);
+        pab_channel::noise::add_awgn(&mut w, 0.15, &mut rng);
+        let d = rx.decode_uplink(&w, 15_000.0, 1024.0).unwrap();
+        assert_eq!(d.packet.unwrap(), p);
+    }
+
+    #[test]
+    fn pure_noise_yields_no_packet_or_bad_crc() {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
+        let rx = Receiver::default();
+        let w = pab_channel::noise::awgn(40_000, 0.3, &mut rng);
+        match rx.decode_uplink(&w, 15_000.0, 2730.67) {
+            Err(CoreError::NoPacketDetected) => {}
+            Ok(d) => assert!(d.packet.is_err(), "noise produced a valid packet"),
+            Err(e) => panic!("unexpected error {e}"),
+        }
+    }
+
+    #[test]
+    fn ml_decoder_repairs_boundary_violations() {
+        // Construct soft values where one half-bit is pushed across the
+        // threshold; the trellis constraint should still recover the data.
+        let p = UplinkPacket {
+            src: 1,
+            seq: 0,
+            kind: UplinkKind::Ack,
+            payload: vec![],
+        };
+        let bits = p.to_bits().unwrap();
+        let halves = fm0::encode(&bits, false);
+        let mut soft: Vec<f64> = halves.iter().map(|&h| if h { 1.0 } else { 0.0 }).collect();
+        // Corrupt one sample towards the middle — threshold slicing at 0.5
+        // could go either way, but the boundary rule disambiguates.
+        soft[7] = 0.45;
+        let ml = Receiver::ml_fm0_halves(&soft, 0.0, 1.0);
+        assert_eq!(ml, halves);
+    }
+
+    #[test]
+    fn ml_decoder_on_clean_input_is_identity() {
+        let bits = vec![true, false, false, true, true];
+        let halves = fm0::encode(&bits, false);
+        let soft: Vec<f64> = halves.iter().map(|&h| if h { 0.9 } else { 0.1 }).collect();
+        let ml = Receiver::ml_fm0_halves(&soft, 0.1, 0.9);
+        assert_eq!(ml, halves);
+        assert!(Receiver::ml_fm0_halves(&[], 0.0, 1.0).is_empty());
+    }
+
+    #[test]
+    fn record_applies_sensitivity() {
+        let rx = Receiver::default();
+        let v = rx.record(&[1_000.0]);
+        assert!((v[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        let rx = Receiver::default();
+        assert!(rx.decode_uplink(&[0.0; 1000], 15_000.0, 0.0).is_err());
+        assert!(rx.decode_uplink(&[0.0; 10], 15_000.0, 1000.0).is_err());
+    }
+}

@@ -1,0 +1,171 @@
+//! Correlation utilities: packet detection by preamble correlation and
+//! carrier-frequency-offset (CFO) estimation, per §5.1(b) of the paper
+//! ("standard packet detection and carrier frequency offset correction
+//! using the preamble").
+
+use num_complex::Complex64;
+
+/// Sliding cross-correlation of `signal` against `template` (valid-mode:
+/// output length = signal.len() - template.len() + 1). Empty output when
+/// the template is longer than the signal.
+pub fn cross_correlate(signal: &[f64], template: &[f64]) -> Vec<f64> {
+    if template.is_empty() || signal.len() < template.len() {
+        return Vec::new();
+    }
+    let m = template.len();
+    (0..=signal.len() - m)
+        .map(|i| {
+            signal[i..i + m]
+                .iter()
+                .zip(template)
+                .map(|(a, b)| a * b)
+                .sum()
+        })
+        .collect()
+}
+
+/// Normalised cross-correlation in `[-1, 1]`: correlation divided by the
+/// local signal energy and template energy. Robust to amplitude scaling,
+/// which matters because backscatter modulation depth varies with range.
+pub fn normalized_cross_correlate(signal: &[f64], template: &[f64]) -> Vec<f64> {
+    if template.is_empty() || signal.len() < template.len() {
+        return Vec::new();
+    }
+    let m = template.len();
+    let t_energy: f64 = template.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if t_energy == 0.0 {
+        return vec![0.0; signal.len() - m + 1];
+    }
+    (0..=signal.len() - m)
+        .map(|i| {
+            let win = &signal[i..i + m];
+            let s_energy: f64 = win.iter().map(|x| x * x).sum::<f64>().sqrt();
+            if s_energy == 0.0 {
+                0.0
+            } else {
+                win.iter().zip(template).map(|(a, b)| a * b).sum::<f64>()
+                    / (s_energy * t_energy)
+            }
+        })
+        .collect()
+}
+
+/// Complex correlation for baseband packet detection.
+pub fn cross_correlate_complex(signal: &[Complex64], template: &[Complex64]) -> Vec<Complex64> {
+    if template.is_empty() || signal.len() < template.len() {
+        return Vec::new();
+    }
+    let m = template.len();
+    (0..=signal.len() - m)
+        .map(|i| {
+            signal[i..i + m]
+                .iter()
+                .zip(template)
+                .map(|(a, b)| a * b.conj())
+                .sum()
+        })
+        .collect()
+}
+
+/// Index and value of the maximum of a real sequence; `None` when empty.
+pub fn argmax(x: &[f64]) -> Option<(usize, f64)> {
+    x.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, &v)| (i, v))
+}
+
+/// Estimate a carrier frequency offset from a known-constant-envelope
+/// segment of complex baseband: the mean phase increment per sample maps
+/// to a frequency. Returns Hz. The segment should contain only the
+/// preamble's carrier-on portion.
+pub fn estimate_cfo(baseband: &[Complex64], fs: f64) -> f64 {
+    if baseband.len() < 2 {
+        return 0.0;
+    }
+    let mut acc = Complex64::new(0.0, 0.0);
+    for w in baseband.windows(2) {
+        acc += w[1] * w[0].conj();
+    }
+    let dphi = acc.arg();
+    dphi * fs / std::f64::consts::TAU
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mix::{complex_tone, tone};
+
+    #[test]
+    fn correlation_peaks_at_embedded_template() {
+        let template = vec![1.0, -1.0, 1.0, 1.0, -1.0];
+        let mut signal = vec![0.1; 50];
+        for (i, &t) in template.iter().enumerate() {
+            signal[20 + i] = t;
+        }
+        let c = cross_correlate(&signal, &template);
+        let (imax, _) = argmax(&c).unwrap();
+        assert_eq!(imax, 20);
+    }
+
+    #[test]
+    fn normalized_correlation_is_scale_invariant() {
+        let template = vec![1.0, -1.0, 1.0, -1.0, 1.0, 1.0, -1.0, -1.0];
+        let mut signal = vec![0.0; 64];
+        for (i, &t) in template.iter().enumerate() {
+            signal[30 + i] = 0.001 * t; // tiny amplitude
+        }
+        let c = normalized_cross_correlate(&signal, &template);
+        let (imax, v) = argmax(&c).unwrap();
+        assert_eq!(imax, 30);
+        assert!(v > 0.999, "v={v}");
+    }
+
+    #[test]
+    fn empty_and_short_inputs_yield_empty() {
+        assert!(cross_correlate(&[1.0], &[1.0, 2.0]).is_empty());
+        assert!(cross_correlate(&[1.0, 2.0], &[]).is_empty());
+        assert!(normalized_cross_correlate(&[], &[1.0]).is_empty());
+        assert!(cross_correlate_complex(&[], &[Complex64::new(1.0, 0.0)]).is_empty());
+    }
+
+    #[test]
+    fn zero_template_gives_zero_correlation() {
+        let c = normalized_cross_correlate(&[1.0, 2.0, 3.0], &[0.0, 0.0]);
+        assert_eq!(c, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn complex_correlation_detects_offset_tone() {
+        let tpl = complex_tone(1_000.0, 48_000.0, 0.0, 96);
+        let mut sig = vec![Complex64::new(0.0, 0.0); 400];
+        for (i, &t) in tpl.iter().enumerate() {
+            sig[100 + i] = t;
+        }
+        let c = cross_correlate_complex(&sig, &tpl);
+        let mags: Vec<f64> = c.iter().map(|x| x.norm()).collect();
+        let (imax, _) = argmax(&mags).unwrap();
+        assert_eq!(imax, 100);
+    }
+
+    #[test]
+    fn cfo_estimate_recovers_known_offset() {
+        let fs = 48_000.0;
+        // A 75 Hz residual spin on baseband.
+        let bb = complex_tone(75.0, fs, 0.3, 4800);
+        let cfo = estimate_cfo(&bb, fs);
+        assert!((cfo - 75.0).abs() < 0.5, "cfo={cfo}");
+    }
+
+    #[test]
+    fn cfo_of_real_tone_downconverted_with_wrong_carrier() {
+        let fs = 192_000.0;
+        let sig = tone(15_050.0, fs, 0.0, 19_200);
+        let bb = crate::mix::downconvert(&sig, 15_000.0, fs);
+        // Remove the double-frequency image first.
+        let lp = crate::iir::butter_lowpass(4, 2_000.0, fs).unwrap();
+        let bbf = lp.filtfilt_complex(&bb);
+        let cfo = estimate_cfo(&bbf[2_000..17_000], fs);
+        assert!((cfo - 50.0).abs() < 2.0, "cfo={cfo}");
+    }
+}

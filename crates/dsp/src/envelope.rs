@@ -1,0 +1,219 @@
+//! Envelope detection.
+//!
+//! The PAB node's downlink decoder is an analog envelope detector followed
+//! by a Schmitt trigger (§4.2.1); the hydrophone-side demodulator recovers
+//! the backscatter amplitude envelope after downconversion (Fig. 2). Both
+//! paths are modelled here.
+
+use crate::iir::butter_lowpass;
+use crate::mix::downconvert;
+use crate::DspError;
+
+/// Coherent-ish envelope via complex downconversion + low-pass magnitude.
+///
+/// This is the exact pipeline of the paper's Fig. 2: "received signal after
+/// demodulation and low-pass filtering".
+pub fn demodulate_envelope(
+    signal: &[f64],
+    carrier_hz: f64,
+    fs: f64,
+    cutoff_hz: f64,
+) -> Result<Vec<f64>, DspError> {
+    let bb = downconvert(signal, carrier_hz, fs);
+    let lp = butter_lowpass(4, cutoff_hz, fs)?;
+    let filtered = lp.filtfilt_complex(&bb);
+    // Factor 2 undoes the 1/2 amplitude scaling of real->complex mixing.
+    Ok(filtered.iter().map(|c| 2.0 * c.norm()).collect())
+}
+
+/// Asynchronous (diode-style) envelope: full-wave rectify then low-pass.
+/// Mirrors the node's analog detector, which has no carrier reference.
+pub fn rectified_envelope(
+    signal: &[f64],
+    fs: f64,
+    cutoff_hz: f64,
+) -> Result<Vec<f64>, DspError> {
+    let rect: Vec<f64> = signal.iter().map(|&x| x.abs()).collect();
+    let lp = butter_lowpass(2, cutoff_hz, fs)?;
+    // π/2 compensates the mean of |sin| = 2/π.
+    Ok(lp
+        .filtfilt(&rect)
+        .iter()
+        .map(|&x| x * std::f64::consts::FRAC_PI_2)
+        .collect())
+}
+
+/// Schmitt trigger: discretises an envelope into high/low with hysteresis,
+/// exactly as the TXB0302 trigger + level shifter does on the node.
+#[derive(Debug, Clone, Copy)]
+pub struct SchmittTrigger {
+    /// Rising threshold.
+    pub high_threshold: f64,
+    /// Falling threshold (must be < high_threshold).
+    pub low_threshold: f64,
+}
+
+impl SchmittTrigger {
+    /// Create a trigger; errors if thresholds are not ordered.
+    pub fn new(low_threshold: f64, high_threshold: f64) -> Result<Self, DspError> {
+        if !(low_threshold < high_threshold) {
+            return Err(DspError::InvalidParameter(
+                "low_threshold must be < high_threshold",
+            ));
+        }
+        Ok(SchmittTrigger {
+            high_threshold,
+            low_threshold,
+        })
+    }
+
+    /// Convert an envelope into a boolean level sequence. Starts low.
+    pub fn discretize(&self, envelope: &[f64]) -> Vec<bool> {
+        let mut state = false;
+        envelope
+            .iter()
+            .map(|&x| {
+                if state && x < self.low_threshold {
+                    state = false;
+                } else if !state && x > self.high_threshold {
+                    state = true;
+                }
+                state
+            })
+            .collect()
+    }
+}
+
+/// Edge events extracted from a discretised level sequence; the MCU's
+/// timer-capture interrupt sees exactly these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Edge {
+    /// Sample index at which the transition happened.
+    pub sample: usize,
+    /// `true` for a rising edge, `false` for falling.
+    pub rising: bool,
+}
+
+/// Extract all edges from a boolean level sequence.
+pub fn edges(levels: &[bool]) -> Vec<Edge> {
+    let mut out = Vec::new();
+    for i in 1..levels.len() {
+        if levels[i] != levels[i - 1] {
+            out.push(Edge {
+                sample: i,
+                rising: levels[i],
+            });
+        }
+    }
+    out
+}
+
+/// Reusable envelope-follower with a one-pole low-pass, for streaming use.
+#[derive(Debug, Clone)]
+pub struct EnvelopeFollower {
+    alpha: f64,
+    state: f64,
+}
+
+impl EnvelopeFollower {
+    /// Time-constant style constructor: `cutoff_hz` sets the smoothing pole.
+    pub fn new(cutoff_hz: f64, fs: f64) -> Result<Self, DspError> {
+        if !(cutoff_hz > 0.0 && cutoff_hz < fs / 2.0) {
+            return Err(DspError::FrequencyOutOfRange {
+                frequency_hz: cutoff_hz,
+                nyquist_hz: fs / 2.0,
+            });
+        }
+        let alpha = 1.0 - (-std::f64::consts::TAU * cutoff_hz / fs).exp();
+        Ok(EnvelopeFollower { alpha, state: 0.0 })
+    }
+
+    /// Process one sample, returning the current envelope estimate.
+    pub fn step(&mut self, x: f64) -> f64 {
+        self.state += self.alpha * (x.abs() - self.state);
+        self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mix::tone;
+
+    fn ask_signal(fs: f64, carrier: f64, high: f64, low: f64, half_period: usize) -> Vec<f64> {
+        // On-off-ish keyed carrier alternating between two amplitudes.
+        let n = half_period * 8;
+        let c = tone(carrier, fs, 0.0, n);
+        c.iter()
+            .enumerate()
+            .map(|(i, &x)| {
+                let amp = if (i / half_period).is_multiple_of(2) { high } else { low };
+                amp * x
+            })
+            .collect()
+    }
+
+    #[test]
+    fn demodulated_envelope_tracks_ask_levels() {
+        let fs = 192_000.0;
+        let sig = ask_signal(fs, 15_000.0, 1.0, 0.4, 19_200);
+        let env = demodulate_envelope(&sig, 15_000.0, fs, 500.0).unwrap();
+        // Sample mid-way through each state.
+        assert!((env[9_600] - 1.0).abs() < 0.05, "{}", env[9_600]);
+        assert!((env[28_800] - 0.4).abs() < 0.05, "{}", env[28_800]);
+    }
+
+    #[test]
+    fn rectified_envelope_tracks_amplitude() {
+        let fs = 192_000.0;
+        let sig = ask_signal(fs, 15_000.0, 0.8, 0.2, 19_200);
+        let env = rectified_envelope(&sig, fs, 400.0).unwrap();
+        assert!((env[9_600] - 0.8).abs() < 0.08);
+        assert!((env[28_800] - 0.2).abs() < 0.08);
+    }
+
+    #[test]
+    fn schmitt_trigger_has_hysteresis() {
+        let trig = SchmittTrigger::new(0.3, 0.7).unwrap();
+        let env = vec![0.0, 0.5, 0.8, 0.5, 0.4, 0.31, 0.2, 0.5, 0.9];
+        let lv = trig.discretize(&env);
+        // Rises only above 0.7; stays high through 0.31; falls below 0.3.
+        assert_eq!(
+            lv,
+            vec![false, false, true, true, true, true, false, false, true]
+        );
+    }
+
+    #[test]
+    fn schmitt_rejects_bad_thresholds() {
+        assert!(SchmittTrigger::new(0.7, 0.3).is_err());
+        assert!(SchmittTrigger::new(0.5, 0.5).is_err());
+    }
+
+    #[test]
+    fn edges_are_extracted_with_direction() {
+        let lv = vec![false, true, true, false, true];
+        let e = edges(&lv);
+        assert_eq!(
+            e,
+            vec![
+                Edge { sample: 1, rising: true },
+                Edge { sample: 3, rising: false },
+                Edge { sample: 4, rising: true },
+            ]
+        );
+    }
+
+    #[test]
+    fn follower_converges_to_rectified_mean_scale() {
+        let fs = 48_000.0;
+        let mut f = EnvelopeFollower::new(100.0, fs).unwrap();
+        let sig = tone(1_000.0, fs, 0.0, 48_000);
+        let mut last = 0.0;
+        for &x in &sig {
+            last = f.step(x);
+        }
+        // Converges near mean(|sin|) = 2/pi.
+        assert!((last - std::f64::consts::FRAC_2_PI).abs() < 0.05, "last={last}");
+    }
+}

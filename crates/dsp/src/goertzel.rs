@@ -1,0 +1,101 @@
+//! Goertzel single-bin DFT — a cheap way to measure energy at one known
+//! frequency, used by tests and by the recto-piezo frequency sweep where a
+//! full FFT per point would be wasteful.
+
+use num_complex::Complex64;
+use std::f64::consts::TAU;
+
+/// Complex DFT coefficient of `signal` at `freq_hz` (not normalised by N).
+pub fn goertzel(signal: &[f64], freq_hz: f64, fs: f64) -> Complex64 {
+    let n = signal.len();
+    if n == 0 {
+        return Complex64::new(0.0, 0.0);
+    }
+    let w = TAU * freq_hz / fs;
+    let coeff = 2.0 * w.cos();
+    let (mut s_prev, mut s_prev2) = (0.0_f64, 0.0_f64);
+    for &x in signal {
+        let s = x + coeff * s_prev - s_prev2;
+        s_prev2 = s_prev;
+        s_prev = s;
+    }
+    // y[N-1] phase-referenced to the start of the block.
+    let real = s_prev - s_prev2 * w.cos();
+    let imag = s_prev2 * w.sin();
+    let raw = Complex64::new(real, imag);
+    // Rotate so the phase matches a DFT evaluated at sample index 0.
+    raw * Complex64::from_polar(1.0, -w * (n as f64 - 1.0))
+}
+
+/// Amplitude of the sinusoidal component at `freq_hz` (a unit sine reads 1.0,
+/// assuming an integer number of periods fits the block).
+pub fn tone_amplitude(signal: &[f64], freq_hz: f64, fs: f64) -> f64 {
+    if signal.is_empty() {
+        return 0.0;
+    }
+    2.0 * goertzel(signal, freq_hz, fs).norm() / signal.len() as f64
+}
+
+/// Mean power of the component at `freq_hz` (unit sine reads 0.5).
+pub fn tone_power(signal: &[f64], freq_hz: f64, fs: f64) -> f64 {
+    let a = tone_amplitude(signal, freq_hz, fs);
+    a * a / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mix::tone;
+
+    #[test]
+    fn unit_sine_amplitude_reads_one() {
+        let fs = 48_000.0;
+        // 1 kHz: exactly 100 periods in 4800 samples.
+        let sig = tone(1_000.0, fs, 0.0, 4800);
+        let a = tone_amplitude(&sig, 1_000.0, fs);
+        assert!((a - 1.0).abs() < 1e-6, "a={a}");
+    }
+
+    #[test]
+    fn off_frequency_energy_is_small() {
+        let fs = 48_000.0;
+        let sig = tone(1_000.0, fs, 0.0, 4800);
+        let a = tone_amplitude(&sig, 3_000.0, fs);
+        assert!(a < 1e-6);
+    }
+
+    #[test]
+    fn amplitude_scales_linearly() {
+        let fs = 48_000.0;
+        let sig: Vec<f64> = tone(2_000.0, fs, 0.4, 4800).iter().map(|x| 3.5 * x).collect();
+        let a = tone_amplitude(&sig, 2_000.0, fs);
+        assert!((a - 3.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn power_of_unit_sine_is_half() {
+        let fs = 48_000.0;
+        let sig = tone(1_500.0, fs, 1.0, 9600);
+        assert!((tone_power(&sig, 1_500.0, fs) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn matches_fft_bin() {
+        let fs = 8_000.0;
+        let sig = tone(1_000.0, fs, 0.7, 64);
+        let g = goertzel(&sig, 1_000.0, fs);
+        let spectrum = crate::fft::fft(
+            &sig.iter()
+                .map(|&x| Complex64::new(x, 0.0))
+                .collect::<Vec<_>>(),
+        );
+        let bin = spectrum[8]; // 1000 Hz = bin 8 of 64 at 8 kHz.
+        assert!((g - bin).norm() < 1e-6, "g={g} bin={bin}");
+    }
+
+    #[test]
+    fn empty_signal_reads_zero() {
+        assert_eq!(tone_amplitude(&[], 100.0, 1_000.0), 0.0);
+        assert_eq!(goertzel(&[], 100.0, 1_000.0).norm(), 0.0);
+    }
+}

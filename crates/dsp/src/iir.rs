@@ -1,0 +1,377 @@
+//! IIR filters: biquad sections, Butterworth designs, and zero-phase
+//! (forward-backward) filtering.
+//!
+//! The PAB receiver "employs a Butterworth filter on each of the receive
+//! channels to isolate the signal of interest and reduce interference from
+//! concurrent transmissions" (§5.1(b)). [`butter_lowpass`] /
+//! [`butter_highpass`] implement standard bilinear-transform Butterworth
+//! designs; [`butter_bandpass`] is a high-pass/low-pass cascade (documented
+//! approximation). [`Cascade::filtfilt`] provides the zero-phase offline
+//! filtering MATLAB's `filtfilt` would have supplied in the paper's decoder.
+
+use crate::DspError;
+use num_complex::Complex64;
+
+/// One second-order (biquad) section in Direct Form II transposed.
+///
+/// Transfer function `H(z) = (b0 + b1 z^-1 + b2 z^-2) / (1 + a1 z^-1 + a2 z^-2)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Biquad {
+    /// Numerator coefficients.
+    pub b: [f64; 3],
+    /// Denominator coefficients `[a1, a2]` (a0 normalised to 1).
+    pub a: [f64; 2],
+}
+
+impl Biquad {
+    /// Identity (pass-through) section.
+    pub fn identity() -> Self {
+        Biquad {
+            b: [1.0, 0.0, 0.0],
+            a: [0.0, 0.0],
+        }
+    }
+
+    /// Evaluate the magnitude response at `freq_hz` for sample rate `fs`.
+    pub fn magnitude_at(&self, freq_hz: f64, fs: f64) -> f64 {
+        let w = std::f64::consts::TAU * freq_hz / fs;
+        let z1 = Complex64::from_polar(1.0, -w);
+        let z2 = z1 * z1;
+        let num = Complex64::new(self.b[0], 0.0) + z1 * self.b[1] + z2 * self.b[2];
+        let den = Complex64::new(1.0, 0.0) + z1 * self.a[0] + z2 * self.a[1];
+        (num / den).norm()
+    }
+}
+
+/// Per-section run state for streaming filtering.
+#[derive(Debug, Clone, Copy, Default)]
+struct BiquadState {
+    s1: f64,
+    s2: f64,
+}
+
+impl BiquadState {
+    #[inline]
+    fn step(&mut self, c: &Biquad, x: f64) -> f64 {
+        let y = c.b[0] * x + self.s1;
+        self.s1 = c.b[1] * x - c.a[0] * y + self.s2;
+        self.s2 = c.b[2] * x - c.a[1] * y;
+        y
+    }
+}
+
+/// A cascade of biquad sections (second-order-sections filter).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cascade {
+    sections: Vec<Biquad>,
+}
+
+impl Cascade {
+    /// Build from explicit sections.
+    pub fn new(sections: Vec<Biquad>) -> Self {
+        Cascade { sections }
+    }
+
+    /// The biquad sections of this cascade.
+    pub fn sections(&self) -> &[Biquad] {
+        &self.sections
+    }
+
+    /// Number of cascaded biquad sections. First-order analog prototypes
+    /// appear as biquads with a pole/zero cancellation at z = -1, so this
+    /// is `ceil(order / 2)` for the designs in this module.
+    pub fn num_sections(&self) -> usize {
+        self.sections.len()
+    }
+
+    /// Causal (single-pass) filtering with zero initial state.
+    pub fn filter(&self, x: &[f64]) -> Vec<f64> {
+        let mut states = vec![BiquadState::default(); self.sections.len()];
+        x.iter()
+            .map(|&xi| {
+                let mut v = xi;
+                for (c, st) in self.sections.iter().zip(states.iter_mut()) {
+                    v = st.step(c, v);
+                }
+                v
+            })
+            .collect()
+    }
+
+    /// Zero-phase forward-backward filtering with odd-reflection edge
+    /// padding (the shape MATLAB/scipy `filtfilt` uses). Suitable for the
+    /// offline decoding pipeline; not causal.
+    pub fn filtfilt(&self, x: &[f64]) -> Vec<f64> {
+        if x.is_empty() {
+            return Vec::new();
+        }
+        let pad = (3 * (2 * self.sections.len() + 1)).min(x.len().saturating_sub(1));
+        let n = x.len();
+        let mut ext = Vec::with_capacity(n + 2 * pad);
+        // Odd reflection about the first/last sample reduces edge transients.
+        for i in (1..=pad).rev() {
+            ext.push(2.0 * x[0] - x[i]);
+        }
+        ext.extend_from_slice(x);
+        for i in 1..=pad {
+            ext.push(2.0 * x[n - 1] - x[n - 1 - i]);
+        }
+        let fwd = self.filter(&ext);
+        let mut rev: Vec<f64> = fwd.into_iter().rev().collect();
+        rev = self.filter(&rev);
+        rev.reverse();
+        rev[pad..pad + n].to_vec()
+    }
+
+    /// Filter a complex signal (real and imaginary parts independently).
+    pub fn filter_complex(&self, x: &[Complex64]) -> Vec<Complex64> {
+        let re: Vec<f64> = x.iter().map(|c| c.re).collect();
+        let im: Vec<f64> = x.iter().map(|c| c.im).collect();
+        let fr = self.filter(&re);
+        let fi = self.filter(&im);
+        fr.into_iter()
+            .zip(fi)
+            .map(|(r, i)| Complex64::new(r, i))
+            .collect()
+    }
+
+    /// Zero-phase filtering of a complex signal.
+    pub fn filtfilt_complex(&self, x: &[Complex64]) -> Vec<Complex64> {
+        let re: Vec<f64> = x.iter().map(|c| c.re).collect();
+        let im: Vec<f64> = x.iter().map(|c| c.im).collect();
+        let fr = self.filtfilt(&re);
+        let fi = self.filtfilt(&im);
+        fr.into_iter()
+            .zip(fi)
+            .map(|(r, i)| Complex64::new(r, i))
+            .collect()
+    }
+
+    /// Magnitude response of the full cascade at `freq_hz`.
+    pub fn magnitude_at(&self, freq_hz: f64, fs: f64) -> f64 {
+        self.sections
+            .iter()
+            .map(|s| s.magnitude_at(freq_hz, fs))
+            .product()
+    }
+}
+
+/// Analog biquad `(b2 s^2 + b1 s + b0) / (a2 s^2 + a1 s + a0)` mapped to a
+/// digital [`Biquad`] via the bilinear transform with `K = 2 fs`.
+fn bilinear(b: [f64; 3], a: [f64; 3], fs: f64) -> Biquad {
+    let k = 2.0 * fs;
+    let k2 = k * k;
+    let (b0, b1, b2) = (b[0], b[1], b[2]);
+    let (a0, a1, a2) = (a[0], a[1], a[2]);
+    let nd0 = b2 * k2 + b1 * k + b0;
+    let nd1 = -2.0 * b2 * k2 + 2.0 * b0;
+    let nd2 = b2 * k2 - b1 * k + b0;
+    let dd0 = a2 * k2 + a1 * k + a0;
+    let dd1 = -2.0 * a2 * k2 + 2.0 * a0;
+    let dd2 = a2 * k2 - a1 * k + a0;
+    Biquad {
+        b: [nd0 / dd0, nd1 / dd0, nd2 / dd0],
+        a: [dd1 / dd0, dd2 / dd0],
+    }
+}
+
+fn check_freq(freq_hz: f64, fs: f64) -> Result<(), DspError> {
+    if !(fs > 0.0) {
+        return Err(DspError::InvalidParameter("fs must be positive"));
+    }
+    if !(freq_hz > 0.0 && freq_hz < fs / 2.0) {
+        return Err(DspError::FrequencyOutOfRange {
+            frequency_hz: freq_hz,
+            nyquist_hz: fs / 2.0,
+        });
+    }
+    Ok(())
+}
+
+/// Butterworth analog prototype poles (left half plane, |p| = 1) for order
+/// `n`, as (real, imag) pairs; conjugates implied for imag != 0.
+fn prototype_poles(n: usize) -> Vec<Complex64> {
+    let mut poles = Vec::new();
+    let nf = n as f64;
+    for k in 1..=(n / 2) {
+        let theta = std::f64::consts::PI * (2.0 * k as f64 + nf - 1.0) / (2.0 * nf);
+        poles.push(Complex64::new(theta.cos(), theta.sin()));
+    }
+    if n % 2 == 1 {
+        poles.push(Complex64::new(-1.0, 0.0));
+    }
+    poles
+}
+
+/// Design an order-`n` Butterworth low-pass filter with -3 dB cutoff
+/// `cutoff_hz` at sample rate `fs`.
+pub fn butter_lowpass(n: usize, cutoff_hz: f64, fs: f64) -> Result<Cascade, DspError> {
+    if n == 0 || n > 16 {
+        return Err(DspError::InvalidOrder(n));
+    }
+    check_freq(cutoff_hz, fs)?;
+    // Pre-warp the cutoff so the digital -3 dB point lands on cutoff_hz.
+    let wc = 2.0 * fs * (std::f64::consts::PI * cutoff_hz / fs).tan();
+    let mut sections = Vec::new();
+    for p in prototype_poles(n) {
+        if p.im.abs() < 1e-12 {
+            // First-order section: H(s) = wc / (s + wc).
+            sections.push(bilinear([wc, 0.0, 0.0], [wc, 1.0, 0.0], fs));
+        } else {
+            // H(s) = wc^2 / (s^2 - 2 Re(p) wc s + wc^2).
+            sections.push(bilinear(
+                [wc * wc, 0.0, 0.0],
+                [wc * wc, -2.0 * p.re * wc, 1.0],
+                fs,
+            ));
+        }
+    }
+    Ok(Cascade::new(sections))
+}
+
+/// Design an order-`n` Butterworth high-pass filter with -3 dB cutoff
+/// `cutoff_hz` at sample rate `fs`.
+pub fn butter_highpass(n: usize, cutoff_hz: f64, fs: f64) -> Result<Cascade, DspError> {
+    if n == 0 || n > 16 {
+        return Err(DspError::InvalidOrder(n));
+    }
+    check_freq(cutoff_hz, fs)?;
+    let wc = 2.0 * fs * (std::f64::consts::PI * cutoff_hz / fs).tan();
+    let mut sections = Vec::new();
+    for p in prototype_poles(n) {
+        if p.im.abs() < 1e-12 {
+            // H(s) = s / (s + wc).
+            sections.push(bilinear([0.0, 1.0, 0.0], [wc, 1.0, 0.0], fs));
+        } else {
+            // H(s) = s^2 / (s^2 - 2 Re(p) wc s + wc^2).
+            sections.push(bilinear(
+                [0.0, 0.0, 1.0],
+                [wc * wc, -2.0 * p.re * wc, 1.0],
+                fs,
+            ));
+        }
+    }
+    Ok(Cascade::new(sections))
+}
+
+/// Band-pass filter built as a cascade of an order-`n` Butterworth
+/// high-pass at `low_hz` and an order-`n` low-pass at `high_hz`.
+///
+/// This is not the analytic band-pass Butterworth transform, but for the
+/// well-separated band edges used in the PAB receiver (kHz-wide channels)
+/// the passband/stopband behaviour is equivalent for our purposes.
+pub fn butter_bandpass(
+    n: usize,
+    low_hz: f64,
+    high_hz: f64,
+    fs: f64,
+) -> Result<Cascade, DspError> {
+    if !(low_hz < high_hz) {
+        return Err(DspError::InvalidParameter("low_hz must be < high_hz"));
+    }
+    let hp = butter_highpass(n, low_hz, fs)?;
+    let lp = butter_lowpass(n, high_hz, fs)?;
+    let mut sections = hp.sections;
+    sections.extend(lp.sections);
+    Ok(Cascade::new(sections))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mix::tone;
+    use crate::stats::rms;
+
+    #[test]
+    fn lowpass_minus_3db_at_cutoff() {
+        let f = butter_lowpass(4, 2_000.0, 48_000.0).unwrap();
+        let mag = f.magnitude_at(2_000.0, 48_000.0);
+        assert!((20.0 * mag.log10() + 3.0103).abs() < 0.1, "mag {mag}");
+        assert!(f.magnitude_at(100.0, 48_000.0) > 0.999);
+        assert!(f.magnitude_at(10_000.0, 48_000.0) < 0.01);
+    }
+
+    #[test]
+    fn highpass_minus_3db_at_cutoff() {
+        let f = butter_highpass(4, 2_000.0, 48_000.0).unwrap();
+        let mag = f.magnitude_at(2_000.0, 48_000.0);
+        assert!((20.0 * mag.log10() + 3.0103).abs() < 0.1);
+        assert!(f.magnitude_at(20_000.0, 48_000.0) > 0.99);
+        assert!(f.magnitude_at(200.0, 48_000.0) < 0.01);
+    }
+
+    #[test]
+    fn odd_order_designs_work() {
+        let f = butter_lowpass(5, 1_000.0, 48_000.0).unwrap();
+        assert_eq!(f.num_sections(), 3);
+        let mag = f.magnitude_at(1_000.0, 48_000.0);
+        assert!((20.0 * mag.log10() + 3.0103).abs() < 0.1);
+    }
+
+    #[test]
+    fn bandpass_passes_band_rejects_outside() {
+        let f = butter_bandpass(4, 14_000.0, 16_000.0, 192_000.0).unwrap();
+        // The HP+LP cascade droops in a narrow passband (documented), and
+        // order-4 Butterworth skirts fall off gradually near the edges but
+        // reach deep attenuation an octave out.
+        assert!(f.magnitude_at(15_000.0, 192_000.0) > 0.5);
+        assert!(f.magnitude_at(11_000.0, 192_000.0) < 0.4);
+        assert!(f.magnitude_at(19_000.0, 192_000.0) < 0.5);
+        assert!(f.magnitude_at(5_000.0, 192_000.0) < 0.02);
+        assert!(f.magnitude_at(40_000.0, 192_000.0) < 0.02);
+    }
+
+    #[test]
+    fn filtering_attenuates_out_of_band_tone() {
+        let fs = 48_000.0;
+        let f = butter_lowpass(6, 1_000.0, fs).unwrap();
+        let hi = tone(8_000.0, fs, 0.0, 4800);
+        let lo = tone(200.0, fs, 0.0, 4800);
+        let hi_out = f.filter(&hi);
+        let lo_out = f.filter(&lo);
+        assert!(rms(&hi_out[2400..]) < 0.001);
+        assert!((rms(&lo_out[2400..]) - rms(&lo[2400..])).abs() < 0.01);
+    }
+
+    #[test]
+    fn filtfilt_has_zero_phase_delay() {
+        let fs = 48_000.0;
+        let f = butter_lowpass(4, 2_000.0, fs).unwrap();
+        let sig = tone(500.0, fs, 0.0, 4800);
+        let out = f.filtfilt(&sig);
+        // No group delay: the in-band tone should align sample-for-sample.
+        for i in 1000..3800 {
+            assert!((out[i] - sig[i]).abs() < 0.01, "mismatch at {i}");
+        }
+    }
+
+    #[test]
+    fn filtfilt_handles_short_and_empty_inputs() {
+        let f = butter_lowpass(2, 100.0, 1_000.0).unwrap();
+        assert!(f.filtfilt(&[]).is_empty());
+        let out = f.filtfilt(&[1.0, 1.0, 1.0]);
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn rejects_invalid_parameters() {
+        assert!(butter_lowpass(0, 100.0, 1_000.0).is_err());
+        assert!(butter_lowpass(4, 600.0, 1_000.0).is_err());
+        assert!(butter_lowpass(4, -5.0, 1_000.0).is_err());
+        assert!(butter_bandpass(2, 500.0, 400.0, 48_000.0).is_err());
+    }
+
+    #[test]
+    fn complex_filtering_matches_separate_parts() {
+        let f = butter_lowpass(3, 1_000.0, 48_000.0).unwrap();
+        let x: Vec<Complex64> = (0..512)
+            .map(|i| Complex64::new((i as f64 * 0.1).sin(), (i as f64 * 0.05).cos()))
+            .collect();
+        let y = f.filter_complex(&x);
+        let re: Vec<f64> = x.iter().map(|c| c.re).collect();
+        let yr = f.filter(&re);
+        for (a, b) in y.iter().zip(&yr) {
+            assert!((a.re - b).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Decimation and fractional delay.
+//!
+//! The acoustic channel applies propagation delays that are not integer
+//! numbers of samples; [`fractional_delay`] implements the linear-
+//! interpolation delay line used by the channel simulator. [`decimate`]
+//! provides anti-aliased sample-rate reduction for the receiver's
+//! post-downconversion processing.
+
+use crate::fir::Fir;
+use crate::window::Window;
+use crate::DspError;
+
+/// Delay a signal by `delay_samples` (may be fractional, must be >= 0),
+/// using linear interpolation between neighbouring samples. The output has
+/// the same length as the input; the signal is zero before it "arrives".
+pub fn fractional_delay(x: &[f64], delay_samples: f64) -> Result<Vec<f64>, DspError> {
+    if !(delay_samples >= 0.0) || !delay_samples.is_finite() {
+        return Err(DspError::InvalidParameter(
+            "delay_samples must be finite and non-negative",
+        ));
+    }
+    let int = delay_samples.floor() as usize;
+    let frac = delay_samples - delay_samples.floor();
+    let n = x.len();
+    let mut y = vec![0.0; n];
+    #[allow(clippy::needless_range_loop)] // index math mirrors the formula
+    for i in 0..n {
+        // y[i] = x[i - delay] interpolated.
+        if i < int {
+            continue;
+        }
+        let j = i - int;
+        let a = x[j];
+        let b = if j >= 1 { x[j - 1] } else { 0.0 };
+        y[i] = a * (1.0 - frac) + b * frac;
+    }
+    Ok(y)
+}
+
+/// Add `src` delayed by `delay_samples` and scaled by `gain` into `dst`
+/// without allocating. Samples that fall beyond `dst` are dropped.
+pub fn add_delayed_scaled(dst: &mut [f64], src: &[f64], delay_samples: f64, gain: f64) {
+    if !(delay_samples >= 0.0) || gain == 0.0 {
+        return;
+    }
+    let int = delay_samples.floor() as usize;
+    let frac = delay_samples - delay_samples.floor();
+    for (j, &s) in src.iter().enumerate() {
+        // Contribution of src[j] lands at dst[j + int] (weight 1-frac) and
+        // dst[j + int + 1] (weight frac).
+        let i0 = j + int;
+        if i0 < dst.len() {
+            dst[i0] += gain * s * (1.0 - frac);
+        }
+        let i1 = i0 + 1;
+        if frac > 0.0 && i1 < dst.len() {
+            dst[i1] += gain * s * frac;
+        }
+    }
+}
+
+/// Anti-aliased decimation by integer factor `m`: low-pass at 80% of the
+/// new Nyquist, then keep every m-th sample. Returns the decimated signal.
+pub fn decimate(x: &[f64], m: usize, fs: f64) -> Result<Vec<f64>, DspError> {
+    if m == 0 {
+        return Err(DspError::InvalidParameter("decimation factor must be >= 1"));
+    }
+    if m == 1 {
+        return Ok(x.to_vec());
+    }
+    let new_nyquist = fs / (2.0 * m as f64);
+    let f = Fir::lowpass(127, 0.8 * new_nyquist, fs, Window::Hamming)?;
+    let filtered = f.filter(x);
+    Ok(filtered.iter().step_by(m).copied().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::goertzel::tone_amplitude;
+    use crate::mix::tone;
+
+    #[test]
+    fn integer_delay_shifts_exactly() {
+        let x = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        let y = fractional_delay(&x, 2.0).unwrap();
+        assert_eq!(y, vec![0.0, 0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn half_sample_delay_interpolates() {
+        let x = vec![0.0, 1.0, 0.0, 0.0];
+        let y = fractional_delay(&x, 0.5).unwrap();
+        assert_eq!(y, vec![0.0, 0.5, 0.5, 0.0]);
+    }
+
+    #[test]
+    fn fractional_delay_of_tone_shifts_phase() {
+        let fs = 48_000.0;
+        let f = 1_000.0;
+        let x = tone(f, fs, 0.0, 4800);
+        let d = 7.3;
+        let y = fractional_delay(&x, d).unwrap();
+        // Compare against analytically delayed tone (skip the transient).
+        let expected = tone(f, fs, -std::f64::consts::TAU * f / fs * d, 4800);
+        for i in 100..4700 {
+            assert!((y[i] - expected[i]).abs() < 0.01, "at {i}");
+        }
+    }
+
+    #[test]
+    fn add_delayed_scaled_superposes() {
+        let src = vec![1.0, 1.0];
+        let mut dst = vec![0.0; 6];
+        add_delayed_scaled(&mut dst, &src, 1.0, 0.5);
+        add_delayed_scaled(&mut dst, &src, 3.5, 1.0);
+        assert_eq!(dst, vec![0.0, 0.5, 0.5, 0.5, 1.0, 0.5]);
+    }
+
+    #[test]
+    fn decimate_preserves_in_band_tone() {
+        let fs = 48_000.0;
+        let x = tone(1_000.0, fs, 0.0, 9600);
+        let y = decimate(&x, 4, fs).unwrap();
+        assert_eq!(y.len(), 2400);
+        let a = tone_amplitude(&y[600..], 1_000.0, fs / 4.0);
+        assert!((a - 1.0).abs() < 0.05, "a={a}");
+    }
+
+    #[test]
+    fn decimate_removes_aliasing_tone() {
+        let fs = 48_000.0;
+        // 10 kHz would alias after /4 (new Nyquist 6 kHz) if not filtered.
+        let x = tone(10_000.0, fs, 0.0, 9600);
+        let y = decimate(&x, 4, fs).unwrap();
+        let alias = tone_amplitude(&y[600..], 2_000.0, fs / 4.0);
+        assert!(alias < 0.01, "alias={alias}");
+    }
+
+    #[test]
+    fn rejects_invalid_parameters() {
+        assert!(fractional_delay(&[1.0], -1.0).is_err());
+        assert!(fractional_delay(&[1.0], f64::NAN).is_err());
+        assert!(decimate(&[1.0], 0, 48_000.0).is_err());
+    }
+}

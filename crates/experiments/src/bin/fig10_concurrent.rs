@@ -1,0 +1,94 @@
+//! Fig. 10 — SINR of concurrent backscatter transmissions before and
+//! after MIMO projection, at 8 node/hydrophone placements.
+//!
+//! Paper claims: before projection the SINR is low (< 3 dB across
+//! trials) because backscatter is frequency-agnostic and the two nodes
+//! collide at both carriers; after channel inversion the SINR exceeds
+//! 3 dB, making the collision decodable and doubling network throughput.
+
+use pab_channel::Position;
+use pab_core::network::{ConcurrentConfig, ConcurrentSimulator};
+use pab_experiments::{banner, write_csv};
+
+fn main() {
+    banner(
+        "Fig. 10 — SINR before/after projection at 8 locations",
+        "before projection < 3 dB in interference-heavy placements; \
+         projection raises SINR and decodes the collision",
+    );
+    // Eight placements inside Pool A where both nodes power up.
+    let placements = [
+        (Position::new(1.6, 1.0, 0.6), Position::new(1.4, 2.0, 0.7), Position::new(1.0, 1.5, 0.5)),
+        (Position::new(1.2, 1.3, 0.6), Position::new(2.2, 1.7, 0.6), Position::new(1.6, 1.5, 0.6)),
+        (Position::new(2.0, 1.6, 0.5), Position::new(1.3, 1.2, 0.8), Position::new(1.7, 2.0, 0.7)),
+        (Position::new(2.2, 1.2, 0.6), Position::new(1.6, 1.9, 0.6), Position::new(1.3, 1.5, 0.7)),
+        (Position::new(1.7, 2.1, 0.5), Position::new(1.2, 1.4, 0.7), Position::new(2.0, 1.7, 0.6)),
+        (Position::new(1.3, 2.0, 0.6), Position::new(2.0, 1.3, 0.6), Position::new(1.6, 1.7, 0.8)),
+        (Position::new(1.2, 1.8, 0.5), Position::new(1.8, 1.1, 0.6), Position::new(1.4, 1.3, 0.4)),
+        (Position::new(1.0, 1.3, 0.6), Position::new(1.7, 1.8, 0.5), Position::new(1.3, 2.0, 0.7)),
+    ];
+
+    println!(
+        "{:>4} {:>16} {:>16} {:>12} {:>8}",
+        "loc", "before (dB)", "after (dB)", "crc ok", "cond"
+    );
+    let mut rows = Vec::new();
+    let mut improved = 0;
+    let mut after_above_3 = 0;
+    let mut measured = 0;
+    for (i, (n1, n2, h)) in placements.iter().enumerate() {
+        let cfg = ConcurrentConfig {
+            node1_pos: *n1,
+            node2_pos: *n2,
+            hydrophone_pos: *h,
+            ..Default::default()
+        };
+        let mut sim = ConcurrentSimulator::new(cfg).expect("sim");
+        match sim.run() {
+            Ok(r) => {
+                measured += 1;
+                let worst_before = r.sinr_before_db[0].min(r.sinr_before_db[1]);
+                let worst_after = r.sinr_after_db[0].min(r.sinr_after_db[1]);
+                if worst_after > worst_before {
+                    improved += 1;
+                }
+                if worst_after > 3.0 {
+                    after_above_3 += 1;
+                }
+                rows.push(format!(
+                    "{i},{:.2},{:.2},{:.2},{:.2},{},{},{:.2}",
+                    r.sinr_before_db[0],
+                    r.sinr_before_db[1],
+                    r.sinr_after_db[0],
+                    r.sinr_after_db[1],
+                    r.crc_ok[0],
+                    r.crc_ok[1],
+                    r.condition_number
+                ));
+                println!(
+                    "{i:>4} [{:>6.1} {:>6.1}] [{:>6.1} {:>6.1}] [{:>5} {:>5}] {:>8.2}",
+                    r.sinr_before_db[0],
+                    r.sinr_before_db[1],
+                    r.sinr_after_db[0],
+                    r.sinr_after_db[1],
+                    r.crc_ok[0],
+                    r.crc_ok[1],
+                    r.condition_number
+                );
+            }
+            Err(e) => {
+                rows.push(format!("{i},,,,,,,{e}"));
+                println!("{i:>4} (skipped: {e})");
+            }
+        }
+    }
+    let path = write_csv(
+        "fig10_concurrent.csv",
+        "location,before1_db,before2_db,after1_db,after2_db,crc1,crc2,condition_number",
+        &rows,
+    );
+    println!();
+    println!("worst-stream SINR improved by projection at {improved}/{measured} locations");
+    println!("worst-stream SINR > 3 dB after projection at {after_above_3}/{measured} locations");
+    println!("csv: {}", path.display());
+}

@@ -1,0 +1,90 @@
+//! Fig. 11 — node power consumption vs backscatter bitrate.
+//!
+//! Paper claims: 124 µW in idle (waiting for a downlink edge, LPM3 with
+//! pins held high + LDO quiescent); ~500 µW while backscattering at any
+//! rate from 100 bps to 3 kbps (the MCU is in active mode regardless of
+//! rate; switching energy itself is negligible).
+
+use pab_experiments::{banner, write_csv};
+use pab_mcu::{Clock, Firmware, Mcu, McuServices, Pin, PinLevel, PowerProfile};
+use pab_net::fm0;
+
+/// Firmware that immediately backscatters a pseudorandom FM0 stream at a
+/// fixed divider (the §6.4 bench configuration: the node is wired to a
+/// source meter and told to transmit continuously).
+struct BenchFirmware {
+    divider: u64,
+    halves: Vec<bool>,
+    idx: usize,
+}
+
+impl Firmware for BenchFirmware {
+    fn on_reset(&mut self, svc: &mut McuServices) {
+        svc.set_pin(Pin::PullDown, PinLevel::High);
+        let period = svc.clock().ticks_to_seconds(self.divider);
+        svc.set_timer_periodic(period).expect("period > 0");
+        svc.stay_active();
+    }
+    fn on_edge(&mut self, _svc: &mut McuServices, _rising: bool) {}
+    fn on_timer(&mut self, svc: &mut McuServices) {
+        let level = if self.halves[self.idx % self.halves.len()] {
+            PinLevel::High
+        } else {
+            PinLevel::Low
+        };
+        svc.set_pin(Pin::BackscatterSwitch, level);
+        self.idx += 1;
+    }
+}
+
+fn measure_backscatter_power(divider: u64) -> f64 {
+    // Pseudorandom data bits.
+    let bits: Vec<bool> = (0..512u32).map(|i| (i.wrapping_mul(2654435761) >> 16) & 1 == 1).collect();
+    let fw = BenchFirmware {
+        divider,
+        halves: fm0::encode(&bits, false),
+        idx: 0,
+    };
+    let mut mcu = Mcu::new(fw, PowerProfile::pab_node());
+    mcu.reset();
+    mcu.run_until(10.0);
+    mcu.services.power_meter().average_power_w()
+}
+
+fn measure_idle_power() -> f64 {
+    struct Idle;
+    impl Firmware for Idle {
+        fn on_reset(&mut self, svc: &mut McuServices) {
+            svc.set_pin(Pin::PullDown, PinLevel::High);
+            svc.enter_low_power();
+        }
+        fn on_edge(&mut self, _svc: &mut McuServices, _r: bool) {}
+        fn on_timer(&mut self, _svc: &mut McuServices) {}
+    }
+    let mut mcu = Mcu::new(Idle, PowerProfile::pab_node());
+    mcu.reset();
+    mcu.run_until(10.0);
+    mcu.services.power_meter().average_power_w()
+}
+
+fn main() {
+    banner(
+        "Fig. 11 — power consumption vs backscatter bitrate",
+        "idle 124 µW; ~500 µW while backscattering at 100 bps – 3 kbps",
+    );
+    let clock = Clock::watch_crystal();
+    let idle = measure_idle_power();
+    println!("{:>12} {:>14}", "bitrate", "power (µW)");
+    println!("{:>12} {:>14.1}", "idle", idle * 1e6);
+    let mut rows = vec![format!("idle,{:.3}", idle * 1e6)];
+    for target in [100.0, 200.0, 400.0, 500.0, 1_000.0, 1_500.0, 2_000.0, 2_500.0, 3_000.0] {
+        let divider = clock.divider_for_bitrate(target).expect("divider");
+        let actual = clock.bitrate_for_divider(divider).expect("bitrate");
+        let p = measure_backscatter_power(divider);
+        rows.push(format!("{actual:.1},{:.3}", p * 1e6));
+        println!("{actual:>12.1} {:>14.1}", p * 1e6);
+    }
+    let path = write_csv("fig11_power.csv", "bitrate_bps,power_uw", &rows);
+    println!();
+    println!("csv: {}", path.display());
+}

@@ -1,0 +1,86 @@
+//! # pab-mcu — event-driven ultra-low-power MCU emulation
+//!
+//! The PAB node's digital brain is an MSP430G2553 (§4.2.2): it wakes on a
+//! falling edge from the downlink envelope detector, measures pulse widths
+//! with a timer to decode PWM, then drives the backscatter switch through a
+//! GPIO pin at the configured bitrate using FM0 timing, and talks to
+//! sensors over ADC/I2C. This crate emulates that device at the level the
+//! system needs:
+//!
+//! * [`clock`] — the 32.768 kHz crystal and the integer-divider bitrate
+//!   grid (the paper's footnote 13: "the resolution with which we can vary
+//!   the bitrate depends on the integer clock divider");
+//! * [`power`] — power states (active / LPM3), current model, and the
+//!   [`power::PowerMeter`] that reproduces the Fig. 11 measurements;
+//! * [`gpio`] — output pins (switch control, pull-down) with a transition
+//!   log that the acoustic simulation rasterises into a switch waveform,
+//!   and edge-interrupt inputs;
+//! * [`peripherals`] — a 10-bit ADC and an I2C master with pluggable
+//!   device models (implemented by `pab-sensors`);
+//! * [`mcu`] — the event loop: timers, interrupts, and the [`Firmware`]
+//!   trait node firmware implements.
+//!
+//! Time is `f64` seconds throughout (the acoustic simulation is the master
+//! clock; at 192 kHz sampling, one sample is ~5.2 µs).
+//!
+//! ```
+//! use pab_mcu::Clock;
+//!
+//! // Footnote 13: only integer-divider bitrates are reachable. The
+//! // paper's odd "2.8 kbps" point is the divider-6 grid point.
+//! let clock = Clock::watch_crystal();
+//! assert_eq!(clock.divider_for_bitrate(2_800.0).unwrap(), 6);
+//! assert!((clock.bitrate_for_divider(6).unwrap() - 2730.67).abs() < 0.1);
+//! ```
+// `!(x > 0.0)` is used deliberately throughout: unlike `x <= 0.0` it is
+// also true for NaN, so one guard rejects non-positive *and* non-numeric
+// parameters.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+
+
+pub mod clock;
+pub mod gpio;
+pub mod mcu;
+pub mod peripherals;
+pub mod power;
+
+pub use clock::Clock;
+pub use gpio::{Pin, PinLevel, PinTransition};
+pub use mcu::{Firmware, Mcu, McuServices};
+pub use peripherals::{AnalogSource, I2cDevice, I2cError};
+pub use power::{PowerMeter, PowerProfile, PowerState};
+
+/// Errors from the MCU emulator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum McuError {
+    /// Parameter must be positive.
+    NonPositive(&'static str),
+    /// No I2C device acknowledged the address.
+    I2cNoDevice(u8),
+    /// A timer was configured with a zero period.
+    ZeroTimerPeriod,
+}
+
+impl std::fmt::Display for McuError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            McuError::NonPositive(what) => write!(f, "{what} must be positive"),
+            McuError::I2cNoDevice(addr) => write!(f, "no I2C device at 0x{addr:02x}"),
+            McuError::ZeroTimerPeriod => write!(f, "timer period must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for McuError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display() {
+        assert!(McuError::NonPositive("dt").to_string().contains("dt"));
+        assert!(McuError::I2cNoDevice(0x76).to_string().contains("76"));
+        assert!(McuError::ZeroTimerPeriod.to_string().contains("period"));
+    }
+}

@@ -1,0 +1,189 @@
+//! ADC and I2C peripherals.
+//!
+//! §4.2.2: "The ADC pin is used for sampling analog sensors and the I2C
+//! protocol is used to communicate with digital sensors." Device models
+//! (the pH AFE and the MS5837) live in `pab-sensors` and implement the
+//! [`I2cDevice`] / [`AnalogSource`] traits.
+
+use crate::McuError;
+
+/// Something the ADC can sample: a voltage as a function of time.
+pub trait AnalogSource {
+    /// Instantaneous output voltage at simulation time `time_s`.
+    fn voltage_at(&mut self, time_s: f64) -> f64;
+}
+
+impl<F: FnMut(f64) -> f64> AnalogSource for F {
+    fn voltage_at(&mut self, time_s: f64) -> f64 {
+        self(time_s)
+    }
+}
+
+/// A 10-bit successive-approximation ADC (the MSP430's ADC10).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Adc {
+    /// Reference voltage, volts (full scale).
+    pub vref: f64,
+    /// Resolution in bits.
+    pub bits: u32,
+}
+
+impl Adc {
+    /// The node's ADC10 with a 1.5 V internal reference.
+    pub fn adc10() -> Self {
+        Adc { vref: 1.5, bits: 10 }
+    }
+
+    /// Convert a voltage to an output code, clamping to the rails.
+    pub fn convert(&self, volts: f64) -> u16 {
+        let max_code = (1u32 << self.bits) - 1;
+        let clamped = volts.clamp(0.0, self.vref);
+        ((clamped / self.vref) * max_code as f64).round() as u16
+    }
+
+    /// Convert a code back to a voltage (for firmware math).
+    pub fn code_to_volts(&self, code: u16) -> f64 {
+        let max_code = (1u32 << self.bits) - 1;
+        (code.min(max_code as u16) as f64 / max_code as f64) * self.vref
+    }
+}
+
+/// I2C transaction errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum I2cError {
+    /// No device acknowledged.
+    Nack,
+    /// Device rejected the register or command.
+    InvalidCommand(u8),
+}
+
+/// A register-level I2C slave device model.
+pub trait I2cDevice {
+    /// 7-bit device address.
+    fn address(&self) -> u8;
+    /// Handle a write of `bytes` (first byte is usually a register or
+    /// command).
+    fn write(&mut self, bytes: &[u8]) -> Result<(), I2cError>;
+    /// Handle a read of `len` bytes from the current register pointer.
+    fn read(&mut self, len: usize) -> Result<Vec<u8>, I2cError>;
+}
+
+/// The I2C bus master with attached devices.
+pub struct I2cBus {
+    devices: Vec<Box<dyn I2cDevice>>,
+}
+
+impl std::fmt::Debug for I2cBus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let addrs: Vec<u8> = self.devices.iter().map(|d| d.address()).collect();
+        f.debug_struct("I2cBus").field("devices", &addrs).finish()
+    }
+}
+
+impl I2cBus {
+    /// Empty bus.
+    pub fn new() -> Self {
+        I2cBus {
+            devices: Vec::new(),
+        }
+    }
+
+    /// Attach a device.
+    pub fn attach(&mut self, device: Box<dyn I2cDevice>) {
+        self.devices.push(device);
+    }
+
+    /// Write `bytes` to the device at `addr`.
+    pub fn write(&mut self, addr: u8, bytes: &[u8]) -> Result<(), McuError> {
+        let dev = self
+            .devices
+            .iter_mut()
+            .find(|d| d.address() == addr)
+            .ok_or(McuError::I2cNoDevice(addr))?;
+        dev.write(bytes).map_err(|_| McuError::I2cNoDevice(addr))
+    }
+
+    /// Read `len` bytes from the device at `addr`.
+    pub fn read(&mut self, addr: u8, len: usize) -> Result<Vec<u8>, McuError> {
+        let dev = self
+            .devices
+            .iter_mut()
+            .find(|d| d.address() == addr)
+            .ok_or(McuError::I2cNoDevice(addr))?;
+        dev.read(len).map_err(|_| McuError::I2cNoDevice(addr))
+    }
+
+    /// Whether any device answers at `addr`.
+    pub fn probe(&self, addr: u8) -> bool {
+        self.devices.iter().any(|d| d.address() == addr)
+    }
+}
+
+impl Default for I2cBus {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adc_converts_and_clamps() {
+        let adc = Adc::adc10();
+        assert_eq!(adc.convert(0.0), 0);
+        assert_eq!(adc.convert(1.5), 1023);
+        assert_eq!(adc.convert(2.5), 1023); // clamped
+        assert_eq!(adc.convert(-1.0), 0);
+        let mid = adc.convert(0.75);
+        assert!((mid as i32 - 512).abs() <= 1);
+    }
+
+    #[test]
+    fn adc_roundtrip_within_lsb() {
+        let adc = Adc::adc10();
+        for v in [0.1, 0.33, 0.9, 1.2] {
+            let back = adc.code_to_volts(adc.convert(v));
+            assert!((back - v).abs() < 1.5 / 1023.0, "v={v} back={back}");
+        }
+    }
+
+    struct Echo {
+        addr: u8,
+        last: Vec<u8>,
+    }
+    impl I2cDevice for Echo {
+        fn address(&self) -> u8 {
+            self.addr
+        }
+        fn write(&mut self, bytes: &[u8]) -> Result<(), I2cError> {
+            self.last = bytes.to_vec();
+            Ok(())
+        }
+        fn read(&mut self, len: usize) -> Result<Vec<u8>, I2cError> {
+            Ok(self.last.iter().copied().take(len).collect())
+        }
+    }
+
+    #[test]
+    fn bus_routes_by_address() {
+        let mut bus = I2cBus::new();
+        bus.attach(Box::new(Echo { addr: 0x76, last: vec![] }));
+        assert!(bus.probe(0x76));
+        assert!(!bus.probe(0x40));
+        bus.write(0x76, &[0xA0, 0x01]).unwrap();
+        assert_eq!(bus.read(0x76, 2).unwrap(), vec![0xA0, 0x01]);
+        assert!(matches!(
+            bus.write(0x40, &[0x00]),
+            Err(McuError::I2cNoDevice(0x40))
+        ));
+        assert!(bus.read(0x41, 1).is_err());
+    }
+
+    #[test]
+    fn closure_is_an_analog_source() {
+        let mut src = |t: f64| 0.5 + t;
+        assert_eq!(src.voltage_at(0.25), 0.75);
+    }
+}

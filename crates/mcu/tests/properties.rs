@@ -1,0 +1,95 @@
+//! Property-based tests for the MCU emulation: the bitrate grid, timer
+//! quantization, power accounting, and pin rasterisation must be exact.
+
+use pab_mcu::clock::Clock;
+use pab_mcu::gpio::{OutputPin, PinLevel};
+use pab_mcu::power::{PowerMeter, PowerProfile, PowerState};
+use pab_mcu::peripherals::Adc;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// divider_for_bitrate always returns the grid point with minimal
+    /// error among its neighbours.
+    #[test]
+    fn divider_choice_is_locally_optimal(target in 10.0f64..16_000.0) {
+        let c = Clock::watch_crystal();
+        let d = c.divider_for_bitrate(target).unwrap();
+        let err = |d: u64| (c.bitrate_for_divider(d).unwrap() - target).abs();
+        let best = err(d);
+        if d > 1 {
+            prop_assert!(best <= err(d - 1) + 1e-9);
+        }
+        prop_assert!(best <= err(d + 1) + 1e-9);
+    }
+
+    /// Tick conversions are exact for whole ticks.
+    #[test]
+    fn tick_roundtrip(ticks in 0u64..10_000_000) {
+        let c = Clock::watch_crystal();
+        prop_assert_eq!(c.seconds_to_ticks(c.ticks_to_seconds(ticks)), ticks);
+    }
+
+    /// Power meter energy equals Σ state_power · duration exactly.
+    #[test]
+    fn power_meter_accounts_exactly(
+        segs in proptest::collection::vec((any::<bool>(), 0.0f64..100.0), 0..32),
+    ) {
+        let profile = PowerProfile::pab_node();
+        let mut m = PowerMeter::new(profile);
+        let mut expect = 0.0;
+        let mut elapsed = 0.0;
+        for (active, dur) in &segs {
+            let st = if *active { PowerState::Active } else { PowerState::LowPower3 };
+            m.accumulate(st, *dur);
+            if *dur > 0.0 {
+                expect += profile.state_power_w(st) * dur;
+                elapsed += dur;
+            }
+        }
+        prop_assert!((m.energy_j() - expect).abs() <= 1e-9 * expect.max(1.0));
+        prop_assert!((m.elapsed_s() - elapsed).abs() <= 1e-9 * elapsed.max(1.0));
+        if elapsed > 0.0 {
+            let avg = m.average_power_w();
+            let idle = profile.state_power_w(PowerState::LowPower3);
+            let act = profile.state_power_w(PowerState::Active);
+            prop_assert!(avg >= idle - 1e-12 && avg <= act + 1e-12);
+        }
+    }
+
+    /// Rasterising a pin reproduces exactly the level at every sample
+    /// time (last transition at or before the sample wins).
+    #[test]
+    fn rasterize_matches_transition_log(
+        times in proptest::collection::vec(0.0f64..0.1, 1..32),
+    ) {
+        let mut sorted = times.clone();
+        sorted.sort_by(f64::total_cmp);
+        let mut pin = OutputPin::new();
+        let mut level = PinLevel::Low;
+        for &t in &sorted {
+            level = level.toggled();
+            pin.set(t, level);
+        }
+        let fs = 10_000.0;
+        let n = 1_100;
+        let wave = pin.rasterize(fs, n);
+        for (i, &w) in wave.iter().enumerate() {
+            let t = i as f64 / fs;
+            let expect = sorted.iter().filter(|&&tt| tt <= t).count() % 2 == 1;
+            prop_assert_eq!(w, expect, "sample {} (t={})", i, t);
+        }
+    }
+
+    /// ADC conversion is monotone and inverse-consistent within 1 LSB.
+    #[test]
+    fn adc_monotone_and_invertible(v1 in 0.0f64..1.5, dv in 0.0f64..1.0) {
+        let adc = Adc::adc10();
+        let a = adc.convert(v1);
+        let b = adc.convert((v1 + dv).min(1.5));
+        prop_assert!(b >= a);
+        let back = adc.code_to_volts(a);
+        prop_assert!((back - v1).abs() <= 1.5 / 1023.0);
+    }
+}

@@ -1,0 +1,119 @@
+//! Bit/byte plumbing. Bits are `bool`s in MSB-first order throughout the
+//! stack.
+
+/// Expand bytes into bits, MSB first.
+pub fn bytes_to_bits(bytes: &[u8]) -> Vec<bool> {
+    let mut out = Vec::with_capacity(bytes.len() * 8);
+    for &b in bytes {
+        for k in (0..8).rev() {
+            out.push((b >> k) & 1 == 1);
+        }
+    }
+    out
+}
+
+/// Pack bits into bytes, MSB first. The final partial byte (if any) is
+/// zero-padded on the right.
+pub fn bits_to_bytes(bits: &[bool]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(bits.len().div_ceil(8));
+    for chunk in bits.chunks(8) {
+        let mut b = 0u8;
+        for (k, &bit) in chunk.iter().enumerate() {
+            if bit {
+                b |= 1 << (7 - k);
+            }
+        }
+        out.push(b);
+    }
+    out
+}
+
+/// Append the low `n` bits of `value`, MSB first.
+pub fn push_uint(bits: &mut Vec<bool>, value: u64, n: usize) {
+    assert!(n <= 64, "at most 64 bits");
+    for k in (0..n).rev() {
+        bits.push((value >> k) & 1 == 1);
+    }
+}
+
+/// Read `n` bits MSB-first starting at `offset`, returning the value.
+/// Returns `None` if out of range.
+pub fn read_uint(bits: &[bool], offset: usize, n: usize) -> Option<u64> {
+    if n > 64 || offset + n > bits.len() {
+        return None;
+    }
+    let mut v = 0u64;
+    for &b in &bits[offset..offset + n] {
+        v = (v << 1) | b as u64;
+    }
+    Some(v)
+}
+
+/// Hamming distance between two equal-length bit slices.
+pub fn hamming_distance(a: &[bool], b: &[bool]) -> usize {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    a.iter().zip(b).filter(|(x, y)| x != y).count()
+}
+
+/// Locate the first exact occurrence of `pattern` in `bits` at or after
+/// `from`, returning its start index.
+pub fn find_pattern(bits: &[bool], pattern: &[bool], from: usize) -> Option<usize> {
+    if pattern.is_empty() || bits.len() < pattern.len() {
+        return None;
+    }
+    (from..=bits.len() - pattern.len()).find(|&i| &bits[i..i + pattern.len()] == pattern)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_bits_roundtrip() {
+        let data = vec![0xA5, 0x01, 0xFF, 0x00];
+        assert_eq!(bits_to_bytes(&bytes_to_bits(&data)), data);
+    }
+
+    #[test]
+    fn msb_first_order() {
+        let bits = bytes_to_bits(&[0b1000_0001]);
+        assert!(bits[0]);
+        assert!(!bits[1]);
+        assert!(bits[7]);
+    }
+
+    #[test]
+    fn partial_byte_zero_padded() {
+        let bits = vec![true, true, true];
+        assert_eq!(bits_to_bytes(&bits), vec![0b1110_0000]);
+    }
+
+    #[test]
+    fn push_read_uint_roundtrip() {
+        let mut bits = Vec::new();
+        push_uint(&mut bits, 0b101101, 6);
+        push_uint(&mut bits, 0xBEEF, 16);
+        assert_eq!(read_uint(&bits, 0, 6), Some(0b101101));
+        assert_eq!(read_uint(&bits, 6, 16), Some(0xBEEF));
+        assert_eq!(read_uint(&bits, 6, 17), None);
+        assert_eq!(read_uint(&bits, 30, 64), None);
+    }
+
+    #[test]
+    fn hamming_counts_differences() {
+        let a = vec![true, false, true];
+        let b = vec![true, true, false];
+        assert_eq!(hamming_distance(&a, &b), 2);
+        assert_eq!(hamming_distance(&a, &a), 0);
+    }
+
+    #[test]
+    fn find_pattern_locates() {
+        let bits = bytes_to_bits(&[0b0001_0110]);
+        let pat = vec![true, false, true, true];
+        assert_eq!(find_pattern(&bits, &pat, 0), Some(3));
+        assert_eq!(find_pattern(&bits, &pat, 4), None);
+        assert_eq!(find_pattern(&bits, &[], 0), None);
+        assert_eq!(find_pattern(&[true], &pat, 0), None);
+    }
+}

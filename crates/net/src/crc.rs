@@ -1,0 +1,74 @@
+//! Checksums: CRC-8 (ATM/SMBus polynomial 0x07) for the compact downlink
+//! query, CRC-16-CCITT (0x1021) for the uplink packet — "It can also use
+//! the CRC to perform a checksum on the received packets and request
+//! retransmissions of corrupted packets" (§5.1(b)).
+
+/// CRC-8 with polynomial 0x07, init 0x00.
+pub fn crc8(data: &[u8]) -> u8 {
+    let mut crc = 0u8;
+    for &b in data {
+        crc ^= b;
+        for _ in 0..8 {
+            crc = if crc & 0x80 != 0 {
+                (crc << 1) ^ 0x07
+            } else {
+                crc << 1
+            };
+        }
+    }
+    crc
+}
+
+/// CRC-16-CCITT (XModem variant): polynomial 0x1021, init 0x0000.
+pub fn crc16_ccitt(data: &[u8]) -> u16 {
+    let mut crc = 0u16;
+    for &b in data {
+        crc ^= (b as u16) << 8;
+        for _ in 0..8 {
+            crc = if crc & 0x8000 != 0 {
+                (crc << 1) ^ 0x1021
+            } else {
+                crc << 1
+            };
+        }
+    }
+    crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc16_known_vector() {
+        // XModem CRC of "123456789" is 0x31C3.
+        assert_eq!(crc16_ccitt(b"123456789"), 0x31C3);
+    }
+
+    #[test]
+    fn crc8_known_vector() {
+        // CRC-8/SMBus of "123456789" is 0xF4.
+        assert_eq!(crc8(b"123456789"), 0xF4);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(crc8(&[]), 0);
+        assert_eq!(crc16_ccitt(&[]), 0);
+    }
+
+    #[test]
+    fn single_bit_flip_changes_crc() {
+        let a = b"underwater backscatter".to_vec();
+        let mut b = a.clone();
+        b[3] ^= 0x10;
+        assert_ne!(crc16_ccitt(&a), crc16_ccitt(&b));
+        assert_ne!(crc8(&a), crc8(&b));
+    }
+
+    #[test]
+    fn crc_is_deterministic() {
+        let data = vec![0xDE, 0xAD, 0xBE, 0xEF];
+        assert_eq!(crc16_ccitt(&data), crc16_ccitt(&data));
+    }
+}

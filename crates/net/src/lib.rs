@@ -1,0 +1,101 @@
+//! # pab-net — framing, line codes, packets and MAC for PAB networking
+//!
+//! The protocol stack mirrors the paper's RFID-inspired design (§3.3.2):
+//! "the projector is similar to an RFID reader and transmits a query on
+//! the downlink which contains a preamble, destination address, and
+//! payload. Similarly, the uplink backscatter packet consists of a
+//! preamble, a header, and a payload which includes readings from
+//! on-board sensors."
+//!
+//! * [`bits`] — bit/byte plumbing;
+//! * [`crc`] — CRC-8 (downlink) and CRC-16-CCITT (uplink checksum used for
+//!   retransmission requests, §5.1(b));
+//! * [`fm0`] — the uplink FM0 line code (§3.2 "PAB adopts FM0 modulation
+//!   on the uplink");
+//! * [`manchester`] — Manchester coding, the alternative §3.2 mentions
+//!   (kept as an ablation baseline);
+//! * [`pwm`] — the downlink pulse-width modulation ("a larger pulse width
+//!   corresponds to a '1' bit", decodable by envelope + edge timing);
+//! * [`packet`] — downlink query and uplink response formats;
+//! * [`mac`] — the FDMA channel plan built on recto-piezos, query
+//!   scheduling, and retransmission bookkeeping.
+//!
+//! Everything here is symbol-level and waveform-free: `pab-core` turns
+//! symbols into pressure waveforms and back.
+//!
+//! ```
+//! use pab_net::packet::{Command, DownlinkQuery, SensorKind};
+//! use pab_net::fm0;
+//!
+//! // An RFID-style query serialises to bits and round-trips...
+//! let q = DownlinkQuery { dest: 7, command: Command::ReadSensor(SensorKind::Ph) };
+//! let bits = q.to_bits();
+//! assert_eq!(DownlinkQuery::from_bits(&bits).unwrap(), q);
+//! // ...and the uplink line code is FM0 (a level flip at every bit).
+//! let halves = fm0::encode(&bits, false);
+//! assert_eq!(fm0::decode(&halves, false).unwrap(), bits);
+//! ```
+// `!(x > 0.0)` is used deliberately throughout: unlike `x <= 0.0` it is
+// also true for NaN, so one guard rejects non-positive *and* non-numeric
+// parameters.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+
+
+pub mod bits;
+pub mod crc;
+pub mod fm0;
+pub mod mac;
+pub mod manchester;
+pub mod packet;
+pub mod pwm;
+
+pub use packet::{Command, DownlinkQuery, SensorKind, UplinkPacket};
+
+/// Errors in encoding/decoding and protocol handling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// Not enough symbols/bits to decode.
+    Truncated { needed: usize, got: usize },
+    /// An FM0/Manchester coding-rule violation at a symbol index.
+    CodingViolation { at: usize },
+    /// Checksum mismatch.
+    BadChecksum { expected: u16, got: u16 },
+    /// Preamble not found.
+    NoPreamble,
+    /// A field held an invalid value.
+    InvalidField(&'static str),
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Truncated { needed, got } => {
+                write!(f, "truncated: need {needed}, got {got}")
+            }
+            NetError::CodingViolation { at } => write!(f, "coding violation at symbol {at}"),
+            NetError::BadChecksum { expected, got } => {
+                write!(f, "bad checksum: expected {expected:#06x}, got {got:#06x}")
+            }
+            NetError::NoPreamble => write!(f, "preamble not found"),
+            NetError::InvalidField(what) => write!(f, "invalid field: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display() {
+        assert!(NetError::Truncated { needed: 8, got: 4 }.to_string().contains('8'));
+        assert!(NetError::CodingViolation { at: 3 }.to_string().contains('3'));
+        assert!(NetError::BadChecksum { expected: 0xBEEF, got: 0xDEAD }
+            .to_string()
+            .contains("beef"));
+        assert!(NetError::NoPreamble.to_string().contains("preamble"));
+        assert!(NetError::InvalidField("addr").to_string().contains("addr"));
+    }
+}

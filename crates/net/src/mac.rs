@@ -1,0 +1,468 @@
+//! Medium access control: the recto-piezo FDMA channel plan, query
+//! scheduling, and retransmission bookkeeping.
+//!
+//! §3.3: different sensors are built (or commanded) to resonate at
+//! different center frequencies, so "if different projectors transmit
+//! acoustic signals at different frequencies, each would activate a
+//! different sensor ... enabling concurrent multiple access". The
+//! hydrophone decodes the collisions (see `pab-core::collision`); at the
+//! MAC layer what remains is deciding who is queried when, on which
+//! channel, and retrying corrupted packets (§5.1(b)).
+
+use crate::packet::{Command, DownlinkQuery};
+use crate::NetError;
+use std::collections::BTreeMap;
+
+/// The FDMA channel plan: one acoustic frequency per channel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChannelPlan {
+    centers_hz: Vec<f64>,
+}
+
+impl ChannelPlan {
+    /// Build a plan from channel center frequencies.
+    pub fn new(centers_hz: Vec<f64>) -> Result<Self, NetError> {
+        if centers_hz.is_empty() {
+            return Err(NetError::InvalidField("empty channel plan"));
+        }
+        if centers_hz.iter().any(|&f| !(f > 0.0) || !f.is_finite()) {
+            return Err(NetError::InvalidField("channel frequency"));
+        }
+        Ok(ChannelPlan { centers_hz })
+    }
+
+    /// The paper's two-channel plan: 15 kHz and 18 kHz recto-piezos.
+    pub fn paper_two_channel() -> Self {
+        ChannelPlan {
+            centers_hz: vec![15_000.0, 18_000.0],
+        }
+    }
+
+    /// Number of channels.
+    pub fn len(&self) -> usize {
+        self.centers_hz.len()
+    }
+
+    /// Whether the plan is empty (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.centers_hz.is_empty()
+    }
+
+    /// Center frequency of channel `idx`.
+    pub fn center_hz(&self, idx: usize) -> Option<f64> {
+        self.centers_hz.get(idx).copied()
+    }
+
+    /// All centers.
+    pub fn centers_hz(&self) -> &[f64] {
+        &self.centers_hz
+    }
+}
+
+/// A node registered with the coordinator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeEntry {
+    /// Node address.
+    pub addr: u8,
+    /// Channel index in the [`ChannelPlan`].
+    pub channel: usize,
+}
+
+/// One scheduled transmission opportunity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScheduledQuery {
+    /// Channel index.
+    pub channel: usize,
+    /// Downlink carrier frequency.
+    pub frequency_hz: f64,
+    /// The query to transmit.
+    pub query: DownlinkQuery,
+}
+
+/// Round-robin FDMA scheduler: in each slot, every channel carries a query
+/// for the next node assigned to it — concurrent across channels, time-
+/// shared within one.
+#[derive(Debug, Clone)]
+pub struct FdmaScheduler {
+    plan: ChannelPlan,
+    per_channel: Vec<Vec<u8>>,
+    cursor: Vec<usize>,
+}
+
+impl FdmaScheduler {
+    /// New scheduler over a channel plan.
+    pub fn new(plan: ChannelPlan) -> Self {
+        let n = plan.len();
+        FdmaScheduler {
+            plan,
+            per_channel: vec![Vec::new(); n],
+            cursor: vec![0; n],
+        }
+    }
+
+    /// Register a node on a channel.
+    pub fn register(&mut self, node: NodeEntry) -> Result<(), NetError> {
+        if node.channel >= self.plan.len() {
+            return Err(NetError::InvalidField("channel index"));
+        }
+        if self.per_channel.iter().flatten().any(|&a| a == node.addr) {
+            return Err(NetError::InvalidField("duplicate address"));
+        }
+        self.per_channel[node.channel].push(node.addr);
+        Ok(())
+    }
+
+    /// Produce the next slot's concurrent queries, one per non-empty
+    /// channel, all issuing `command`.
+    pub fn next_slot(&mut self, command: Command) -> Vec<ScheduledQuery> {
+        let mut out = Vec::new();
+        for ch in 0..self.plan.len() {
+            let nodes = &self.per_channel[ch];
+            if nodes.is_empty() {
+                continue;
+            }
+            let addr = nodes[self.cursor[ch] % nodes.len()];
+            self.cursor[ch] = (self.cursor[ch] + 1) % nodes.len();
+            out.push(ScheduledQuery {
+                channel: ch,
+                frequency_hz: self.plan.center_hz(ch).expect("validated index"),
+                query: DownlinkQuery {
+                    dest: addr,
+                    command,
+                },
+            });
+        }
+        out
+    }
+
+    /// The channel plan.
+    pub fn plan(&self) -> &ChannelPlan {
+        &self.plan
+    }
+
+    /// Addresses of every registered node.
+    pub fn registered_addresses(&self) -> Vec<u8> {
+        self.per_channel.iter().flatten().copied().collect()
+    }
+
+    /// Number of registered nodes.
+    pub fn node_count(&self) -> usize {
+        self.per_channel.iter().map(Vec::len).sum()
+    }
+}
+
+/// Per-node retransmission state (§5.1(b): the receiver can "request
+/// retransmissions of corrupted packets").
+#[derive(Debug, Clone)]
+pub struct RetransmissionTracker {
+    max_retries: u32,
+    state: BTreeMap<u8, NodeTxState>,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct NodeTxState {
+    seq: u8,
+    retries_used: u32,
+    delivered: u64,
+    failed: u64,
+}
+
+/// Outcome of a delivery attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxOutcome {
+    /// CRC passed; advance the sequence number.
+    Delivered,
+    /// CRC failed but a retry is allowed: re-request the same sequence.
+    Retry,
+    /// CRC failed and retries are exhausted: drop and advance.
+    Dropped,
+}
+
+impl RetransmissionTracker {
+    /// New tracker allowing `max_retries` retries per packet.
+    pub fn new(max_retries: u32) -> Self {
+        RetransmissionTracker {
+            max_retries,
+            state: BTreeMap::new(),
+        }
+    }
+
+    /// Current sequence number expected from `addr`.
+    pub fn expected_seq(&self, addr: u8) -> u8 {
+        self.state.get(&addr).map(|s| s.seq).unwrap_or(0)
+    }
+
+    /// Record the result of a reception from `addr`.
+    pub fn record(&mut self, addr: u8, crc_ok: bool) -> TxOutcome {
+        let st = self.state.entry(addr).or_default();
+        if crc_ok {
+            st.seq = st.seq.wrapping_add(1);
+            st.retries_used = 0;
+            st.delivered += 1;
+            TxOutcome::Delivered
+        } else if st.retries_used < self.max_retries {
+            st.retries_used += 1;
+            TxOutcome::Retry
+        } else {
+            st.seq = st.seq.wrapping_add(1);
+            st.retries_used = 0;
+            st.failed += 1;
+            TxOutcome::Dropped
+        }
+    }
+
+    /// (delivered, dropped) counts for `addr`.
+    pub fn stats(&self, addr: u8) -> (u64, u64) {
+        self.state
+            .get(&addr)
+            .map(|s| (s.delivered, s.failed))
+            .unwrap_or((0, 0))
+    }
+}
+
+/// Network-level throughput accounting across channels.
+#[derive(Debug, Clone, Default)]
+pub struct ThroughputMeter {
+    payload_bits: u64,
+    elapsed_s: f64,
+}
+
+impl ThroughputMeter {
+    /// New meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a delivered packet of `payload_bits` over `duration_s`.
+    pub fn record(&mut self, payload_bits: u64, duration_s: f64) {
+        self.payload_bits += payload_bits;
+        self.elapsed_s += duration_s.max(0.0);
+    }
+
+    /// Goodput, bits per second.
+    pub fn goodput_bps(&self) -> f64 {
+        if self.elapsed_s == 0.0 {
+            0.0
+        } else {
+            self.payload_bits as f64 / self.elapsed_s
+        }
+    }
+}
+
+/// A complete inventory round (RFID-reader style): poll every registered
+/// node until each has delivered `per_node` packets, retrying per the
+/// tracker's policy. Drives [`FdmaScheduler`] and
+/// [`RetransmissionTracker`] together; the caller supplies the physical
+/// delivery outcome of every scheduled query.
+#[derive(Debug, Clone)]
+pub struct InventoryRound {
+    scheduler: FdmaScheduler,
+    tracker: RetransmissionTracker,
+    target_per_node: u64,
+    slots_used: u64,
+}
+
+impl InventoryRound {
+    /// Start a round over `plan` collecting `per_node` packets from each
+    /// registered node, with `max_retries` per packet.
+    pub fn new(plan: ChannelPlan, per_node: u64, max_retries: u32) -> Self {
+        InventoryRound {
+            scheduler: FdmaScheduler::new(plan),
+            tracker: RetransmissionTracker::new(max_retries),
+            target_per_node: per_node.max(1),
+            slots_used: 0,
+        }
+    }
+
+    /// Register a node (see [`FdmaScheduler::register`]).
+    pub fn register(&mut self, node: NodeEntry) -> Result<(), NetError> {
+        self.scheduler.register(node)
+    }
+
+    /// Queries for the next slot, skipping nodes that already met the
+    /// target. Returns an empty vector when the round is complete.
+    pub fn next_slot(&mut self, command: Command) -> Vec<ScheduledQuery> {
+        if self.is_complete() {
+            return Vec::new();
+        }
+        self.slots_used += 1;
+        self.scheduler
+            .next_slot(command)
+            .into_iter()
+            .filter(|q| self.tracker.stats(q.query.dest).0 < self.target_per_node)
+            .collect()
+    }
+
+    /// Record the outcome of one scheduled query.
+    pub fn record(&mut self, addr: u8, crc_ok: bool) -> TxOutcome {
+        self.tracker.record(addr, crc_ok)
+    }
+
+    /// Whether every registered node has delivered the target count.
+    pub fn is_complete(&self) -> bool {
+        self.scheduler
+            .registered_addresses()
+            .iter()
+            .all(|&a| self.tracker.stats(a).0 >= self.target_per_node)
+    }
+
+    /// (delivered, dropped) for one node.
+    pub fn stats(&self, addr: u8) -> (u64, u64) {
+        self.tracker.stats(addr)
+    }
+
+    /// Slots consumed so far.
+    pub fn slots_used(&self) -> u64 {
+        self.slots_used
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::Command;
+
+    #[test]
+    fn plan_validation() {
+        assert!(ChannelPlan::new(vec![]).is_err());
+        assert!(ChannelPlan::new(vec![0.0]).is_err());
+        let p = ChannelPlan::paper_two_channel();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.center_hz(0), Some(15_000.0));
+        assert_eq!(p.center_hz(2), None);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn scheduler_round_robins_within_channel() {
+        let mut s = FdmaScheduler::new(ChannelPlan::paper_two_channel());
+        s.register(NodeEntry { addr: 1, channel: 0 }).unwrap();
+        s.register(NodeEntry { addr: 2, channel: 0 }).unwrap();
+        s.register(NodeEntry { addr: 3, channel: 1 }).unwrap();
+        let s1 = s.next_slot(Command::Ping);
+        assert_eq!(s1.len(), 2);
+        assert_eq!(s1[0].query.dest, 1);
+        assert_eq!(s1[1].query.dest, 3);
+        let s2 = s.next_slot(Command::Ping);
+        assert_eq!(s2[0].query.dest, 2); // round robin on channel 0
+        assert_eq!(s2[1].query.dest, 3); // only node on channel 1
+        let s3 = s.next_slot(Command::Ping);
+        assert_eq!(s3[0].query.dest, 1);
+        assert_eq!(s.node_count(), 3);
+    }
+
+    #[test]
+    fn scheduler_skips_empty_channels() {
+        let mut s = FdmaScheduler::new(ChannelPlan::paper_two_channel());
+        s.register(NodeEntry { addr: 9, channel: 1 }).unwrap();
+        let slot = s.next_slot(Command::Ping);
+        assert_eq!(slot.len(), 1);
+        assert_eq!(slot[0].channel, 1);
+        assert_eq!(slot[0].frequency_hz, 18_000.0);
+    }
+
+    #[test]
+    fn scheduler_rejects_bad_registration() {
+        let mut s = FdmaScheduler::new(ChannelPlan::paper_two_channel());
+        assert!(s.register(NodeEntry { addr: 1, channel: 5 }).is_err());
+        s.register(NodeEntry { addr: 1, channel: 0 }).unwrap();
+        assert!(s.register(NodeEntry { addr: 1, channel: 1 }).is_err());
+    }
+
+    #[test]
+    fn retransmission_lifecycle() {
+        let mut t = RetransmissionTracker::new(2);
+        assert_eq!(t.expected_seq(7), 0);
+        assert_eq!(t.record(7, false), TxOutcome::Retry);
+        assert_eq!(t.record(7, false), TxOutcome::Retry);
+        assert_eq!(t.record(7, false), TxOutcome::Dropped);
+        assert_eq!(t.expected_seq(7), 1);
+        assert_eq!(t.record(7, true), TxOutcome::Delivered);
+        assert_eq!(t.expected_seq(7), 2);
+        assert_eq!(t.stats(7), (1, 1));
+        assert_eq!(t.stats(99), (0, 0));
+    }
+
+    #[test]
+    fn seq_wraps() {
+        let mut t = RetransmissionTracker::new(0);
+        for _ in 0..256 {
+            t.record(1, true);
+        }
+        assert_eq!(t.expected_seq(1), 0);
+    }
+
+    #[test]
+    fn throughput_meter() {
+        let mut m = ThroughputMeter::new();
+        assert_eq!(m.goodput_bps(), 0.0);
+        m.record(1000, 1.0);
+        m.record(1000, 1.0);
+        assert!((m.goodput_bps() - 1000.0).abs() < 1e-9);
+        m.record(0, -5.0); // negative duration ignored
+        assert!((m.goodput_bps() - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inventory_round_completes_with_lossless_links() {
+        let mut round = InventoryRound::new(ChannelPlan::paper_two_channel(), 2, 1);
+        round.register(NodeEntry { addr: 1, channel: 0 }).unwrap();
+        round.register(NodeEntry { addr: 2, channel: 1 }).unwrap();
+        let mut guard = 0;
+        while !round.is_complete() {
+            guard += 1;
+            assert!(guard < 20, "round did not converge");
+            for q in round.next_slot(Command::Ping) {
+                round.record(q.query.dest, true);
+            }
+        }
+        assert_eq!(round.stats(1), (2, 0));
+        assert_eq!(round.stats(2), (2, 0));
+        // Two packets per node, both channels polled in parallel: 2 slots.
+        assert_eq!(round.slots_used(), 2);
+        assert!(round.next_slot(Command::Ping).is_empty());
+    }
+
+    #[test]
+    fn inventory_round_retries_then_drops() {
+        let mut round = InventoryRound::new(
+            ChannelPlan::new(vec![15_000.0]).unwrap(),
+            1,
+            1, // one retry
+        );
+        round.register(NodeEntry { addr: 9, channel: 0 }).unwrap();
+        // Three failures: attempt, retry, then drop (seq advances), then
+        // one success completes the round.
+        assert_eq!(round.record(9, false), TxOutcome::Retry);
+        assert_eq!(round.record(9, false), TxOutcome::Dropped);
+        assert!(!round.is_complete());
+        assert_eq!(round.record(9, true), TxOutcome::Delivered);
+        assert!(round.is_complete());
+        assert_eq!(round.stats(9), (1, 1));
+    }
+
+    #[test]
+    fn completed_nodes_are_skipped_in_slots() {
+        let mut round = InventoryRound::new(ChannelPlan::paper_two_channel(), 1, 0);
+        round.register(NodeEntry { addr: 1, channel: 0 }).unwrap();
+        round.register(NodeEntry { addr: 2, channel: 1 }).unwrap();
+        round.record(1, true); // node 1 done before the first slot
+        let slot = round.next_slot(Command::Ping);
+        assert_eq!(slot.len(), 1);
+        assert_eq!(slot[0].query.dest, 2);
+    }
+
+    #[test]
+    fn two_channels_double_slot_capacity() {
+        // The FDMA argument of §3.3: with two channels, each slot carries
+        // two queries instead of one.
+        let mut one = FdmaScheduler::new(ChannelPlan::new(vec![15_000.0]).unwrap());
+        one.register(NodeEntry { addr: 1, channel: 0 }).unwrap();
+        one.register(NodeEntry { addr: 2, channel: 0 }).unwrap();
+        let mut two = FdmaScheduler::new(ChannelPlan::paper_two_channel());
+        two.register(NodeEntry { addr: 1, channel: 0 }).unwrap();
+        two.register(NodeEntry { addr: 2, channel: 1 }).unwrap();
+        assert_eq!(one.next_slot(Command::Ping).len(), 1);
+        assert_eq!(two.next_slot(Command::Ping).len(), 2);
+    }
+}

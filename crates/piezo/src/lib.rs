@@ -1,0 +1,79 @@
+//! # pab-piezo — piezoelectric transducer models
+//!
+//! The PAB node's interface to the water is a radially vibrating ceramic
+//! cylinder (Steminc SMC5447T40111: 17 kHz in-air resonance, 2.5 cm radius,
+//! 4 cm length), potted in polyurethane for acoustic matching (§4.1 of the
+//! paper). This crate models that transducer as the standard
+//! Butterworth–Van Dyke (BVD) lumped equivalent circuit:
+//!
+//! ```text
+//!        ┌──── C0 ────┐        C0: static (clamped) capacitance
+//!   o────┤            ├────o   R1-L1-C1: motional branch
+//!        └ R1─ L1 ─C1 ┘        (mechanical resonance mapped electrically)
+//! ```
+//!
+//! All electrical behaviour (impedance vs frequency, resonance, Q) and the
+//! acoustic two-port behaviour (transmit/receive sensitivity with the
+//! geometric-resonance band-pass shape of footnote 5 in the paper) come
+//! out of this model. The `pab-analog` crate builds the recto-piezo front
+//! end on top of it, and `pab-core` uses it for the backscatter reflection
+//! coefficient of Eq. 2.
+//!
+//! ```
+//! use pab_piezo::Transducer;
+//! use num_complex::Complex64;
+//!
+//! let t = Transducer::pab_node();
+//! // Eq. 2: shorting the terminals reflects the incident wave entirely...
+//! let short = t.reflection_coefficient(Complex64::new(0.0, 0.0), 15_000.0);
+//! assert!((short.norm() - 1.0).abs() < 1e-9);
+//! // ...while a conjugate-matched load absorbs it for harvesting.
+//! let zs = t.electrical_impedance(15_000.0);
+//! assert!(t.reflection_coefficient(zs.conj(), 15_000.0).norm() < 1e-9);
+//! ```
+// `!(x > 0.0)` is used deliberately throughout: unlike `x <= 0.0` it is
+// also true for NaN, so one guard rejects non-positive *and* non-numeric
+// parameters.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+
+
+pub mod bvd;
+pub mod cylinder;
+pub mod transducer;
+
+pub use bvd::BvdModel;
+pub use cylinder::CylinderGeometry;
+pub use transducer::{Transducer, TransducerBuilder};
+
+/// Errors for invalid transducer parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PiezoError {
+    /// A parameter that must be positive was not.
+    NonPositive(&'static str),
+    /// Electromechanical coupling must lie in (0, 1).
+    CouplingOutOfRange(f64),
+}
+
+impl std::fmt::Display for PiezoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PiezoError::NonPositive(what) => write!(f, "{what} must be positive"),
+            PiezoError::CouplingOutOfRange(k) => {
+                write!(f, "coupling coefficient {k} outside (0, 1)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PiezoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display() {
+        assert!(PiezoError::NonPositive("q").to_string().contains('q'));
+        assert!(PiezoError::CouplingOutOfRange(1.5).to_string().contains("1.5"));
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests on the transducer physics: Eq. 2's reflection
+//! invariants and the BVD model's internal consistency must hold for any
+//! plausible device, not just the paper's part.
+
+use num_complex::Complex64;
+use pab_piezo::{BvdModel, Transducer, TransducerBuilder};
+use proptest::prelude::*;
+
+fn arb_transducer() -> impl Strategy<Value = Transducer> {
+    (
+        5_000.0f64..60_000.0, // resonance
+        1.0f64..50.0,         // Q
+        1e-10f64..1e-7,       // C0
+        0.05f64..0.8,         // k_eff
+    )
+        .prop_map(|(f, q, c0, k)| {
+            TransducerBuilder::new()
+                .resonance_hz(f)
+                .q(q)
+                .c0_farads(c0)
+                .k_eff(k)
+                .build()
+                .expect("in-range parameters")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// BVD synthesis round-trips its defining parameters.
+    #[test]
+    fn bvd_synthesis_roundtrips(
+        f in 5_000.0f64..60_000.0,
+        q in 1.0f64..50.0,
+        c0 in 1e-10f64..1e-7,
+        k in 0.05f64..0.8,
+    ) {
+        let m = BvdModel::from_resonance(f, q, c0, k).unwrap();
+        prop_assert!((m.series_resonance_hz() - f).abs() / f < 1e-9);
+        prop_assert!((m.q_factor() - q).abs() / q < 1e-9);
+        prop_assert!((m.coupling_k_eff() - k).abs() < 1e-9);
+        prop_assert!(m.parallel_resonance_hz() > m.series_resonance_hz());
+    }
+
+    /// Eq. 2: a short fully reflects, a conjugate match fully absorbs,
+    /// and every passive load reflects with |Γ| <= 1, at any frequency.
+    #[test]
+    fn reflection_coefficient_invariants(
+        t in arb_transducer(),
+        freq in 1_000.0f64..80_000.0,
+        r_load in 0.0f64..1e6,
+        x_load in -1e5f64..1e5,
+    ) {
+        let short = t.reflection_coefficient(Complex64::new(0.0, 0.0), freq);
+        prop_assert!((short.norm() - 1.0).abs() < 1e-9);
+        let zs = t.electrical_impedance(freq);
+        let matched = t.reflection_coefficient(zs.conj(), freq);
+        prop_assert!(matched.norm() < 1e-9);
+        let passive = t.reflection_coefficient(Complex64::new(r_load, x_load), freq);
+        prop_assert!(passive.norm() <= 1.0 + 1e-9, "|Γ|={}", passive.norm());
+    }
+
+    /// The electrical impedance of a passive device has non-negative real
+    /// part everywhere.
+    #[test]
+    fn impedance_is_passive(t in arb_transducer(), freq in 100.0f64..200_000.0) {
+        let z = t.electrical_impedance(freq);
+        prop_assert!(z.re >= -1e-9, "Re(Z) = {} at {freq} Hz", z.re);
+        prop_assert!(z.norm().is_finite());
+    }
+
+    /// The mechanical band-pass peaks at resonance: no frequency responds
+    /// more strongly than fs.
+    #[test]
+    fn mechanical_response_peaks_at_resonance(
+        t in arb_transducer(),
+        freq in 100.0f64..200_000.0,
+    ) {
+        let fs = t.resonance_hz();
+        let at_res = t.bvd.mechanical_response(fs);
+        prop_assert!((at_res - 1.0).abs() < 1e-9);
+        prop_assert!(t.bvd.mechanical_response(freq) <= 1.0 + 1e-9);
+    }
+
+    /// Transmit/receive conversion scales linearly with drive/pressure.
+    #[test]
+    fn two_port_is_linear(t in arb_transducer(), scale in 0.001f64..1000.0) {
+        let f = t.resonance_hz();
+        let p1 = t.transmit_pressure_pa_at_1m(1.0, f);
+        let p2 = t.transmit_pressure_pa_at_1m(scale, f);
+        prop_assert!((p2 - scale * p1).abs() < 1e-9 * p2.abs().max(1.0));
+        let v1 = t.receive_open_circuit_voltage(1.0, f);
+        let v2 = t.receive_open_circuit_voltage(scale, f);
+        prop_assert!((v2 - scale * v1).abs() < 1e-9 * v2.abs().max(1.0));
+    }
+}

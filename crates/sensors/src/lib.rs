@@ -1,0 +1,81 @@
+//! # pab-sensors — sensor models for the PAB sensing applications
+//!
+//! §5.1(c) and §6.5 of the paper integrate three measurements with the
+//! node: acidity via a pH mini-probe through an LMP91200-style analog
+//! front end into the MCU's ADC, and temperature + pressure via the
+//! MS5837-30BA digital sensor over I2C. This crate provides:
+//!
+//! * [`environment`] — the "true" water conditions a sensor observes;
+//! * [`ph`] — Nernst-equation glass-electrode + AFE model
+//!   ([`ph::PhProbe`]) and the firmware-side conversion
+//!   ([`ph::PhDriver`]);
+//! * [`ms5837`] — a register-level MS5837-30BA device model implementing
+//!   [`pab_mcu::I2cDevice`] (commands, PROM calibration words, 24-bit
+//!   conversions) and the firmware-side driver with the datasheet's
+//!   first-order compensation math.
+//!
+//! ```
+//! use pab_mcu::peripherals::I2cBus;
+//! use pab_sensors::{Ms5837, Ms5837Driver, WaterSample};
+//!
+//! // Wire the device model to a bus and run the real protocol.
+//! let mut bus = I2cBus::new();
+//! bus.attach(Box::new(Ms5837::new(WaterSample::bench())));
+//! let reading = Ms5837Driver::measure(&mut bus).unwrap();
+//! assert!((reading.pressure_mbar - 1013.25).abs() < 2.0);
+//! ```
+// `!(x > 0.0)` is used deliberately throughout: unlike `x <= 0.0` it is
+// also true for NaN, so one guard rejects non-positive *and* non-numeric
+// parameters.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+
+
+pub mod environment;
+pub mod ms5837;
+pub mod ph;
+
+pub use environment::WaterSample;
+pub use ms5837::{Ms5837, Ms5837Driver};
+pub use ph::{PhDriver, PhProbe};
+
+/// Errors from sensor drivers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SensorError {
+    /// The I2C transaction failed.
+    Bus(pab_mcu::McuError),
+    /// A conversion was read before it completed.
+    ConversionNotReady,
+    /// ADC unavailable (nothing attached).
+    NoAdc,
+}
+
+impl std::fmt::Display for SensorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SensorError::Bus(e) => write!(f, "i2c: {e}"),
+            SensorError::ConversionNotReady => write!(f, "conversion not ready"),
+            SensorError::NoAdc => write!(f, "no ADC source attached"),
+        }
+    }
+}
+
+impl std::error::Error for SensorError {}
+
+impl From<pab_mcu::McuError> for SensorError {
+    fn from(e: pab_mcu::McuError) -> Self {
+        SensorError::Bus(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display() {
+        assert!(SensorError::ConversionNotReady.to_string().contains("ready"));
+        assert!(SensorError::NoAdc.to_string().contains("ADC"));
+        let e: SensorError = pab_mcu::McuError::I2cNoDevice(0x76).into();
+        assert!(e.to_string().contains("i2c"));
+    }
+}

@@ -1,0 +1,67 @@
+//! Property-based tests: the sensor device models must round-trip any
+//! plausible water condition through their full wire protocols.
+
+use pab_mcu::peripherals::I2cBus;
+use pab_sensors::ph::{nernst_slope_v_per_ph, PhDriver, PhProbe};
+use pab_sensors::{Ms5837, Ms5837Driver, WaterSample};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// MS5837: any (T, P) in the sensor's rated range round-trips through
+    /// the register protocol + compensation math within datasheet accuracy.
+    #[test]
+    fn ms5837_roundtrips_rated_range(
+        t in -5.0f64..45.0,
+        p_mbar in 300.0f64..30_000.0, // up to the 30 bar rating
+    ) {
+        let water = WaterSample { ph: 7.0, temperature_c: t, pressure_mbar: p_mbar };
+        let mut bus = I2cBus::new();
+        bus.attach(Box::new(Ms5837::new(water)));
+        let r = Ms5837Driver::measure(&mut bus).unwrap();
+        prop_assert!((r.temperature_c - t).abs() < 0.05, "T {t} -> {}", r.temperature_c);
+        prop_assert!(
+            (r.pressure_mbar - p_mbar).abs() < 5.0,
+            "P {p_mbar} -> {}",
+            r.pressure_mbar
+        );
+    }
+
+    /// Depth → pressure → implied depth is the identity.
+    #[test]
+    fn depth_roundtrip(depth in 0.0f64..200.0, rho in 990.0f64..1030.0) {
+        let w = WaterSample::at_depth(7.0, 10.0, depth, rho);
+        prop_assert!((w.implied_depth_m(rho) - depth).abs() < 1e-9);
+    }
+
+    /// pH probe + driver invert each other exactly at matched temperature.
+    #[test]
+    fn ph_roundtrips(ph in 0.0f64..14.0, t in 0.0f64..40.0) {
+        let mut w = WaterSample::bench();
+        w.ph = ph;
+        w.temperature_c = t;
+        let probe = PhProbe::new(w);
+        let mut driver = PhDriver::new();
+        driver.assumed_temperature_c = t;
+        let back = driver.volts_to_ph(probe.afe_output_voltage());
+        prop_assert!((back - ph).abs() < 1e-9, "{ph} -> {back}");
+    }
+
+    /// The Nernst slope grows with absolute temperature.
+    #[test]
+    fn nernst_slope_monotone(t1 in -10.0f64..80.0, dt in 0.1f64..50.0) {
+        prop_assert!(nernst_slope_v_per_ph(t1 + dt) > nernst_slope_v_per_ph(t1));
+    }
+
+    /// The AFE output stays inside the ADC's 0–1.5 V rails for ocean-
+    /// plausible water (pH 4–10), so readings are never clipped.
+    #[test]
+    fn afe_output_within_adc_rails(ph in 4.0f64..10.0, t in 0.0f64..35.0) {
+        let mut w = WaterSample::bench();
+        w.ph = ph;
+        w.temperature_c = t;
+        let v = PhProbe::new(w).afe_output_voltage();
+        prop_assert!((0.0..=1.5).contains(&v), "v={v}");
+    }
+}

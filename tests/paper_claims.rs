@@ -1,0 +1,118 @@
+//! Integration tests pinning the paper's headline claims — each test is a
+//! miniature version of one evaluation figure, asserting the *shape* the
+//! paper reports (who wins, what grows, where the knee is).
+
+use pab_analog::RectoPiezo;
+use pab_channel::{Pool, Position};
+use pab_core::baseline::{compare, ActiveAcousticNode, BackscatterEnergyModel};
+use pab_core::link::{LinkConfig, LinkSimulator};
+use pab_core::powerup::max_powerup_distance_m;
+use pab_core::node::PabNode;
+use pab_mcu::{PowerProfile, PowerState};
+use pab_net::packet::Command;
+use pab_piezo::Transducer;
+
+/// Fig. 3: recto-piezos matched at different frequencies have
+/// complementary harvesting bands crossing the 2.5 V threshold.
+#[test]
+fn claim_rectopiezo_fdma_bands() {
+    let n15 = RectoPiezo::design(Transducer::pab_node(), 15_000.0).unwrap();
+    let n18 = RectoPiezo::design(Transducer::pab_node(), 18_000.0).unwrap();
+    let p = 1_020.0;
+    // Each node exceeds the power-up threshold on its own channel...
+    assert!(n15.rectified_voltage(p, 15_000.0, 1e6) > 2.5);
+    assert!(n18.rectified_voltage(p, 18_000.0, 1e6) > 2.5);
+    // ...and each node's own channel beats the other's there.
+    assert!(
+        n15.rectified_voltage(p, 15_000.0, 1e6) > n18.rectified_voltage(p, 15_000.0, 1e6)
+    );
+    assert!(
+        n18.rectified_voltage(p, 18_000.0, 1e6) > n15.rectified_voltage(p, 18_000.0, 1e6)
+    );
+}
+
+/// Fig. 8: SNR declines as bitrate rises, with a sharp drop past ~3 kbps.
+#[test]
+fn claim_snr_declines_with_bitrate() {
+    let snr_at = |bps: f64| {
+        let cfg = LinkConfig {
+            bitrate_target_bps: bps,
+            ..Default::default()
+        };
+        LinkSimulator::new(cfg)
+            .unwrap()
+            .run_query(Command::Ping)
+            .unwrap()
+            .snr_db
+    };
+    let low = snr_at(819.2);
+    let mid = snr_at(2_048.0);
+    let beyond = snr_at(5_461.0); // past the paper's 3 kbps knee
+    assert!(low > mid, "low-rate {low} dB should exceed mid-rate {mid} dB");
+    assert!(
+        mid - beyond > 3.0,
+        "no cliff past 3 kbps: mid {mid} dB vs beyond {beyond} dB"
+    );
+}
+
+/// Fig. 9: power-up range grows with drive voltage, and the corridor
+/// (Pool B) outranges Pool A once voltage is high enough.
+#[test]
+fn claim_range_vs_voltage_and_corridor_gain() {
+    let node = PabNode::new(1, 15_000.0).unwrap();
+    let proj_b = Position::new(0.2, 0.6, 0.5);
+    let pool_b = Pool::pool_b();
+    let r50 =
+        max_powerup_distance_m(&pool_b, &node, &proj_b, 50.0, 15_000.0, 4, 0.1).unwrap();
+    let r350 =
+        max_powerup_distance_m(&pool_b, &node, &proj_b, 350.0, 15_000.0, 4, 0.1).unwrap();
+    assert!(r350 > r50, "no growth: {r50} -> {r350}");
+    // At 350 V the corridor approaches the paper's 10 m.
+    assert!(r350 > 6.0, "corridor range only {r350} m");
+    // Pool A is capped by its 4 m length.
+    let pool_a = Pool::pool_a();
+    let proj_a = Position::new(0.2, 1.5, 0.6);
+    let ra350 =
+        max_powerup_distance_m(&pool_a, &node, &proj_a, 350.0, 15_000.0, 4, 0.1).unwrap();
+    assert!(r350 > ra350, "corridor should outrange pool A at 350 V");
+}
+
+/// Fig. 11: idle 124 µW, backscattering ~500 µW, rate-independent.
+#[test]
+fn claim_power_figures() {
+    let p = PowerProfile::pab_node();
+    let idle = p.state_power_w(PowerState::LowPower3);
+    let active = p.state_power_w(PowerState::Active);
+    assert!((idle - 124e-6).abs() < 5e-6, "idle {idle}");
+    assert!((450e-6..600e-6).contains(&active), "active {active}");
+    // Switching energy at 3 kbps adds well under 5% (rate-independence).
+    let toggle_power = p.toggle_energy_j() * 2.0 * 3_000.0;
+    assert!(toggle_power < 0.05 * active);
+}
+
+/// §2: backscatter beats the carrier-generating baseline by 2–3 orders of
+/// magnitude in energy per bit and throughput.
+#[test]
+fn claim_orders_of_magnitude_over_active_baseline() {
+    let cmp = compare(
+        &ActiveAcousticNode::fish_tag(),
+        &BackscatterEnergyModel::pab_node(),
+        535e-6,
+    );
+    assert!((100.0..100_000.0).contains(&cmp.energy_per_bit_ratio));
+    assert!((100.0..100_000.0).contains(&cmp.throughput_ratio));
+}
+
+/// Abstract: single-link throughputs "up to 3 kbps" — the quantized
+/// 2.73 kbps divider-6 rate decodes end to end at short range.
+#[test]
+fn claim_three_kbps_class_link_works() {
+    let cfg = LinkConfig {
+        bitrate_target_bps: 2_730.0,
+        ..Default::default()
+    };
+    let mut sim = LinkSimulator::new(cfg).unwrap();
+    let report = sim.run_query(Command::Ping).unwrap();
+    assert!((report.bitrate_bps - 2730.67).abs() < 1.0);
+    assert!(report.crc_ok, "2.7 kbps link failed (snr {})", report.snr_db);
+}
