@@ -3,19 +3,19 @@
 use num_complex::Complex64;
 use std::f64::consts::TAU;
 
-/// Impedance of an inductor `l` henries at `freq_hz`.
-pub fn inductor(l: f64, freq_hz: f64) -> Complex64 {
-    Complex64::new(0.0, TAU * freq_hz * l)
+/// Impedance of an inductor `l_henries` at `freq_hz`.
+pub fn inductor(l_henries: f64, freq_hz: f64) -> Complex64 {
+    Complex64::new(0.0, TAU * freq_hz * l_henries)
 }
 
-/// Impedance of a capacitor `c` farads at `freq_hz`.
-pub fn capacitor(c: f64, freq_hz: f64) -> Complex64 {
-    Complex64::new(0.0, -1.0 / (TAU * freq_hz * c))
+/// Impedance of a capacitor `c_farads` at `freq_hz`.
+pub fn capacitor(c_farads: f64, freq_hz: f64) -> Complex64 {
+    Complex64::new(0.0, -1.0 / (TAU * freq_hz * c_farads))
 }
 
 /// Impedance of a resistor.
-pub fn resistor(r: f64) -> Complex64 {
-    Complex64::new(r, 0.0)
+pub fn resistor(r_ohms: f64) -> Complex64 {
+    Complex64::new(r_ohms, 0.0)
 }
 
 /// Series combination.
@@ -34,23 +34,23 @@ pub fn parallel(a: Complex64, b: Complex64) -> Complex64 {
 }
 
 /// Power (watts) delivered to load `z_load` by a source with open-circuit
-/// voltage amplitude `voc` and impedance `z_source`.
-pub fn delivered_power(voc: f64, z_source: Complex64, z_load: Complex64) -> f64 {
+/// voltage amplitude `voc_volts` and impedance `z_source`.
+pub fn delivered_power(voc_volts: f64, z_source: Complex64, z_load: Complex64) -> f64 {
     let total = z_source + z_load;
     if total.norm() == 0.0 {
         return 0.0;
     }
-    let i = voc / total.norm();
+    let i = voc_volts / total.norm();
     0.5 * i * i * z_load.re
 }
 
 /// Maximum available power from a source (delivered under conjugate
 /// match): `Voc² / (8 Rs)`.
-pub fn available_power(voc: f64, z_source: Complex64) -> f64 {
+pub fn available_power(voc_volts: f64, z_source: Complex64) -> f64 {
     if z_source.re <= 0.0 {
         return 0.0;
     }
-    voc * voc / (8.0 * z_source.re)
+    voc_volts * voc_volts / (8.0 * z_source.re)
 }
 
 /// Mismatch efficiency: delivered / available power, in `[0, 1]`.
@@ -98,9 +98,9 @@ mod tests {
     #[test]
     fn conjugate_match_delivers_available_power() {
         let zs = Complex64::new(700.0, 300.0);
-        let voc = 2.0;
-        let p_matched = delivered_power(voc, zs, zs.conj());
-        assert!((p_matched - available_power(voc, zs)).abs() / p_matched < 1e-9);
+        let voc_volts = 2.0;
+        let p_matched = delivered_power(voc_volts, zs, zs.conj());
+        assert!((p_matched - available_power(voc_volts, zs)).abs() / p_matched < 1e-9);
         assert!((mismatch_efficiency(zs, zs.conj()) - 1.0).abs() < 1e-12);
     }
 

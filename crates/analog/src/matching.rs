@@ -70,31 +70,31 @@ impl MatchingNetwork {
     }
 
     /// Analytic L-match design: conjugate-match a source of impedance
-    /// `z_source` (at `f_match`) into the resistive load `r_load`.
+    /// `z_source` (at `f_match_hz`) into the resistive load `r_load_ohms`.
     ///
-    /// Requires `0 < Re(z_source) < r_load` (the down-transforming
+    /// Requires `0 < Re(z_source) < r_load_ohms` (the down-transforming
     /// L-section; always true for the PAB transducer into the rectifier's
     /// ~5 kΩ input).
     pub fn design(
         z_source: Complex64,
-        f_match: f64,
-        r_load: f64,
+        f_match_hz: f64,
+        r_load_ohms: f64,
     ) -> Result<Self, AnalogError> {
-        if !(f_match > 0.0) {
-            return Err(AnalogError::NonPositive("f_match"));
+        if !(f_match_hz > 0.0) {
+            return Err(AnalogError::NonPositive("f_match_hz"));
         }
-        if !(r_load > 0.0) {
-            return Err(AnalogError::NonPositive("r_load"));
+        if !(r_load_ohms > 0.0) {
+            return Err(AnalogError::NonPositive("r_load_ohms"));
         }
         let rs = z_source.re;
         let xs = z_source.im;
-        if !(rs > 0.0) || rs >= r_load {
-            return Err(AnalogError::MatchingFailed { freq_hz: f_match });
+        if !(rs > 0.0) || rs >= r_load_ohms {
+            return Err(AnalogError::MatchingFailed { freq_hz: f_match_hz });
         }
-        let w = TAU * f_match;
-        let q = (r_load / rs - 1.0).sqrt();
-        // Shunt C: transforms r_load down to rs with residual -j·q·rs.
-        let shunt_c = q / (w * r_load);
+        let w = TAU * f_match_hz;
+        let q = (r_load_ohms / rs - 1.0).sqrt();
+        // Shunt C: transforms r_load_ohms down to rs with residual -j·q·rs.
+        let shunt_c = q / (w * r_load_ohms);
         // Series element must supply +j·q·rs and cancel the source's xs.
         let x_el = q * rs - xs;
         let series = if x_el >= 0.0 {
@@ -111,12 +111,12 @@ impl MatchingNetwork {
     }
 
     /// Loaded quality factor of the section when designed for `z_source`
-    /// into `r_load` (`√(R_load/R_s − 1)`).
-    pub fn loaded_q(z_source: Complex64, r_load: f64) -> f64 {
-        if z_source.re <= 0.0 || r_load <= z_source.re {
+    /// into `r_load_ohms` (`√(R_load/R_s − 1)`).
+    pub fn loaded_q(z_source: Complex64, r_load_ohms: f64) -> f64 {
+        if z_source.re <= 0.0 || r_load_ohms <= z_source.re {
             return 0.0;
         }
-        (r_load / z_source.re - 1.0).sqrt()
+        (r_load_ohms / z_source.re - 1.0).sqrt()
     }
 
     /// Complex voltage gain from source open-circuit voltage to the load:
@@ -126,9 +126,9 @@ impl MatchingNetwork {
         &self,
         z_source: Complex64,
         freq_hz: f64,
-        r_load: f64,
+        r_load_ohms: f64,
     ) -> Complex64 {
-        let zp = parallel(capacitor(self.shunt_c_farads, freq_hz), resistor(r_load));
+        let zp = parallel(capacitor(self.shunt_c_farads, freq_hz), resistor(r_load_ohms));
         let total = z_source + self.series.impedance(freq_hz) + zp;
         if total.norm() == 0.0 {
             return Complex64::new(0.0, 0.0);
@@ -136,23 +136,23 @@ impl MatchingNetwork {
         zp / total
     }
 
-    /// Power delivered into `r_load` for open-circuit amplitude `voc`.
+    /// Power delivered into `r_load_ohms` for open-circuit amplitude `voc_volts`.
     pub fn delivered_power(
         &self,
-        voc: f64,
+        voc_volts: f64,
         z_source: Complex64,
         freq_hz: f64,
-        r_load: f64,
+        r_load_ohms: f64,
     ) -> f64 {
-        let v = (self.load_voltage_gain(z_source, freq_hz, r_load) * voc).norm();
-        v * v / (2.0 * r_load)
+        let v = (self.load_voltage_gain(z_source, freq_hz, r_load_ohms) * voc_volts).norm();
+        v * v / (2.0 * r_load_ohms)
     }
 
     /// Impedance looking into the network + load from the source side —
     /// the load the piezo sees in the absorptive backscatter state.
-    pub fn input_impedance(&self, freq_hz: f64, r_load: f64) -> Complex64 {
+    pub fn input_impedance(&self, freq_hz: f64, r_load_ohms: f64) -> Complex64 {
         self.series.impedance(freq_hz)
-            + parallel(capacitor(self.shunt_c_farads, freq_hz), resistor(r_load))
+            + parallel(capacitor(self.shunt_c_farads, freq_hz), resistor(r_load_ohms))
     }
 }
 
@@ -167,9 +167,9 @@ mod tests {
         let t = Transducer::pab_node();
         let f0 = 15_000.0;
         let zs = t.electrical_impedance(f0);
-        let r_load = 5_000.0;
-        let m = MatchingNetwork::design(zs, f0, r_load).unwrap();
-        let delivered = m.delivered_power(1.0, zs, f0, r_load);
+        let r_load_ohms = 5_000.0;
+        let m = MatchingNetwork::design(zs, f0, r_load_ohms).unwrap();
+        let delivered = m.delivered_power(1.0, zs, f0, r_load_ohms);
         let avail = available_power(1.0, zs);
         assert!(
             (delivered - avail).abs() / avail < 1e-6,
@@ -182,9 +182,9 @@ mod tests {
         let t = Transducer::pab_node();
         let f0 = 15_000.0;
         let zs = t.electrical_impedance(f0);
-        let r_load = 5_000.0;
-        let m = MatchingNetwork::design(zs, f0, r_load).unwrap();
-        let zin = m.input_impedance(f0, r_load);
+        let r_load_ohms = 5_000.0;
+        let m = MatchingNetwork::design(zs, f0, r_load_ohms).unwrap();
+        let zin = m.input_impedance(f0, r_load_ohms);
         assert!(
             (zin - zs.conj()).norm() / zs.norm() < 1e-6,
             "zin={zin} zs*={}",
@@ -197,14 +197,14 @@ mod tests {
         let t = Transducer::pab_node();
         let f0 = 15_000.0;
         let zs15 = t.electrical_impedance(f0);
-        let r_load = 5_000.0;
-        let m = MatchingNetwork::design(zs15, f0, r_load).unwrap();
-        let at_match = m.delivered_power(1.0, zs15, f0, r_load);
+        let r_load_ohms = 5_000.0;
+        let m = MatchingNetwork::design(zs15, f0, r_load_ohms).unwrap();
+        let at_match = m.delivered_power(1.0, zs15, f0, r_load_ohms);
         let off = m.delivered_power(
             1.0,
             t.electrical_impedance(20_000.0),
             20_000.0,
-            r_load,
+            r_load_ohms,
         );
         assert!(at_match > 3.0 * off, "at {at_match} vs off {off}");
     }
@@ -212,12 +212,12 @@ mod tests {
     #[test]
     fn different_match_frequencies_give_different_networks() {
         let t = Transducer::pab_node();
-        let r_load = 5_000.0;
+        let r_load_ohms = 5_000.0;
         let m15 =
-            MatchingNetwork::design(t.electrical_impedance(15_000.0), 15_000.0, r_load)
+            MatchingNetwork::design(t.electrical_impedance(15_000.0), 15_000.0, r_load_ohms)
                 .unwrap();
         let m18 =
-            MatchingNetwork::design(t.electrical_impedance(18_000.0), 18_000.0, r_load)
+            MatchingNetwork::design(t.electrical_impedance(18_000.0), 18_000.0, r_load_ohms)
                 .unwrap();
         assert_ne!(m15, m18);
     }

@@ -68,44 +68,44 @@ impl MultiStageRectifier {
     }
 
     /// Unloaded (open-circuit) DC output for an AC input of peak amplitude
-    /// `v_peak`: `2 N max(0, v_peak − v_diode)`.
-    pub fn open_circuit_dc_v(&self, v_peak: f64) -> f64 {
-        2.0 * self.stages as f64 * (v_peak - self.diode_drop_v).max(0.0)
+    /// `v_peak_v`: `2 N max(0, v_peak_v − v_diode)`.
+    pub fn open_circuit_dc_v(&self, v_peak_v: f64) -> f64 {
+        2.0 * self.stages as f64 * (v_peak_v - self.diode_drop_v).max(0.0)
     }
 
-    /// DC output when the load draws `i_load` amps: droop through the
+    /// DC output when the load draws `i_load_a` amps: droop through the
     /// output resistance, floored at zero.
-    pub fn loaded_dc_v(&self, v_peak: f64, i_load: f64) -> f64 {
-        (self.open_circuit_dc_v(v_peak) - i_load.max(0.0) * self.output_resistance_ohms)
+    pub fn loaded_dc_v(&self, v_peak_v: f64, i_load_a: f64) -> f64 {
+        (self.open_circuit_dc_v(v_peak_v) - i_load_a.max(0.0) * self.output_resistance_ohms)
             .max(0.0)
     }
 
-    /// DC output when feeding a resistive DC load `r_load` (voltage
+    /// DC output when feeding a resistive DC load `r_load_ohms` (voltage
     /// divider between output resistance and load), capped so output power
     /// never exceeds `max_efficiency` × the AC power accepted at the input.
-    pub fn dc_into_load_v(&self, v_peak: f64, r_load: f64) -> f64 {
-        if r_load <= 0.0 {
+    pub fn dc_into_load_v(&self, v_peak_v: f64, r_load_ohms: f64) -> f64 {
+        if r_load_ohms <= 0.0 {
             return 0.0;
         }
         let v_model =
-            self.open_circuit_dc_v(v_peak) * r_load / (r_load + self.output_resistance_ohms);
-        let p_in = v_peak * v_peak / (2.0 * self.input_resistance_ohms);
-        let v_cap = (self.max_efficiency * p_in * r_load).sqrt();
+            self.open_circuit_dc_v(v_peak_v) * r_load_ohms / (r_load_ohms + self.output_resistance_ohms);
+        let p_in = v_peak_v * v_peak_v / (2.0 * self.input_resistance_ohms);
+        let v_cap = (self.max_efficiency * p_in * r_load_ohms).sqrt();
         v_model.min(v_cap)
     }
 
-    /// AC-to-DC conversion efficiency at input amplitude `v_peak` into DC
-    /// load `r_load`: output DC power / input AC power.
-    pub fn efficiency(&self, v_peak: f64, r_load: f64) -> f64 {
-        if v_peak <= 0.0 || r_load <= 0.0 {
+    /// AC-to-DC conversion efficiency at input amplitude `v_peak_v` into DC
+    /// load `r_load_ohms`: output DC power / input AC power.
+    pub fn efficiency(&self, v_peak_v: f64, r_load_ohms: f64) -> f64 {
+        if v_peak_v <= 0.0 || r_load_ohms <= 0.0 {
             return 0.0;
         }
-        let p_in = v_peak * v_peak / (2.0 * self.input_resistance_ohms);
+        let p_in = v_peak_v * v_peak_v / (2.0 * self.input_resistance_ohms);
         if p_in == 0.0 {
             return 0.0;
         }
-        let v_out = self.dc_into_load_v(v_peak, r_load);
-        let p_out = v_out * v_out / r_load;
+        let v_out = self.dc_into_load_v(v_peak_v, r_load_ohms);
+        let p_out = v_out * v_out / r_load_ohms;
         (p_out / p_in).min(1.0)
     }
 
@@ -182,9 +182,9 @@ mod tests {
     #[test]
     fn energy_conservation_cap_limits_light_load_power() {
         let r = MultiStageRectifier::pab_node();
-        let v_peak = 0.5;
-        let p_in = v_peak * v_peak / (2.0 * r.input_resistance_ohms);
-        let v_out = r.dc_into_load_v(v_peak, 20_000.0);
+        let v_peak_v = 0.5;
+        let p_in = v_peak_v * v_peak_v / (2.0 * r.input_resistance_ohms);
+        let v_out = r.dc_into_load_v(v_peak_v, 20_000.0);
         let p_out = v_out * v_out / 20_000.0;
         assert!(p_out <= r.max_efficiency * p_in + 1e-15);
     }

@@ -47,32 +47,32 @@ impl Ldo {
         }
     }
 
-    /// Whether the regulator is in regulation at input voltage `vin`.
-    pub fn in_regulation(&self, vin: f64) -> bool {
-        vin >= self.output_v + self.dropout_v
+    /// Whether the regulator is in regulation at input voltage `vin_v`.
+    pub fn in_regulation(&self, vin_v: f64) -> bool {
+        vin_v >= self.output_v + self.dropout_v
     }
 
     /// Output voltage for a given input: regulated when possible, tracking
     /// (input minus dropout, floored at 0) when not.
-    pub fn output_for(&self, vin: f64) -> f64 {
-        if self.in_regulation(vin) {
+    pub fn output_for(&self, vin_v: f64) -> f64 {
+        if self.in_regulation(vin_v) {
             self.output_v
         } else {
-            (vin - self.dropout_v).max(0.0)
+            (vin_v - self.dropout_v).max(0.0)
         }
     }
 
     /// Input current drawn from the storage capacitor when the load draws
-    /// `i_load` at the output (LDO is a linear pass device: input current =
+    /// `i_load_a` at the output (LDO is a linear pass device: input current =
     /// load current + quiescent).
-    pub fn input_current(&self, i_load: f64) -> f64 {
-        i_load.max(0.0) + self.quiescent_a
+    pub fn input_current(&self, i_load_a: f64) -> f64 {
+        i_load_a.max(0.0) + self.quiescent_a
     }
 
-    /// Power dissipated inside the regulator at `vin` with load `i_load`.
-    pub fn dissipation_w(&self, vin: f64, i_load: f64) -> f64 {
-        let vout = self.output_for(vin);
-        ((vin - vout) * i_load.max(0.0) + vin * self.quiescent_a).max(0.0)
+    /// Power dissipated inside the regulator at `vin_v` with load `i_load_a`.
+    pub fn dissipation_w(&self, vin_v: f64, i_load_a: f64) -> f64 {
+        let vout = self.output_for(vin_v);
+        ((vin_v - vout) * i_load_a.max(0.0) + vin_v * self.quiescent_a).max(0.0)
     }
 }
 

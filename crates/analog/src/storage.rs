@@ -47,8 +47,8 @@ impl Supercap {
     }
 
     /// Force the terminal voltage (e.g. start a scenario pre-charged).
-    pub fn set_voltage(&mut self, v: f64) {
-        self.voltage_v = v.max(0.0);
+    pub fn set_voltage(&mut self, volts: f64) {
+        self.voltage_v = volts.max(0.0);
     }
 
     /// Stored energy, joules: `½CV²`.
@@ -56,12 +56,12 @@ impl Supercap {
         0.5 * self.capacitance_f * self.voltage_v * self.voltage_v
     }
 
-    /// Advance the capacitor by `dt` seconds with a charging source
+    /// Advance the capacitor by `dt_s` seconds with a charging source
     /// (`source_v` behind `source_ohms`) and a constant load current draw.
     ///
-    /// Uses a forward-Euler step; callers should keep `dt` well below the
+    /// Uses a forward-Euler step; callers should keep `dt_s` well below the
     /// RC time constants involved (the simulation harness uses 1 ms).
-    pub fn step(&mut self, source_v: f64, source_ohms: f64, load_current_a: f64, dt: f64) {
+    pub fn step(&mut self, source_v: f64, source_ohms: f64, load_current_a: f64, dt_s: f64) {
         let i_charge = if source_ohms > 0.0 && source_v > self.voltage_v {
             (source_v - self.voltage_v) / source_ohms
         } else {
@@ -69,7 +69,7 @@ impl Supercap {
         };
         let i_leak = self.voltage_v / self.leakage_ohms;
         let di = i_charge - i_leak - load_current_a.max(0.0);
-        self.voltage_v = (self.voltage_v + di * dt / self.capacitance_f).max(0.0);
+        self.voltage_v = (self.voltage_v + di * dt_s / self.capacitance_f).max(0.0);
     }
 
     /// Time (seconds) to charge from the current voltage to `target_v`

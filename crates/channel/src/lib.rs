@@ -83,8 +83,8 @@ mod tests {
             max: 3.0,
         };
         assert!(e.to_string().contains('x'));
-        assert!(ChannelError::InvalidParameter("fs")
+        assert!(ChannelError::InvalidParameter("fs_hz")
             .to_string()
-            .contains("fs"));
+            .contains("fs_hz"));
     }
 }

@@ -62,14 +62,14 @@ impl MovingPath {
 
     /// Propagate a sampled waveform along the moving path: per-sample
     /// time-varying delay (Doppler) and spreading loss.
-    pub fn apply(&self, signal: &[f64], fs: f64) -> Vec<f64> {
+    pub fn apply(&self, signal: &[f64], fs_hz: f64) -> Vec<f64> {
         let c = self.sound_speed_m_s;
         let n_out = signal.len()
-            + (self.distance_at(signal.len() as f64 / fs) / c * fs).ceil() as usize
+            + (self.distance_at(signal.len() as f64 / fs_hz) / c * fs_hz).ceil() as usize
             + 2;
         let mut out = vec![0.0; n_out];
         for (i, o) in out.iter_mut().enumerate() {
-            let t_rx = i as f64 / fs;
+            let t_rx = i as f64 / fs_hz;
             // Solve t_tx from t_rx = t_tx + (d0 + v·t_tx)/c  (emission-time
             // form; exact for constant radial velocity).
             let t_tx = (t_rx - self.initial_distance_m / c)
@@ -77,7 +77,7 @@ impl MovingPath {
             if t_tx < 0.0 {
                 continue;
             }
-            let x = t_tx * fs;
+            let x = t_tx * fs_hz;
             let k = x.floor() as usize;
             let frac = x - x.floor();
             if k + 1 >= signal.len() {
@@ -99,30 +99,30 @@ mod tests {
 
     #[test]
     fn stationary_path_matches_free_field() {
-        let fs = 48_000.0;
+        let fs_hz = 48_000.0;
         let p = MovingPath::new(3.0, 0.0, 1_500.0).unwrap();
-        let x = tone(1_000.0, fs, 0.0, 9_600);
-        let y = p.apply(&x, fs);
+        let x = tone(1_000.0, fs_hz, 0.0, 9_600);
+        let y = p.apply(&x, fs_hz);
         // Amplitude 1/3, frequency unchanged.
-        let a = tone_amplitude(&y[2_000..8_000], 1_000.0, fs);
+        let a = tone_amplitude(&y[2_000..8_000], 1_000.0, fs_hz);
         assert!((a - 1.0 / 3.0).abs() < 0.01, "a={a}");
         assert!((p.observed_frequency_hz(1_000.0) - 1_000.0).abs() < 1e-9);
     }
 
     #[test]
     fn receding_node_shifts_frequency_down() {
-        let fs = 192_000.0;
+        let fs_hz = 192_000.0;
         let v = 5.0; // m/s, fast swimmer
         let p = MovingPath::new(2.0, v, 1_500.0).unwrap();
         let f0 = 15_000.0;
-        let x = tone(f0, fs, 0.0, 192_000);
-        let y = p.apply(&x, fs);
+        let x = tone(f0, fs_hz, 0.0, 192_000);
+        let y = p.apply(&x, fs_hz);
         let f_obs = p.observed_frequency_hz(f0);
         assert!(f_obs < f0);
         // Energy sits at the Doppler-shifted frequency, not the original.
         let seg = &y[20_000..170_000];
-        let at_shifted = tone_amplitude(seg, f_obs, fs);
-        let at_original = tone_amplitude(seg, f0, fs);
+        let at_shifted = tone_amplitude(seg, f_obs, fs_hz);
+        let at_original = tone_amplitude(seg, f0, fs_hz);
         assert!(
             at_shifted > 3.0 * at_original,
             "shifted {at_shifted} vs original {at_original}"
@@ -131,14 +131,14 @@ mod tests {
 
     #[test]
     fn approaching_node_shifts_frequency_up_and_gets_louder() {
-        let fs = 192_000.0;
+        let fs_hz = 192_000.0;
         let p = MovingPath::new(5.0, -2.0, 1_500.0).unwrap();
         assert!(p.observed_frequency_hz(15_000.0) > 15_000.0);
-        let x = tone(15_000.0, fs, 0.0, 192_000);
-        let y = p.apply(&x, fs);
+        let x = tone(15_000.0, fs_hz, 0.0, 192_000);
+        let y = p.apply(&x, fs_hz);
         // Early (far) quieter than late (near).
-        let early = tone_amplitude(&y[10_000..40_000], p.observed_frequency_hz(15_000.0), fs);
-        let late = tone_amplitude(&y[150_000..180_000], p.observed_frequency_hz(15_000.0), fs);
+        let early = tone_amplitude(&y[10_000..40_000], p.observed_frequency_hz(15_000.0), fs_hz);
+        let late = tone_amplitude(&y[150_000..180_000], p.observed_frequency_hz(15_000.0), fs_hz);
         assert!(late > early, "late {late} vs early {early}");
     }
 

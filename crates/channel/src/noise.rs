@@ -79,25 +79,29 @@ pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
     (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
 }
 
-/// Add white Gaussian noise with standard deviation `sigma` to a signal in
+/// Add white Gaussian noise with standard deviation `sigma_pa` to a signal in
 /// place.
-pub fn add_awgn<R: Rng + ?Sized>(signal: &mut [f64], sigma: f64, rng: &mut R) {
-    if sigma <= 0.0 {
+pub fn add_awgn<R: Rng + ?Sized>(signal: &mut [f64], sigma_pa: f64, rng: &mut R) {
+    if sigma_pa <= 0.0 {
         return;
     }
     for s in signal.iter_mut() {
-        *s += sigma * standard_normal(rng);
+        *s += sigma_pa * standard_normal(rng);
     }
 }
 
 /// Generate `n` samples of white Gaussian noise with standard deviation
-/// `sigma`.
-pub fn awgn<R: Rng + ?Sized>(n: usize, sigma: f64, rng: &mut R) -> Vec<f64> {
-    (0..n).map(|_| sigma * standard_normal(rng)).collect()
+/// `sigma_pa`.
+pub fn awgn<R: Rng + ?Sized>(n: usize, sigma_pa: f64, rng: &mut R) -> Vec<f64> {
+    (0..n).map(|_| sigma_pa * standard_normal(rng)).collect()
 }
 
 /// Sigma needed for a target SNR (dB) given a signal power (linear).
-pub fn sigma_for_snr_db(signal_power: f64, snr_db: f64) -> f64 {
+/// The returned sigma is in the signal's own amplitude units.
+pub fn sigma_for_snr_db(
+    signal_power: f64, // lint: unitless — linear power in the signal's own units; only the SNR ratio matters
+    snr_db: f64,
+) -> f64 {
     (signal_power / 10f64.powf(snr_db / 10.0)).sqrt()
 }
 
@@ -167,9 +171,9 @@ mod tests {
 
     #[test]
     fn sigma_for_snr_inverts() {
-        let sigma = sigma_for_snr_db(0.5, 10.0);
-        // SNR = P_sig / sigma^2 = 0.5 / 0.05 = 10 => 10 dB.
-        assert!((0.5 / (sigma * sigma) - 10.0).abs() < 1e-9);
+        let sigma_pa = sigma_for_snr_db(0.5, 10.0);
+        // SNR = P_sig / sigma_pa^2 = 0.5 / 0.05 = 10 => 10 dB.
+        assert!((0.5 / (sigma_pa * sigma_pa) - 10.0).abs() < 1e-9);
     }
 
     #[test]

@@ -26,8 +26,8 @@ pub struct Position {
 
 impl Position {
     /// Convenience constructor.
-    pub fn new(x: f64, y: f64, z: f64) -> Self {
-        Position { x, y, z }
+    pub fn new(x_m: f64, y_m: f64, z_m: f64) -> Self {
+        Position { x: x_m, y: y_m, z: z_m }
     }
 
     /// Euclidean distance to another position.

@@ -101,16 +101,16 @@ impl MultipathChannel {
         var.sqrt()
     }
 
-    /// Apply the channel to a sampled waveform at sample rate `fs`.
+    /// Apply the channel to a sampled waveform at sample rate `fs_hz`.
     ///
     /// The output buffer is extended by the maximum tap delay so no energy
     /// is truncated; fractional delays use linear interpolation.
-    pub fn apply(&self, signal: &[f64], fs: f64) -> Vec<f64> {
+    pub fn apply(&self, signal: &[f64], fs_hz: f64) -> Vec<f64> {
         let max_delay = self.taps.last().map(|t| t.delay_s).unwrap_or(0.0);
-        let extra = (max_delay * fs).ceil() as usize + 2;
+        let extra = (max_delay * fs_hz).ceil() as usize + 2;
         let mut out = vec![0.0; signal.len() + extra];
         for t in &self.taps {
-            add_delayed_scaled(&mut out, signal, t.delay_s * fs, t.gain);
+            add_delayed_scaled(&mut out, signal, t.delay_s * fs_hz, t.gain);
         }
         out
     }
@@ -118,9 +118,9 @@ impl MultipathChannel {
     /// Apply the channel into a caller-owned accumulation buffer (for
     /// superposing several sources at one receiver). Energy falling past
     /// the end of `dst` is dropped.
-    pub fn apply_into(&self, dst: &mut [f64], signal: &[f64], fs: f64) {
+    pub fn apply_into(&self, dst: &mut [f64], signal: &[f64], fs_hz: f64) {
         for t in &self.taps {
-            add_delayed_scaled(dst, signal, t.delay_s * fs, t.gain);
+            add_delayed_scaled(dst, signal, t.delay_s * fs_hz, t.gain);
         }
     }
 }
@@ -160,7 +160,7 @@ mod tests {
 
     #[test]
     fn apply_impulse_reveals_taps() {
-        let fs = 1000.0;
+        let fs_hz = 1000.0;
         let ch = MultipathChannel::new(vec![
             Tap { delay_s: 0.002, gain: 1.0 },
             Tap { delay_s: 0.005, gain: -0.5 },
@@ -168,17 +168,17 @@ mod tests {
         .unwrap();
         let mut x = vec![0.0; 10];
         x[0] = 1.0;
-        let y = ch.apply(&x, fs);
+        let y = ch.apply(&x, fs_hz);
         assert!((y[2] - 1.0).abs() < 1e-12);
         assert!((y[5] + 0.5).abs() < 1e-12);
     }
 
     #[test]
     fn apply_extends_for_late_taps() {
-        let fs = 1000.0;
+        let fs_hz = 1000.0;
         let ch = MultipathChannel::new(vec![Tap { delay_s: 0.05, gain: 1.0 }]).unwrap();
         let x = vec![1.0; 10];
-        let y = ch.apply(&x, fs);
+        let y = ch.apply(&x, fs_hz);
         assert!(y.len() >= 60);
         assert!((y[55] - 1.0).abs() < 1e-12);
     }

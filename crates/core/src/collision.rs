@@ -49,6 +49,7 @@ pub fn solve_linear(a: &[Vec<f64>], b: &[f64]) -> Result<Vec<f64>, CoreError> {
         let (pivot, max) = (col..n)
             .map(|r| (r, m[r][col].abs()))
             .max_by(|x, y| x.1.total_cmp(&y.1))
+            // lint: allow(no-unwrap-in-lib) col < n, so the iterator is non-empty
             .unwrap();
         if max < 1e-12 {
             return Err(CoreError::InvalidConfig("singular system"));
@@ -298,6 +299,7 @@ pub fn solve_linear_complex(
         let (pivot, max) = (col..n)
             .map(|r| (r, m[r][col].norm()))
             .max_by(|x, y| x.1.total_cmp(&y.1))
+            // lint: allow(no-unwrap-in-lib) col < n, so the iterator is non-empty
             .unwrap();
         if max < 1e-12 {
             return Err(CoreError::InvalidConfig("singular system"));
@@ -428,7 +430,7 @@ pub fn condition_number_n(ch: &[ComplexAffineChannel]) -> f64 {
 pub fn aligned_sinr_db(
     estimate: &[f64],
     truth01: &[f64],
-    fs: f64,
+    fs_hz: f64,
     bitrate_bps: f64,
     max_lag: usize,
 ) -> f64 {
@@ -436,8 +438,8 @@ pub fn aligned_sinr_db(
     if n < 4 * max_lag + 16 {
         return sinr_db(estimate, truth01);
     }
-    let cutoff = (2.0 * bitrate_bps).clamp(200.0, 0.4 * fs);
-    let smooth = match pab_dsp::iir::butter_lowpass(4, cutoff, fs) {
+    let cutoff = (2.0 * bitrate_bps).clamp(200.0, 0.4 * fs_hz);
+    let smooth = match pab_dsp::iir::butter_lowpass(4, cutoff, fs_hz) {
         Ok(lp) => lp.filtfilt(&truth01[..n]),
         Err(_) => truth01[..n].to_vec(),
     };
@@ -445,11 +447,11 @@ pub fn aligned_sinr_db(
     let mut lag: i64 = -(max_lag as i64);
     while lag <= max_lag as i64 {
         let (e_off, t_off) = if lag >= 0 {
-            (lag as usize, 0usize)
+            (lag as usize, 0usize) // lint: allow(lossy-cast) lag >= 0 in this branch
         } else {
-            (0usize, (-lag) as usize)
+            (0usize, (-lag) as usize) // lint: allow(lossy-cast) lag < 0 in this branch
         };
-        let m = n - lag.unsigned_abs() as usize;
+        let m = n - lag.unsigned_abs() as usize; // lint: allow(lossy-cast) lossless widening on 64-bit
         let s = sinr_db(&estimate[e_off..e_off + m], &smooth[t_off..t_off + m]);
         if s > best {
             best = s;

@@ -96,6 +96,7 @@ impl PabFirmware {
     pub fn bitrate_bps(&self, svc: &McuServices) -> f64 {
         svc.clock()
             .bitrate_for_divider(self.divider.max(1) as u64)
+            // lint: allow(no-unwrap-in-lib) divider clamped to >= 1 above
             .expect("divider >= 1")
     }
 
@@ -183,18 +184,21 @@ impl PabFirmware {
                 self.last_query = Some(query);
                 let packet = self.build_response(svc, &query);
                 self.tx_frontend_index = self.rectopiezo_index;
+                // lint: allow(no-unwrap-in-lib) build_response caps payload at MAX_PAYLOAD
                 let bits = packet.to_bits().expect("payload fits");
                 self.tx_halves = fm0::encode(&bits, false);
                 // FM0 end-of-signaling: a dummy '1' bit after the packet
                 // (as in EPC Gen2) so the final data bit's level is held
                 // through its full duration instead of collapsing when
                 // the switch releases.
+                // lint: allow(no-unwrap-in-lib) fm0::encode of a preamble'd packet is never empty
                 let last = *self.tx_halves.last().expect("non-empty packet");
                 self.tx_halves.push(!last);
                 self.tx_halves.push(!last);
                 self.tx_idx = 0;
                 self.seq = self.seq.wrapping_add(1);
                 self.phase = Phase::Guard;
+                // lint: allow(no-unwrap-in-lib) guard_s is a positive firmware constant
                 svc.set_timer_oneshot(self.guard_s).expect("guard > 0");
                 svc.enter_low_power();
             }
@@ -233,6 +237,7 @@ impl Firmware for PabFirmware {
         }
         self.falling_edges.push(svc.now_s());
         svc.set_timer_oneshot(self.query_end_timeout_s())
+            // lint: allow(no-unwrap-in-lib) timeout derives from positive clock constants
             .expect("timeout > 0");
         svc.enter_low_power();
     }
@@ -252,6 +257,7 @@ impl Firmware for PabFirmware {
                 self.phase = Phase::Transmitting;
                 svc.stay_active();
                 let period = self.half_bit_period_s(svc);
+                // lint: allow(no-unwrap-in-lib) half-bit period of a positive bitrate
                 svc.set_timer_periodic(period).expect("period > 0");
                 // First half-bit goes out immediately.
                 self.emit_half(svc);
@@ -344,16 +350,16 @@ mod tests {
         let clock = mcu.services.clock();
         let half = clock.ticks_to_seconds(6);
         let n = expect_halves.len();
-        let fs = 192_000.0;
+        let fs_hz = 192_000.0;
         let wave = mcu.services.rasterize_pin(
             Pin::BackscatterSwitch,
-            fs,
-            ((t0 + (n as f64 + 2.0) * half) * fs) as usize,
+            fs_hz,
+            ((t0 + (n as f64 + 2.0) * half) * fs_hz) as usize,
         );
         let halves: Vec<bool> = (0..n)
             .map(|k| {
                 let t = t0 + (k as f64 + 0.5) * half;
-                wave[(t * fs) as usize]
+                wave[(t * fs_hz) as usize]
             })
             .collect();
         assert_eq!(halves, expect_halves);
@@ -441,14 +447,14 @@ mod tests {
         let t0 = tr[0].time_s;
         let half = mcu.services.clock().ticks_to_seconds(6);
         let n_bits = UplinkPacket::bits_len(4);
-        let fs = 192_000.0;
+        let fs_hz = 192_000.0;
         let wave = mcu.services.rasterize_pin(
             Pin::BackscatterSwitch,
-            fs,
-            ((t0 + (2 * n_bits) as f64 * half + 0.01) * fs) as usize,
+            fs_hz,
+            ((t0 + (2 * n_bits) as f64 * half + 0.01) * fs_hz) as usize,
         );
         let halves: Vec<bool> = (0..2 * n_bits)
-            .map(|k| wave[((t0 + (k as f64 + 0.5) * half) * fs) as usize])
+            .map(|k| wave[((t0 + (k as f64 + 0.5) * half) * fs_hz) as usize])
             .collect();
         let bits = fm0::decode(&halves, false).unwrap();
         let pkt = UplinkPacket::from_bits(&bits).unwrap();

@@ -135,7 +135,7 @@ mod tests {
     fn errors_display() {
         assert!(CoreError::NodeNotPoweredUp.to_string().contains("power"));
         assert!(CoreError::NoPacketDetected.to_string().contains("packet"));
-        assert!(CoreError::InvalidConfig("fs").to_string().contains("fs"));
+        assert!(CoreError::InvalidConfig("fs_hz").to_string().contains("fs_hz"));
         let e: CoreError = pab_net::NetError::NoPreamble.into();
         assert!(e.to_string().contains("net"));
     }

@@ -43,7 +43,7 @@ pub struct LinkConfig {
     /// RNG seed (noise realisation).
     pub seed: u64,
     /// Sample rate, Hz.
-    pub fs: f64,
+    pub fs_hz: f64,
     /// Water conditions for the node's sensors.
     pub water: pab_sensors::WaterSample,
     /// Battery-assisted node (bypasses the harvesting power-up threshold;
@@ -71,7 +71,7 @@ impl Default for LinkConfig {
             noise: NoiseEnvironment::quiet_tank(),
             noise_scale: 1.0,
             seed: 1,
-            fs: DEFAULT_SAMPLE_RATE_HZ,
+            fs_hz: DEFAULT_SAMPLE_RATE_HZ,
             water: pab_sensors::WaterSample::bench(),
             battery_assisted: false,
             extra_match_hz: Vec::new(),
@@ -120,7 +120,7 @@ impl LinkSimulator {
     /// Build the simulator, designing the node front end.
     pub fn new(cfg: LinkConfig) -> Result<Self, CoreError> {
         let mut projector = Projector::new(cfg.drive_voltage_v)?;
-        projector.fs = cfg.fs;
+        projector.fs_hz = cfg.fs_hz;
         let mut node = PabNode::new(cfg.node_addr, cfg.f_match_hz)?;
         for &f in &cfg.extra_match_hz {
             node = node.with_extra_frontend(f)?;
@@ -132,7 +132,7 @@ impl LinkSimulator {
         node.default_divider = divider as u16;
         let receiver = Receiver {
             sensitivity_v_per_pa: 1.0e-3,
-            fs: cfg.fs,
+            fs_hz: cfg.fs_hz,
         };
         let rng = ChaCha8Rng::seed_from_u64(cfg.seed);
         Ok(LinkSimulator {
@@ -163,6 +163,7 @@ impl LinkSimulator {
     pub fn bitrate_bps(&self) -> f64 {
         Clock::watch_crystal()
             .bitrate_for_divider(self.node.default_divider as u64)
+            // lint: allow(no-unwrap-in-lib) default_divider is validated non-zero at construction
             .expect("divider >= 1")
     }
 
@@ -202,13 +203,13 @@ impl LinkSimulator {
             self.cfg.max_reflections,
             self.cfg.carrier_hz,
         )?;
-        let incident = ch_pn.apply(&tx_wave, self.cfg.fs);
+        let incident = ch_pn.apply(&tx_wave, self.cfg.fs_hz);
         let node_out = self.node.process(
             &[IncidentComponent {
                 carrier_hz: self.cfg.carrier_hz,
                 samples: incident,
             }],
-            self.cfg.fs,
+            self.cfg.fs_hz,
             Some(self.cfg.water),
         )?;
 
@@ -226,17 +227,17 @@ impl LinkSimulator {
             self.cfg.max_reflections,
             self.cfg.carrier_hz,
         )?;
-        let margin = (0.01 * self.cfg.fs) as usize;
+        let margin = (0.01 * self.cfg.fs_hz).floor() as usize;
         let n_rx = node_out.backscatter[0].len() + margin;
         let mut y = vec![0.0; n_rx];
-        ch_ph.apply_into(&mut y, &tx_wave, self.cfg.fs);
-        ch_nh.apply_into(&mut y, &node_out.backscatter[0], self.cfg.fs);
+        ch_ph.apply_into(&mut y, &tx_wave, self.cfg.fs_hz);
+        ch_nh.apply_into(&mut y, &node_out.backscatter[0], self.cfg.fs_hz);
 
         // Ambient noise.
         let sigma = self
             .cfg
             .noise
-            .rms_pressure_pa(self.cfg.carrier_hz, self.cfg.fs / 2.0)?
+            .rms_pressure_pa(self.cfg.carrier_hz, self.cfg.fs_hz / 2.0)?
             * self.cfg.noise_scale;
         add_awgn(&mut y, sigma, &mut self.rng);
 
@@ -334,13 +335,13 @@ impl LinkSimulator {
         toggle_start_s: f64,
         half_period_s: f64,
     ) -> Result<Vec<f64>, CoreError> {
-        let fs = self.cfg.fs;
-        let n = (total_s * fs) as usize;
+        let fs_hz = self.cfg.fs_hz;
+        let n = (total_s * fs_hz).floor() as usize;
         let cw = self
             .projector
             .continuous_wave(self.cfg.carrier_hz, total_s - projector_start_s);
         let mut tx = vec![0.0; n];
-        let off = (projector_start_s * fs) as usize;
+        let off = (projector_start_s * fs_hz).floor() as usize;
         for (i, &s) in cw.iter().enumerate() {
             if off + i < n {
                 tx[off + i] = s;
@@ -352,14 +353,14 @@ impl LinkSimulator {
             self.cfg.max_reflections,
             self.cfg.carrier_hz,
         )?;
-        let incident = ch_pn.apply(&tx, fs);
+        let incident = ch_pn.apply(&tx, fs_hz);
         let comp = IncidentComponent {
             carrier_hz: self.cfg.carrier_hz,
             samples: incident,
         };
         let node_out =
             self.node
-                .process_fixed_toggle(&comp, fs, toggle_start_s, half_period_s)?;
+                .process_fixed_toggle(&comp, fs_hz, toggle_start_s, half_period_s)?;
         let ch_ph = self.cfg.pool.channel(
             &self.cfg.projector_pos,
             &self.cfg.hydrophone_pos,
@@ -373,12 +374,12 @@ impl LinkSimulator {
             self.cfg.carrier_hz,
         )?;
         let mut y = vec![0.0; n];
-        ch_ph.apply_into(&mut y, &tx, fs);
-        ch_nh.apply_into(&mut y, &node_out.backscatter[0], fs);
+        ch_ph.apply_into(&mut y, &tx, fs_hz);
+        ch_nh.apply_into(&mut y, &node_out.backscatter[0], fs_hz);
         let sigma = self
             .cfg
             .noise
-            .rms_pressure_pa(self.cfg.carrier_hz, fs / 2.0)?
+            .rms_pressure_pa(self.cfg.carrier_hz, fs_hz / 2.0)?
             * self.cfg.noise_scale;
         add_awgn(&mut y, sigma, &mut self.rng);
         let recorded = self.receiver.record(&y);
@@ -450,15 +451,15 @@ mod tests {
     fn fig2_envelope_shows_projector_then_backscatter() {
         let mut sim = LinkSimulator::new(LinkConfig::default()).unwrap();
         let env = sim.run_fig2(1.2, 0.2, 0.6, 0.1).unwrap();
-        let fs = sim.config().fs;
+        let fs_hz = sim.config().fs_hz;
         // Quiet before the projector starts.
-        let before = pab_dsp::stats::mean(&env[..(0.15 * fs) as usize]);
+        let before = pab_dsp::stats::mean(&env[..(0.15 * fs_hz) as usize]);
         // Constant after the projector is on but before backscatter.
-        let during_cw = pab_dsp::stats::mean(&env[(0.3 * fs) as usize..(0.55 * fs) as usize]);
+        let during_cw = pab_dsp::stats::mean(&env[(0.3 * fs_hz) as usize..(0.55 * fs_hz) as usize]);
         assert!(during_cw > 10.0 * before.max(1e-12));
         // Alternation after backscatter begins: std dev rises.
-        let bs_region = &env[(0.65 * fs) as usize..(1.15 * fs) as usize];
-        let cw_region = &env[(0.3 * fs) as usize..(0.55 * fs) as usize];
+        let bs_region = &env[(0.65 * fs_hz) as usize..(1.15 * fs_hz) as usize];
+        let cw_region = &env[(0.3 * fs_hz) as usize..(0.55 * fs_hz) as usize];
         assert!(
             pab_dsp::stats::std_dev(bs_region) > 3.0 * pab_dsp::stats::std_dev(cw_region),
             "bs std {} vs cw std {}",

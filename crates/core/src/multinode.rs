@@ -63,7 +63,7 @@ pub struct MultiNodeConfig {
     /// RNG seed.
     pub seed: u64,
     /// Sample rate, Hz.
-    pub fs: f64,
+    pub fs_hz: f64,
 }
 
 impl Default for MultiNodeConfig {
@@ -98,7 +98,7 @@ impl Default for MultiNodeConfig {
             noise: NoiseEnvironment::quiet_tank(),
             noise_scale: 1.0,
             seed: 11,
-            fs: DEFAULT_SAMPLE_RATE_HZ,
+            fs_hz: DEFAULT_SAMPLE_RATE_HZ,
         }
     }
 }
@@ -144,7 +144,7 @@ impl MultiNodeSimulator {
             return Err(CoreError::InvalidConfig("at least one node"));
         }
         let mut projector = Projector::new(cfg.drive_voltage_v)?;
-        projector.fs = cfg.fs;
+        projector.fs_hz = cfg.fs_hz;
         let divider = Clock::watch_crystal()
             .divider_for_bitrate(cfg.bitrate_target_bps)
             .map_err(CoreError::Mcu)? as u16;
@@ -169,7 +169,7 @@ impl MultiNodeSimulator {
             nodes,
             receiver: Receiver {
                 sensitivity_v_per_pa: 1.0e-3,
-                fs: cfg.fs,
+                fs_hz: cfg.fs_hz,
             },
             rng: ChaCha8Rng::seed_from_u64(cfg.seed),
             cfg,
@@ -180,6 +180,7 @@ impl MultiNodeSimulator {
     pub fn bitrate_bps(&self) -> f64 {
         Clock::watch_crystal()
             .bitrate_for_divider(self.nodes[0].default_divider as u64)
+            // lint: allow(no-unwrap-in-lib) default_divider is validated non-zero at construction
             .expect("divider >= 1")
     }
 
@@ -188,7 +189,7 @@ impl MultiNodeSimulator {
         let cfg = self.cfg.clone();
         let k = cfg.nodes.len();
         let n_tx = waves.iter().map(Vec::len).max().unwrap_or(0);
-        let margin = (0.01 * cfg.fs) as usize;
+        let margin = (0.01 * cfg.fs_hz).floor() as usize;
         let n_rx = n_tx + 4 * margin;
 
         let mut y = vec![0.0; n_rx];
@@ -200,7 +201,7 @@ impl MultiNodeSimulator {
                 cfg.max_reflections,
                 cfg.nodes[i].carrier_hz,
             )?;
-            ch.apply_into(&mut y, w, cfg.fs);
+            ch.apply_into(&mut y, w, cfg.fs_hz);
         }
 
         let mut truths = vec![Vec::new(); k];
@@ -217,10 +218,10 @@ impl MultiNodeSimulator {
                 )?;
                 components.push(IncidentComponent {
                     carrier_hz: cfg.nodes[ci].carrier_hz,
-                    samples: ch.apply(w, cfg.fs),
+                    samples: ch.apply(w, cfg.fs_hz),
                 });
             }
-            let out = node.process(&components, cfg.fs, Some(pab_sensors::WaterSample::bench()))?;
+            let out = node.process(&components, cfg.fs_hz, Some(pab_sensors::WaterSample::bench()))?;
             responded[ni] = out.responses_sent > 0;
             // Backscatter of every carrier into the hydrophone.
             for (ci, bs) in out.backscatter.iter().enumerate() {
@@ -230,7 +231,7 @@ impl MultiNodeSimulator {
                     cfg.max_reflections,
                     cfg.nodes[ci].carrier_hz,
                 )?;
-                ch.apply_into(&mut y, bs, cfg.fs);
+                ch.apply_into(&mut y, bs, cfg.fs_hz);
             }
             // Hydrophone-aligned ground truth.
             let ch = cfg.pool.channel(
@@ -239,7 +240,7 @@ impl MultiNodeSimulator {
                 cfg.max_reflections,
                 place.carrier_hz,
             )?;
-            let delay = (ch.direct().delay_s * cfg.fs) as usize;
+            let delay = (ch.direct().delay_s * cfg.fs_hz).floor() as usize;
             let mut s = vec![0.0; n_rx];
             for (t, &b) in out.switch_wave.iter().enumerate() {
                 if t + delay < n_rx {
@@ -251,11 +252,11 @@ impl MultiNodeSimulator {
 
         let sigma = cfg
             .noise
-            .rms_pressure_pa(cfg.nodes[0].carrier_hz, cfg.fs / 2.0)?
+            .rms_pressure_pa(cfg.nodes[0].carrier_hz, cfg.fs_hz / 2.0)?
             * cfg.noise_scale;
         add_awgn(&mut y, sigma, &mut self.rng);
         let recorded = self.receiver.record(&y);
-        let cutoff = (2.0 * self.bitrate_bps()).clamp(200.0, 0.4 * cfg.fs);
+        let cutoff = (2.0 * self.bitrate_bps()).clamp(200.0, 0.4 * cfg.fs_hz);
         let mut baseband = Vec::with_capacity(k);
         let mut envelopes = Vec::with_capacity(k);
         for place in &cfg.nodes {
@@ -297,7 +298,7 @@ impl MultiNodeSimulator {
         let k = cfg.nodes.len();
         let bits_len = pab_net::packet::UplinkPacket::bits_len(0) as f64;
         let tail = 5e-3 + bits_len / self.bitrate_bps() + 40e-3;
-        let pad = (0.005 * cfg.fs) as usize;
+        let pad = (0.005 * cfg.fs_hz).floor() as usize;
 
         // Per-node training: query node i, CW on every other carrier.
         // channels[band][stream] assembled from each training slot.
@@ -311,7 +312,7 @@ impl MultiNodeSimulator {
             let (wq, _) = self
                 .projector
                 .query_waveform(&q, cfg.nodes[i].carrier_hz, tail)?;
-            let dur = wq.len() as f64 / cfg.fs;
+            let dur = wq.len() as f64 / cfg.fs_hz;
             let waves: Vec<Vec<f64>> = (0..k)
                 .map(|c| {
                     if c == i {
@@ -373,14 +374,14 @@ impl MultiNodeSimulator {
             .map(|b| b[c0..c1].to_vec())
             .collect();
         let bitrate = self.bitrate_bps();
-        let max_lag = (0.002 * cfg.fs) as usize;
+        let max_lag = (0.002 * cfg.fs_hz).floor() as usize;
 
         let mut before = Vec::with_capacity(k);
         for i in 0..k {
             before.push(aligned_sinr_db(
                 &naive_stream_estimate(&slot.envelopes[i][c0..c1]),
                 &slot.truths[i][c0..c1],
-                cfg.fs,
+                cfg.fs_hz,
                 bitrate,
                 max_lag,
             ));
@@ -392,7 +393,7 @@ impl MultiNodeSimulator {
             after.push(aligned_sinr_db(
                 s,
                 &slot.truths[i][c0..c1],
-                cfg.fs,
+                cfg.fs_hz,
                 bitrate,
                 max_lag,
             ));

@@ -53,7 +53,7 @@ pub struct ConcurrentConfig {
     /// RNG seed.
     pub seed: u64,
     /// Sample rate, Hz.
-    pub fs: f64,
+    pub fs_hz: f64,
 }
 
 impl Default for ConcurrentConfig {
@@ -72,7 +72,7 @@ impl Default for ConcurrentConfig {
             noise: NoiseEnvironment::quiet_tank(),
             noise_scale: 1.0,
             seed: 7,
-            fs: DEFAULT_SAMPLE_RATE_HZ,
+            fs_hz: DEFAULT_SAMPLE_RATE_HZ,
         }
     }
 }
@@ -137,7 +137,7 @@ impl ConcurrentSimulator {
     /// Build the simulator (designs both recto-piezos).
     pub fn new(cfg: ConcurrentConfig) -> Result<Self, CoreError> {
         let mut projector = Projector::new(cfg.drive_voltage_v)?;
-        projector.fs = cfg.fs;
+        projector.fs_hz = cfg.fs_hz;
         let divider = Clock::watch_crystal()
             .divider_for_bitrate(cfg.bitrate_target_bps)
             .map_err(CoreError::Mcu)? as u16;
@@ -151,7 +151,7 @@ impl ConcurrentSimulator {
             node2,
             receiver: Receiver {
                 sensitivity_v_per_pa: 1.0e-3,
-                fs: cfg.fs,
+                fs_hz: cfg.fs_hz,
             },
             rng: ChaCha8Rng::seed_from_u64(cfg.seed),
             cfg,
@@ -162,6 +162,7 @@ impl ConcurrentSimulator {
     pub fn bitrate_bps(&self) -> f64 {
         Clock::watch_crystal()
             .bitrate_for_divider(self.node1.default_divider as u64)
+            // lint: allow(no-unwrap-in-lib) default_divider is validated non-zero at construction
             .expect("divider >= 1")
     }
 
@@ -184,15 +185,15 @@ impl ConcurrentSimulator {
     ) -> Result<SlotOutput, CoreError> {
         let cfg = self.cfg.clone();
         let n_tx = w1.len().max(w2.len());
-        let margin = (0.01 * cfg.fs) as usize;
+        let margin = (0.01 * cfg.fs_hz).floor() as usize;
 
         // Incident components at each node.
         let mut node_outs = Vec::new();
         for (node, pos) in [(&self.node1, &cfg.node1_pos), (&self.node2, &cfg.node2_pos)] {
             let ch_f1 = self.channel(&cfg.projector_pos, pos, cfg.f1_hz)?;
             let ch_f2 = self.channel(&cfg.projector_pos, pos, cfg.f2_hz)?;
-            let inc1 = ch_f1.apply(w1, cfg.fs);
-            let inc2 = ch_f2.apply(w2, cfg.fs);
+            let inc1 = ch_f1.apply(w1, cfg.fs_hz);
+            let inc2 = ch_f2.apply(w2, cfg.fs_hz);
             let out = node.process(
                 &[
                     IncidentComponent {
@@ -204,7 +205,7 @@ impl ConcurrentSimulator {
                         samples: inc2,
                     },
                 ],
-                cfg.fs,
+                cfg.fs_hz,
                 Some(pab_sensors::WaterSample::bench()),
             )?;
             node_outs.push(out);
@@ -215,8 +216,8 @@ impl ConcurrentSimulator {
         let mut y = vec![0.0; n_rx];
         let ch_ph1 = self.channel(&cfg.projector_pos, &cfg.hydrophone_pos, cfg.f1_hz)?;
         let ch_ph2 = self.channel(&cfg.projector_pos, &cfg.hydrophone_pos, cfg.f2_hz)?;
-        ch_ph1.apply_into(&mut y, w1, cfg.fs);
-        ch_ph2.apply_into(&mut y, w2, cfg.fs);
+        ch_ph1.apply_into(&mut y, w1, cfg.fs_hz);
+        ch_ph2.apply_into(&mut y, w2, cfg.fs_hz);
         let mut truths: [Vec<f64>; 2] = [Vec::new(), Vec::new()];
         let mut responded = [false, false];
         for (i, (out, pos)) in node_outs
@@ -228,12 +229,12 @@ impl ConcurrentSimulator {
             // Each node re-radiates both carriers.
             for (k, f) in [cfg.f1_hz, cfg.f2_hz].iter().enumerate() {
                 let ch = self.channel(pos, &cfg.hydrophone_pos, *f)?;
-                ch.apply_into(&mut y, &out.backscatter[k], cfg.fs);
+                ch.apply_into(&mut y, &out.backscatter[k], cfg.fs_hz);
             }
             // Ground-truth stream, delayed by the direct-path delay so it
             // aligns with the hydrophone's view.
             let ch = self.channel(pos, &cfg.hydrophone_pos, cfg.f1_hz)?;
-            let delay = (ch.direct().delay_s * cfg.fs) as usize;
+            let delay = (ch.direct().delay_s * cfg.fs_hz).floor() as usize;
             let mut s = vec![0.0; n_rx];
             for (t, &b) in out.switch_wave.iter().enumerate() {
                 if t + delay < n_rx {
@@ -243,11 +244,11 @@ impl ConcurrentSimulator {
             truths[i] = s;
         }
 
-        let sigma = cfg.noise.rms_pressure_pa(cfg.f1_hz, cfg.fs / 2.0)? * cfg.noise_scale;
+        let sigma = cfg.noise.rms_pressure_pa(cfg.f1_hz, cfg.fs_hz / 2.0)? * cfg.noise_scale;
         add_awgn(&mut y, sigma, &mut self.rng);
         let recorded = self.receiver.record(&y);
 
-        let cutoff = (2.0 * self.bitrate_bps()).clamp(200.0, 0.4 * cfg.fs);
+        let cutoff = (2.0 * self.bitrate_bps()).clamp(200.0, 0.4 * cfg.fs_hz);
         let bb1 = self.receiver.demodulate_complex(&recorded, cfg.f1_hz, cutoff)?;
         let bb2 = self.receiver.demodulate_complex(&recorded, cfg.f2_hz, cutoff)?;
         let env1: Vec<f64> = bb1.iter().map(|c| c.norm()).collect();
@@ -274,12 +275,12 @@ impl ConcurrentSimulator {
             command: Command::Ping,
         };
         let (w1, _) = self.projector.query_waveform(&q1, cfg.f1_hz, tail)?;
-        let w2 = self.projector.continuous_wave(cfg.f2_hz, w1.len() as f64 / cfg.fs);
+        let w2 = self.projector.continuous_wave(cfg.f2_hz, w1.len() as f64 / cfg.fs_hz);
         let slot_a = self.run_slot(&w1, &w2)?;
         if !slot_a.responded[0] {
             return Err(CoreError::NodeNotPoweredUp);
         }
-        let pad = (0.005 * cfg.fs) as usize;
+        let pad = (0.005 * cfg.fs_hz).floor() as usize;
         let (a0, a1r) = active_range(
             &slot_a.truths,
             pad,
@@ -298,7 +299,7 @@ impl ConcurrentSimulator {
         let (w2b, _) = self.projector.query_waveform(&q2, cfg.f2_hz, tail)?;
         let w1b = self
             .projector
-            .continuous_wave(cfg.f1_hz, w2b.len() as f64 / cfg.fs);
+            .continuous_wave(cfg.f1_hz, w2b.len() as f64 / cfg.fs_hz);
         let slot_b = self.run_slot(&w1b, &w2b)?;
         if !slot_b.responded[1] {
             return Err(CoreError::NodeNotPoweredUp);
@@ -348,16 +349,16 @@ impl ConcurrentSimulator {
 
         // Before projection: naive per-band envelope decoding.
         let bitrate = self.bitrate_bps();
-        let max_lag = (0.002 * cfg.fs) as usize;
+        let max_lag = (0.002 * cfg.fs_hz).floor() as usize;
         let before1 =
-            aligned_sinr_db(&naive_stream_estimate(e1), t1, cfg.fs, bitrate, max_lag);
+            aligned_sinr_db(&naive_stream_estimate(e1), t1, cfg.fs_hz, bitrate, max_lag);
         let before2 =
-            aligned_sinr_db(&naive_stream_estimate(e2), t2, cfg.fs, bitrate, max_lag);
+            aligned_sinr_db(&naive_stream_estimate(e2), t2, cfg.fs_hz, bitrate, max_lag);
 
         // Coherent zero-forcing and after-projection measurement.
         let [s1, s2] = zero_force_two_complex(&[bb1, bb2], &channels)?;
-        let after1 = aligned_sinr_db(&s1, t1, cfg.fs, bitrate, max_lag);
-        let after2 = aligned_sinr_db(&s2, t2, cfg.fs, bitrate, max_lag);
+        let after1 = aligned_sinr_db(&s1, t1, cfg.fs_hz, bitrate, max_lag);
+        let after2 = aligned_sinr_db(&s2, t2, cfg.fs_hz, bitrate, max_lag);
 
         // Try to decode the separated streams.
         let crc1 = self

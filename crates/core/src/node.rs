@@ -210,17 +210,18 @@ impl PabNode {
     }
 
     /// Run the full node pipeline over incident components sampled at
-    /// `fs`. `sensors` optionally wires water conditions to the node's
+    /// `fs_hz`. `sensors` optionally wires water conditions to the node's
     /// ADC + I2C peripherals.
     pub fn process(
         &self,
         components: &[IncidentComponent],
-        fs: f64,
+        fs_hz: f64,
         sensors: Option<pab_sensors::WaterSample>,
     ) -> Result<NodeOutput, CoreError> {
         if components.is_empty() {
             return Err(CoreError::InvalidConfig("no incident components"));
         }
+        // lint: allow(no-unwrap-in-lib) components checked non-empty above
         let n = components.iter().map(|c| c.samples.len()).max().unwrap();
         if n == 0 {
             return Err(CoreError::InvalidConfig("empty incident waveform"));
@@ -241,7 +242,7 @@ impl PabNode {
 
         // Envelope detection (analog, carrier-free) on the rectifier
         // input voltage.
-        let env = rectified_envelope(&v_in, fs, self.envelope_cutoff_hz)?;
+        let env = rectified_envelope(&v_in, fs_hz, self.envelope_cutoff_hz)?;
         let peak = env.iter().cloned().fold(0.0, f64::max);
 
         // Power-up check: DC voltage the rectifier builds from the peak
@@ -264,7 +265,7 @@ impl PabNode {
             let mut cap = self.supercap;
             cap.set_voltage(0.0);
             let step_s = 1e-3;
-            let stride = (step_s * fs).max(1.0) as usize;
+            let stride = (step_s * fs_hz).max(1.0) as usize;
             let mut t_on = None;
             for (k, chunk) in env.chunks(stride).enumerate() {
                 let v_env = chunk.iter().cloned().fold(0.0, f64::max);
@@ -273,10 +274,10 @@ impl PabNode {
                     v_open,
                     fe0.rectifier.output_resistance_ohms,
                     0.0,
-                    stride as f64 / fs,
+                    stride as f64 / fs_hz,
                 );
                 if cap.voltage_v() >= self.powerup_threshold_v {
-                    t_on = Some((k + 1) as f64 * stride as f64 / fs);
+                    t_on = Some((k + 1) as f64 * stride as f64 / fs_hz);
                     break;
                 }
             }
@@ -297,14 +298,14 @@ impl PabNode {
                 .attach(Box::new(pab_sensors::Ms5837::new(water)));
         }
 
-        let duration_s = n as f64 / fs;
+        let duration_s = n as f64 / fs_hz;
         let t_on = powered_at_s.unwrap_or(f64::INFINITY);
         if powered_up {
             // AC-couple the envelope (series capacitor into the Schmitt
             // input): a one-pole DC blocker removes the carrier floor so
             // only keying transitions cross the trigger. The pull-down
             // transistor maximises the remaining swing (§4.2.1).
-            let alpha = 1.0 - (-std::f64::consts::TAU * self.ac_coupling_hz / fs).exp();
+            let alpha = 1.0 - (-std::f64::consts::TAU * self.ac_coupling_hz / fs_hz).exp();
             let mut state = 0.0;
             let ac: Vec<f64> = env
                 .iter()
@@ -324,7 +325,7 @@ impl PabNode {
                 )?;
                 let levels = trig.discretize(&ac);
                 for e in edges(&levels) {
-                    let t = e.sample as f64 / fs;
+                    let t = e.sample as f64 / fs_hz;
                     // Edges before the MCU boots are lost.
                     if t >= t_on {
                         mcu.inject_edge(t, e.rising);
@@ -340,14 +341,14 @@ impl PabNode {
         let fe = self.frontend(selected);
         let switch_wave = mcu
             .services
-            .rasterize_pin(Pin::BackscatterSwitch, fs, n);
+            .rasterize_pin(Pin::BackscatterSwitch, fs_hz, n);
 
         // Smooth the binary switch waveform with the front end's
         // modulation bandwidth, then modulate each carrier.
         let bw = Self::modulation_bandwidth_hz(fe)
-            .min(0.45 * fs)
+            .min(0.45 * fs_hz)
             .max(100.0);
-        let lp = pab_dsp::iir::butter_lowpass(2, bw, fs)?;
+        let lp = pab_dsp::iir::butter_lowpass(2, bw, fs_hz)?;
         let raw: Vec<f64> = switch_wave.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect();
         let smooth = lp.filter(&raw);
 
@@ -375,7 +376,7 @@ impl PabNode {
     pub fn process_fixed_toggle(
         &self,
         component: &IncidentComponent,
-        fs: f64,
+        fs_hz: f64,
         start_s: f64,
         half_period_s: f64,
     ) -> Result<NodeOutput, CoreError> {
@@ -386,13 +387,13 @@ impl PabNode {
         let fe = self.frontend(0);
         let mut switch_wave = vec![false; n];
         for (i, w) in switch_wave.iter_mut().enumerate() {
-            let t = i as f64 / fs;
+            let t = i as f64 / fs_hz;
             if t >= start_s {
                 *w = (((t - start_s) / half_period_s) as u64).is_multiple_of(2);
             }
         }
-        let bw = Self::modulation_bandwidth_hz(fe).min(0.45 * fs).max(100.0);
-        let lp = pab_dsp::iir::butter_lowpass(2, bw, fs)?;
+        let bw = Self::modulation_bandwidth_hz(fe).min(0.45 * fs_hz).max(100.0);
+        let lp = pab_dsp::iir::butter_lowpass(2, bw, fs_hz)?;
         let raw: Vec<f64> = switch_wave.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect();
         let smooth = lp.filter(&raw);
         let (g_on, g_off) = Self::backscatter_gains(fe, component.carrier_hz);
@@ -442,15 +443,15 @@ mod tests {
                 carrier_hz: 15_000.0,
                 samples,
             },
-            p.fs,
+            p.fs_hz,
         )
     }
 
     #[test]
     fn strong_signal_powers_up_and_answers_ping() {
         let node = PabNode::new(7, 15_000.0).unwrap();
-        let (inc, fs) = incident_for_query(Command::Ping, 7, 1500.0);
-        let out = node.process(&[inc], fs, None).unwrap();
+        let (inc, fs_hz) = incident_for_query(Command::Ping, 7, 1500.0);
+        let out = node.process(&[inc], fs_hz, None).unwrap();
         assert!(out.powered_up, "rectified_v={}", out.rectified_v);
         assert!(out.decoded_query.is_some());
         assert_eq!(out.responses_sent, 1);
@@ -466,8 +467,8 @@ mod tests {
     #[test]
     fn weak_signal_does_not_power_up() {
         let node = PabNode::new(7, 15_000.0).unwrap();
-        let (inc, fs) = incident_for_query(Command::Ping, 7, 10.0);
-        let out = node.process(&[inc], fs, None).unwrap();
+        let (inc, fs_hz) = incident_for_query(Command::Ping, 7, 10.0);
+        let out = node.process(&[inc], fs_hz, None).unwrap();
         assert!(!out.powered_up);
         assert_eq!(out.responses_sent, 0);
         assert!(out.switch_wave.iter().all(|&b| !b));
@@ -476,8 +477,8 @@ mod tests {
     #[test]
     fn wrong_address_stays_silent() {
         let node = PabNode::new(7, 15_000.0).unwrap();
-        let (inc, fs) = incident_for_query(Command::Ping, 9, 1500.0);
-        let out = node.process(&[inc], fs, None).unwrap();
+        let (inc, fs_hz) = incident_for_query(Command::Ping, 9, 1500.0);
+        let out = node.process(&[inc], fs_hz, None).unwrap();
         assert!(out.powered_up);
         assert_eq!(out.responses_sent, 0);
     }
@@ -485,8 +486,8 @@ mod tests {
     #[test]
     fn backscatter_modulates_the_carrier() {
         let node = PabNode::new(7, 15_000.0).unwrap();
-        let (inc, fs) = incident_for_query(Command::Ping, 7, 1500.0);
-        let out = node.process(std::slice::from_ref(&inc), fs, None).unwrap();
+        let (inc, fs_hz) = incident_for_query(Command::Ping, 7, 1500.0);
+        let out = node.process(std::slice::from_ref(&inc), fs_hz, None).unwrap();
         let bs = &out.backscatter[0];
         assert_eq!(bs.len(), inc.samples.len());
         // The two states differ substantially in complex gain.
@@ -501,7 +502,7 @@ mod tests {
     #[test]
     fn fixed_toggle_mode_produces_square_switching() {
         let node = PabNode::new(1, 15_000.0).unwrap();
-        let fs = 192_000.0;
+        let fs_hz = 192_000.0;
         let p = Projector::new(36.0).unwrap();
         let cw = p.continuous_wave(15_000.0, 1.0);
         let scale = 1500.0 / p.source_pressure_pa();
@@ -510,12 +511,12 @@ mod tests {
             samples: cw.iter().map(|&x| x * scale).collect(),
         };
         let out = node
-            .process_fixed_toggle(&inc, fs, 0.3, 0.1)
+            .process_fixed_toggle(&inc, fs_hz, 0.3, 0.1)
             .unwrap();
         // Before 0.3 s: no switching.
-        assert!(out.switch_wave[..(0.29 * fs) as usize].iter().all(|&b| !b));
+        assert!(out.switch_wave[..(0.29 * fs_hz) as usize].iter().all(|&b| !b));
         // After: 100 ms half-period toggling.
-        let toggles = out.switch_wave[(0.3 * fs) as usize..]
+        let toggles = out.switch_wave[(0.3 * fs_hz) as usize..]
             .windows(2)
             .filter(|w| w[0] != w[1])
             .count();
@@ -533,16 +534,16 @@ mod tests {
     fn battery_assisted_node_works_below_harvest_threshold() {
         // Weak illumination: a battery-free node stays dark, a battery-
         // assisted one decodes and answers (the paper's §1 hybrid).
-        let (inc, fs) = incident_for_query(Command::Ping, 7, 120.0);
+        let (inc, fs_hz) = incident_for_query(Command::Ping, 7, 120.0);
         let mut free = PabNode::new(7, 15_000.0).unwrap();
         free.battery_assisted = false;
-        let out_free = free.process(std::slice::from_ref(&inc), fs, None).unwrap();
+        let out_free = free.process(std::slice::from_ref(&inc), fs_hz, None).unwrap();
         assert!(!out_free.powered_up);
         assert_eq!(out_free.responses_sent, 0);
 
         let mut assisted = PabNode::new(7, 15_000.0).unwrap();
         assisted.battery_assisted = true;
-        let out = assisted.process(&[inc], fs, None).unwrap();
+        let out = assisted.process(&[inc], fs_hz, None).unwrap();
         assert!(out.powered_up);
         assert_eq!(out.responses_sent, 1);
     }
@@ -555,8 +556,8 @@ mod tests {
             .unwrap()
             .with_extra_frontend(18_000.0)
             .unwrap();
-        let (inc, fs) = incident_for_query(Command::SelectRectoPiezo(1), 7, 1500.0);
-        let out = node.process(&[inc], fs, None).unwrap();
+        let (inc, fs_hz) = incident_for_query(Command::SelectRectoPiezo(1), 7, 1500.0);
+        let out = node.process(&[inc], fs_hz, None).unwrap();
         assert_eq!(out.responses_sent, 1);
         assert_eq!(
             out.decoded_query.unwrap().command,
@@ -572,18 +573,18 @@ mod tests {
     fn cold_start_delays_boot_and_misses_early_queries() {
         // A small capacitor charges within the exchange; the full-size
         // supercap does not — the query arrives before the MCU boots.
-        let (inc, fs) = incident_for_query(Command::Ping, 7, 1500.0);
+        let (inc, fs_hz) = incident_for_query(Command::Ping, 7, 1500.0);
 
         let mut slow = PabNode::new(7, 15_000.0).unwrap();
         slow.cold_start = true; // default 1000 µF: seconds to charge
-        let out = slow.process(std::slice::from_ref(&inc), fs, None).unwrap();
+        let out = slow.process(std::slice::from_ref(&inc), fs_hz, None).unwrap();
         assert!(!out.powered_up, "1000 µF cannot charge in one exchange");
         assert_eq!(out.responses_sent, 0);
 
         let mut fast = PabNode::new(7, 15_000.0).unwrap();
         fast.cold_start = true;
         fast.supercap = pab_analog::Supercap::new(1e-6, 10e6).unwrap();
-        let out = fast.process(std::slice::from_ref(&inc), fs, None).unwrap();
+        let out = fast.process(std::slice::from_ref(&inc), fs_hz, None).unwrap();
         assert!(out.powered_up);
         let t_on = out.powered_at_s.unwrap();
         assert!(t_on > 0.0, "cold start must take nonzero time");

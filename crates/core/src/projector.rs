@@ -23,7 +23,7 @@ pub struct Projector {
     /// Downlink PWM timing.
     pub pwm: PwmTiming,
     /// Sample rate for waveform synthesis, Hz.
-    pub fs: f64,
+    pub fs_hz: f64,
     /// Oscillator frequency error, Hz (models the CFO between projector
     /// and receiver sound cards noted in §5.1(b), footnote 12).
     pub cfo_hz: f64,
@@ -41,7 +41,7 @@ impl Projector {
             transducer: Transducer::pab_projector(),
             drive_voltage_v,
             pwm: PwmTiming::pab_default(),
-            fs: DEFAULT_SAMPLE_RATE_HZ,
+            fs_hz: DEFAULT_SAMPLE_RATE_HZ,
             cfo_hz: 0.0,
             settle_s: 0.08,
         })
@@ -56,8 +56,8 @@ impl Projector {
     /// Synthesise a continuous-wave carrier of `duration_s` at
     /// `carrier_hz`, as source pressure at 1 m.
     pub fn continuous_wave(&self, carrier_hz: f64, duration_s: f64) -> Vec<f64> {
-        let n = (duration_s * self.fs).round() as usize;
-        let mut nco = Nco::new(carrier_hz + self.cfo_hz, self.fs);
+        let n = (duration_s * self.fs_hz).round() as usize;
+        let mut nco = Nco::new(carrier_hz + self.cfo_hz, self.fs_hz);
         let amp = self.source_pressure_pa();
         let mut out = vec![0.0; n];
         nco.fill(&mut out);
@@ -81,24 +81,24 @@ impl Projector {
         carrier_hz: f64,
         cw_tail_s: f64,
     ) -> Result<(Vec<f64>, f64), CoreError> {
-        if !(carrier_hz > 0.0 && carrier_hz < self.fs / 2.0) {
+        if !(carrier_hz > 0.0 && carrier_hz < self.fs_hz / 2.0) {
             return Err(CoreError::InvalidConfig("carrier_hz"));
         }
         let bits = query.to_bits();
         // Settle carrier, then a reference '0'-width pulse so the first
         // falling edges anchor PWM timing, then the query bits.
-        let settle = (self.settle_s * self.fs).round() as usize;
+        let settle = (self.settle_s * self.fs_hz).round() as usize;
         let mut keyed = vec![false];
         keyed.extend(&bits);
         let segments = pwm::encode(&keyed, &self.pwm);
         let mut keying = vec![true; settle];
         // A gap after the settle period so its falling edge is clean.
-        keying.extend(vec![false; (self.pwm.gap_s * self.fs).round() as usize]);
-        keying.extend(pwm::rasterize(&segments, self.fs));
-        let query_end_s = keying.len() as f64 / self.fs;
-        let tail = (cw_tail_s * self.fs).round() as usize;
+        keying.extend(vec![false; (self.pwm.gap_s * self.fs_hz).round() as usize]);
+        keying.extend(pwm::rasterize(&segments, self.fs_hz));
+        let query_end_s = keying.len() as f64 / self.fs_hz;
+        let tail = (cw_tail_s * self.fs_hz).round() as usize;
         let total = keying.len() + tail;
-        let mut nco = Nco::new(carrier_hz + self.cfo_hz, self.fs);
+        let mut nco = Nco::new(carrier_hz + self.cfo_hz, self.fs_hz);
         let amp = self.source_pressure_pa();
         let mut out = Vec::with_capacity(total);
         for i in 0..total {
@@ -135,7 +135,7 @@ mod tests {
         let p = Projector::new(36.0).unwrap();
         let w = p.continuous_wave(15_000.0, 0.1);
         assert_eq!(w.len(), 19_200);
-        let a = tone_amplitude(&w, 15_000.0, p.fs);
+        let a = tone_amplitude(&w, 15_000.0, p.fs_hz);
         assert!((a - p.source_pressure_pa()).abs() / a < 0.01, "a={a}");
     }
 
@@ -149,13 +149,13 @@ mod tests {
         let (w, query_end) = p.query_waveform(&q, 15_000.0, 0.05).unwrap();
         assert!(query_end > 0.0);
         // The PWM portion contains zero (carrier-off) stretches...
-        let query_n = (query_end * p.fs) as usize;
+        let query_n = (query_end * p.fs_hz) as usize;
         let zeros = w[..query_n].iter().filter(|&&x| x == 0.0).count();
         assert!(zeros > query_n / 10, "zeros={zeros}");
         // ...and the CW tail does not.
         let tail = &w[query_n..];
         assert!(tail.iter().all(|&x| x.abs() <= p.source_pressure_pa() * 1.001));
-        let tail_amp = tone_amplitude(tail, 15_000.0, p.fs);
+        let tail_amp = tone_amplitude(tail, 15_000.0, p.fs_hz);
         assert!((tail_amp - p.source_pressure_pa()).abs() / tail_amp < 0.02);
     }
 
@@ -179,8 +179,8 @@ mod tests {
         let mut p = Projector::new(36.0).unwrap();
         p.cfo_hz = 40.0;
         let w = p.continuous_wave(15_000.0, 0.5);
-        let on_freq = tone_amplitude(&w, 15_040.0, p.fs);
-        let off_freq = tone_amplitude(&w, 15_000.0, p.fs);
+        let on_freq = tone_amplitude(&w, 15_040.0, p.fs_hz);
+        let off_freq = tone_amplitude(&w, 15_000.0, p.fs_hz);
         assert!(on_freq > 10.0 * off_freq);
     }
 

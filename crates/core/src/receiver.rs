@@ -18,7 +18,7 @@ pub struct Receiver {
     /// = 1 mV/Pa).
     pub sensitivity_v_per_pa: f64,
     /// Sample rate, Hz.
-    pub fs: f64,
+    pub fs_hz: f64,
 }
 
 /// Result of decoding one uplink packet.
@@ -44,7 +44,7 @@ impl Default for Receiver {
     fn default() -> Self {
         Receiver {
             sensitivity_v_per_pa: 1.0e-3,
-            fs: DEFAULT_SAMPLE_RATE_HZ,
+            fs_hz: DEFAULT_SAMPLE_RATE_HZ,
         }
     }
 }
@@ -66,8 +66,8 @@ impl Receiver {
         carrier_hz: f64,
         cutoff_hz: f64,
     ) -> Result<Vec<f64>, CoreError> {
-        let bb = downconvert(signal, carrier_hz, self.fs);
-        let lp = butter_lowpass(4, cutoff_hz, self.fs)?;
+        let bb = downconvert(signal, carrier_hz, self.fs_hz);
+        let lp = butter_lowpass(4, cutoff_hz, self.fs_hz)?;
         let filtered = lp.filtfilt_complex(&bb);
         Ok(filtered.iter().map(|c| 2.0 * c.norm()).collect())
     }
@@ -81,8 +81,8 @@ impl Receiver {
         carrier_hz: f64,
         cutoff_hz: f64,
     ) -> Result<Vec<num_complex::Complex64>, CoreError> {
-        let bb = downconvert(signal, carrier_hz, self.fs);
-        let lp = butter_lowpass(4, cutoff_hz, self.fs)?;
+        let bb = downconvert(signal, carrier_hz, self.fs_hz);
+        let lp = butter_lowpass(4, cutoff_hz, self.fs_hz)?;
         Ok(lp
             .filtfilt_complex(&bb)
             .into_iter()
@@ -91,10 +91,10 @@ impl Receiver {
     }
 
     /// Build the ±1 preamble matched-filter template at `bitrate_bps`
-    /// for sample rate `fs`.
-    fn preamble_template(&self, bitrate_bps: f64, fs: f64) -> Vec<f64> {
+    /// for sample rate `fs_hz`.
+    fn preamble_template(&self, bitrate_bps: f64, fs_hz: f64) -> Vec<f64> {
         let halves = fm0::encode(&UPLINK_PREAMBLE, false);
-        let spb = fs / (2.0 * bitrate_bps);
+        let spb = fs_hz / (2.0 * bitrate_bps);
         let n = (halves.len() as f64 * spb).round() as usize;
         (0..n)
             .map(|i| {
@@ -114,7 +114,11 @@ impl Receiver {
     /// bit boundary (FM0 invariant); the mid-bit flip is free and encodes
     /// the data. Metric: squared distance of each soft half-bit to the
     /// learned high/low cluster means.
-    pub fn ml_fm0_halves(soft: &[f64], mu_lo: f64, mu_hi: f64) -> Vec<bool> {
+    pub fn ml_fm0_halves(
+        soft: &[f64],
+        mu_lo: f64, // lint: unitless — cluster mean in the soft samples' own units
+        mu_hi: f64, // lint: unitless — cluster mean in the soft samples' own units
+    ) -> Vec<bool> {
         let lo = vec![mu_lo; soft.len()];
         let hi = vec![mu_hi; soft.len()];
         Self::ml_fm0_halves_adaptive(soft, &lo, &hi)
@@ -212,13 +216,13 @@ impl Receiver {
         if signal.len() < 64 {
             return Err(CoreError::InvalidConfig("signal too short"));
         }
-        let cutoff = (2.0 * bitrate_bps).clamp(200.0, 0.4 * self.fs);
+        let cutoff = (2.0 * bitrate_bps).clamp(200.0, 0.4 * self.fs_hz);
         let bb = self.demodulate_complex(signal, carrier_hz, cutoff)?;
 
         // Decimate to ~16 samples per half-bit. One anti-alias FIR design
         // is shared by the real and imaginary paths (the design cost would
         // otherwise dominate Monte-Carlo sweeps).
-        let spb_raw = self.fs / (2.0 * bitrate_bps);
+        let spb_raw = self.fs_hz / (2.0 * bitrate_bps);
         let decim = ((spb_raw / 16.0).floor() as usize).max(1);
         let re: Vec<f64> = bb.iter().map(|c| c.re).collect();
         let im: Vec<f64> = bb.iter().map(|c| c.im).collect();
@@ -227,8 +231,8 @@ impl Receiver {
         } else {
             let aa = pab_dsp::fir::Fir::lowpass(
                 127,
-                0.8 * self.fs / (2.0 * decim as f64),
-                self.fs,
+                0.8 * self.fs_hz / (2.0 * decim as f64),
+                self.fs_hz,
                 pab_dsp::window::Window::Hamming,
             )?;
             (
@@ -236,7 +240,7 @@ impl Receiver {
                 aa.filter(&im).iter().step_by(decim).copied().collect(),
             )
         };
-        let fs2 = self.fs / decim as f64;
+        let fs2 = self.fs_hz / decim as f64;
 
         // Complex detrend: the slow trend is the direct-carrier phasor.
         let trend_cutoff = (bitrate_bps / 20.0).max(2.0);
@@ -361,22 +365,22 @@ impl Receiver {
         // Decimate so a half-bit spans ~16 samples: this keeps the
         // detrending filter's normalised cutoff numerically sane at low
         // bitrates and makes symbol processing bitrate-independent.
-        let spb_raw = self.fs / (2.0 * bitrate_bps);
+        let spb_raw = self.fs_hz / (2.0 * bitrate_bps);
         let decim = ((spb_raw / 16.0).floor() as usize).max(1);
-        let envelope = pab_dsp::resample::decimate(envelope, decim, self.fs)?;
-        let fs = self.fs / decim as f64;
+        let envelope = pab_dsp::resample::decimate(envelope, decim, self.fs_hz)?;
+        let fs_hz = self.fs_hz / decim as f64;
         // Detrend: the backscatter modulation rides on the much larger
         // direct-path carrier level (Fig. 2), and that baseline also moves
         // when the projector keys on/off. A low-pass trend (well below the
         // bit rate) subtracted out leaves just the modulation.
         let trend_cutoff = (bitrate_bps / 20.0).max(2.0);
-        let trend = butter_lowpass(2, trend_cutoff, fs)?.filtfilt(&envelope);
+        let trend = butter_lowpass(2, trend_cutoff, fs_hz)?.filtfilt(&envelope);
         let centered: Vec<f64> = envelope
             .iter()
             .zip(&trend)
             .map(|(&e, &t)| e - t)
             .collect();
-        let template = self.preamble_template(bitrate_bps, fs);
+        let template = self.preamble_template(bitrate_bps, fs_hz);
         if centered.len() <= template.len() {
             return Err(CoreError::NoPacketDetected);
         }
@@ -385,7 +389,7 @@ impl Receiver {
         if peak_corr < 0.3 {
             return Err(CoreError::NoPacketDetected);
         }
-        let mut decoded = self.slice_and_decode(&centered, start, fs, bitrate_bps)?;
+        let mut decoded = self.slice_and_decode(&centered, start, fs_hz, bitrate_bps)?;
         decoded.start_sample = start * decim;
         Ok(decoded)
     }
@@ -393,16 +397,16 @@ impl Receiver {
     /// Shared tail of the decode pipelines: integrate-and-dump half-bit
     /// slicing from `start`, cluster-mean estimation, the two-pass ML
     /// trellis, packet parsing and SNR measurement. `centered` is the
-    /// zero-mean modulation stream at sample rate `fs`.
+    /// zero-mean modulation stream at sample rate `fs_hz`.
     fn slice_and_decode(
         &self,
         centered: &[f64],
         start: usize,
-        fs: f64,
+        fs_hz: f64,
         bitrate_bps: f64,
     ) -> Result<Decoded, CoreError> {
-        let spb = fs / (2.0 * bitrate_bps);
-        let available = ((centered.len() - start) as f64 / spb) as usize;
+        let spb = fs_hz / (2.0 * bitrate_bps);
+        let available = ((centered.len() - start) as f64 / spb).floor() as usize;
         // Longest packet: 15-byte payload.
         let max_halves = 2 * UplinkPacket::bits_len(UplinkPacket::MAX_PAYLOAD);
         let n_halves = available.min(max_halves) & !1usize;
@@ -411,7 +415,7 @@ impl Receiver {
         }
         let mut soft = Vec::with_capacity(n_halves);
         for k in 0..n_halves {
-            let a = start + (k as f64 * spb) as usize;
+            let a = start + (k as f64 * spb).floor() as usize;
             let b = (start + ((k + 1) as f64 * spb) as usize).min(centered.len());
             soft.push(stats::mean(&centered[a..b]));
         }
@@ -469,6 +473,7 @@ impl Receiver {
         let (mu_lo_h, mu_hi_h) = cluster_track(&soft[..head_len]);
         let head = Self::ml_fm0_halves_adaptive(&soft[..head_len], &mu_lo_h, &mu_hi_h);
         let head_bits = fm0::decode_lenient(&head);
+        // lint: allow(lossy-cast) 4-bit value, lossless widening
         let payload_len = pab_net::bits::read_uint(&head_bits, 36, 4).unwrap_or(0) as usize;
         let want_halves = (2 * UplinkPacket::bits_len(payload_len)).min(soft.len());
         soft.truncate(want_halves.max(head_len));
@@ -519,18 +524,18 @@ mod tests {
     fn synth_waveform(
         packet: &UplinkPacket,
         bitrate: f64,
-        fs: f64,
+        fs_hz: f64,
         carrier: f64,
         amp_hi: f64,
         amp_lo: f64,
         lead_s: f64,
     ) -> Vec<f64> {
         let halves = fm0::encode(&packet.to_bits().unwrap(), false);
-        let spb = fs / (2.0 * bitrate);
-        let lead = (lead_s * fs) as usize;
+        let spb = fs_hz / (2.0 * bitrate);
+        let lead = (lead_s * fs_hz) as usize;
         let n = lead + (halves.len() as f64 * spb) as usize + lead;
         let mut w = Vec::with_capacity(n);
-        let mut nco = pab_dsp::mix::Nco::new(carrier, fs);
+        let mut nco = pab_dsp::mix::Nco::new(carrier, fs_hz);
         for i in 0..n {
             let amp = if i < lead {
                 amp_lo
@@ -559,7 +564,7 @@ mod tests {
     fn clean_packet_decodes_with_crc() {
         let rx = Receiver::default();
         let p = test_packet();
-        let w = synth_waveform(&p, 2730.67, rx.fs, 15_000.0, 1.0, 0.4, 0.01);
+        let w = synth_waveform(&p, 2730.67, rx.fs_hz, 15_000.0, 1.0, 0.4, 0.01);
         let d = rx.decode_uplink(&w, 15_000.0, 2730.67).unwrap();
         assert_eq!(d.packet.unwrap(), p);
         assert!(d.snr_db > 15.0, "snr={}", d.snr_db);
@@ -571,7 +576,7 @@ mod tests {
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(11);
         let rx = Receiver::default();
         let p = test_packet();
-        let mut w = synth_waveform(&p, 1024.0, rx.fs, 15_000.0, 1.0, 0.4, 0.01);
+        let mut w = synth_waveform(&p, 1024.0, rx.fs_hz, 15_000.0, 1.0, 0.4, 0.01);
         pab_channel::noise::add_awgn(&mut w, 0.15, &mut rng);
         let d = rx.decode_uplink(&w, 15_000.0, 1024.0).unwrap();
         assert_eq!(d.packet.unwrap(), p);

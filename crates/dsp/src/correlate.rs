@@ -79,7 +79,7 @@ pub fn argmax(x: &[f64]) -> Option<(usize, f64)> {
 /// segment of complex baseband: the mean phase increment per sample maps
 /// to a frequency. Returns Hz. The segment should contain only the
 /// preamble's carrier-on portion.
-pub fn estimate_cfo(baseband: &[Complex64], fs: f64) -> f64 {
+pub fn estimate_cfo(baseband: &[Complex64], fs_hz: f64) -> f64 {
     if baseband.len() < 2 {
         return 0.0;
     }
@@ -88,7 +88,7 @@ pub fn estimate_cfo(baseband: &[Complex64], fs: f64) -> f64 {
         acc += w[1] * w[0].conj();
     }
     let dphi = acc.arg();
-    dphi * fs / std::f64::consts::TAU
+    dphi * fs_hz / std::f64::consts::TAU
 }
 
 #[cfg(test)]
@@ -150,22 +150,22 @@ mod tests {
 
     #[test]
     fn cfo_estimate_recovers_known_offset() {
-        let fs = 48_000.0;
+        let fs_hz = 48_000.0;
         // A 75 Hz residual spin on baseband.
-        let bb = complex_tone(75.0, fs, 0.3, 4800);
-        let cfo = estimate_cfo(&bb, fs);
+        let bb = complex_tone(75.0, fs_hz, 0.3, 4800);
+        let cfo = estimate_cfo(&bb, fs_hz);
         assert!((cfo - 75.0).abs() < 0.5, "cfo={cfo}");
     }
 
     #[test]
     fn cfo_of_real_tone_downconverted_with_wrong_carrier() {
-        let fs = 192_000.0;
-        let sig = tone(15_050.0, fs, 0.0, 19_200);
-        let bb = crate::mix::downconvert(&sig, 15_000.0, fs);
+        let fs_hz = 192_000.0;
+        let sig = tone(15_050.0, fs_hz, 0.0, 19_200);
+        let bb = crate::mix::downconvert(&sig, 15_000.0, fs_hz);
         // Remove the double-frequency image first.
-        let lp = crate::iir::butter_lowpass(4, 2_000.0, fs).unwrap();
+        let lp = crate::iir::butter_lowpass(4, 2_000.0, fs_hz).unwrap();
         let bbf = lp.filtfilt_complex(&bb);
-        let cfo = estimate_cfo(&bbf[2_000..17_000], fs);
+        let cfo = estimate_cfo(&bbf[2_000..17_000], fs_hz);
         assert!((cfo - 50.0).abs() < 2.0, "cfo={cfo}");
     }
 }

@@ -16,11 +16,11 @@ use crate::DspError;
 pub fn demodulate_envelope(
     signal: &[f64],
     carrier_hz: f64,
-    fs: f64,
+    fs_hz: f64,
     cutoff_hz: f64,
 ) -> Result<Vec<f64>, DspError> {
-    let bb = downconvert(signal, carrier_hz, fs);
-    let lp = butter_lowpass(4, cutoff_hz, fs)?;
+    let bb = downconvert(signal, carrier_hz, fs_hz);
+    let lp = butter_lowpass(4, cutoff_hz, fs_hz)?;
     let filtered = lp.filtfilt_complex(&bb);
     // Factor 2 undoes the 1/2 amplitude scaling of real->complex mixing.
     Ok(filtered.iter().map(|c| 2.0 * c.norm()).collect())
@@ -30,11 +30,11 @@ pub fn demodulate_envelope(
 /// Mirrors the node's analog detector, which has no carrier reference.
 pub fn rectified_envelope(
     signal: &[f64],
-    fs: f64,
+    fs_hz: f64,
     cutoff_hz: f64,
 ) -> Result<Vec<f64>, DspError> {
     let rect: Vec<f64> = signal.iter().map(|&x| x.abs()).collect();
-    let lp = butter_lowpass(2, cutoff_hz, fs)?;
+    let lp = butter_lowpass(2, cutoff_hz, fs_hz)?;
     // π/2 compensates the mean of |sin| = 2/π.
     Ok(lp
         .filtfilt(&rect)
@@ -55,7 +55,10 @@ pub struct SchmittTrigger {
 
 impl SchmittTrigger {
     /// Create a trigger; errors if thresholds are not ordered.
-    pub fn new(low_threshold: f64, high_threshold: f64) -> Result<Self, DspError> {
+    pub fn new(
+        low_threshold: f64,  // lint: unitless — in the envelope's own amplitude units
+        high_threshold: f64, // lint: unitless — in the envelope's own amplitude units
+    ) -> Result<Self, DspError> {
         if !(low_threshold < high_threshold) {
             return Err(DspError::InvalidParameter(
                 "low_threshold must be < high_threshold",
@@ -117,19 +120,19 @@ pub struct EnvelopeFollower {
 
 impl EnvelopeFollower {
     /// Time-constant style constructor: `cutoff_hz` sets the smoothing pole.
-    pub fn new(cutoff_hz: f64, fs: f64) -> Result<Self, DspError> {
-        if !(cutoff_hz > 0.0 && cutoff_hz < fs / 2.0) {
+    pub fn new(cutoff_hz: f64, fs_hz: f64) -> Result<Self, DspError> {
+        if !(cutoff_hz > 0.0 && cutoff_hz < fs_hz / 2.0) {
             return Err(DspError::FrequencyOutOfRange {
                 frequency_hz: cutoff_hz,
-                nyquist_hz: fs / 2.0,
+                nyquist_hz: fs_hz / 2.0,
             });
         }
-        let alpha = 1.0 - (-std::f64::consts::TAU * cutoff_hz / fs).exp();
+        let alpha = 1.0 - (-std::f64::consts::TAU * cutoff_hz / fs_hz).exp();
         Ok(EnvelopeFollower { alpha, state: 0.0 })
     }
 
     /// Process one sample, returning the current envelope estimate.
-    pub fn step(&mut self, x: f64) -> f64 {
+    pub fn step(&mut self, x: f64) -> f64 { // lint: unitless — one sample in the signal's own units
         self.state += self.alpha * (x.abs() - self.state);
         self.state
     }
@@ -140,10 +143,10 @@ mod tests {
     use super::*;
     use crate::mix::tone;
 
-    fn ask_signal(fs: f64, carrier: f64, high: f64, low: f64, half_period: usize) -> Vec<f64> {
+    fn ask_signal(fs_hz: f64, carrier: f64, high: f64, low: f64, half_period: usize) -> Vec<f64> {
         // On-off-ish keyed carrier alternating between two amplitudes.
         let n = half_period * 8;
-        let c = tone(carrier, fs, 0.0, n);
+        let c = tone(carrier, fs_hz, 0.0, n);
         c.iter()
             .enumerate()
             .map(|(i, &x)| {
@@ -155,9 +158,9 @@ mod tests {
 
     #[test]
     fn demodulated_envelope_tracks_ask_levels() {
-        let fs = 192_000.0;
-        let sig = ask_signal(fs, 15_000.0, 1.0, 0.4, 19_200);
-        let env = demodulate_envelope(&sig, 15_000.0, fs, 500.0).unwrap();
+        let fs_hz = 192_000.0;
+        let sig = ask_signal(fs_hz, 15_000.0, 1.0, 0.4, 19_200);
+        let env = demodulate_envelope(&sig, 15_000.0, fs_hz, 500.0).unwrap();
         // Sample mid-way through each state.
         assert!((env[9_600] - 1.0).abs() < 0.05, "{}", env[9_600]);
         assert!((env[28_800] - 0.4).abs() < 0.05, "{}", env[28_800]);
@@ -165,9 +168,9 @@ mod tests {
 
     #[test]
     fn rectified_envelope_tracks_amplitude() {
-        let fs = 192_000.0;
-        let sig = ask_signal(fs, 15_000.0, 0.8, 0.2, 19_200);
-        let env = rectified_envelope(&sig, fs, 400.0).unwrap();
+        let fs_hz = 192_000.0;
+        let sig = ask_signal(fs_hz, 15_000.0, 0.8, 0.2, 19_200);
+        let env = rectified_envelope(&sig, fs_hz, 400.0).unwrap();
         assert!((env[9_600] - 0.8).abs() < 0.08);
         assert!((env[28_800] - 0.2).abs() < 0.08);
     }
@@ -206,9 +209,9 @@ mod tests {
 
     #[test]
     fn follower_converges_to_rectified_mean_scale() {
-        let fs = 48_000.0;
-        let mut f = EnvelopeFollower::new(100.0, fs).unwrap();
-        let sig = tone(1_000.0, fs, 0.0, 48_000);
+        let fs_hz = 48_000.0;
+        let mut f = EnvelopeFollower::new(100.0, fs_hz).unwrap();
+        let sig = tone(1_000.0, fs_hz, 0.0, 48_000);
         let mut last = 0.0;
         for &x in &sig {
             last = f.step(x);

@@ -40,7 +40,7 @@ pub fn ifft(input: &[Complex64]) -> Vec<Complex64> {
 /// peak of `A`.
 pub fn amplitude_spectrum(
     signal: &[f64],
-    fs: f64,
+    fs_hz: f64,
     window: Window,
 ) -> Result<(Vec<f64>, Vec<f64>), DspError> {
     if signal.len() < 2 {
@@ -49,8 +49,8 @@ pub fn amplitude_spectrum(
             got: signal.len(),
         });
     }
-    if !(fs > 0.0) {
-        return Err(DspError::InvalidParameter("fs must be positive"));
+    if !(fs_hz > 0.0) {
+        return Err(DspError::InvalidParameter("fs_hz must be positive"));
     }
     let n = signal.len();
     let w = window.generate(n);
@@ -65,7 +65,7 @@ pub fn amplitude_spectrum(
     let mut freqs = Vec::with_capacity(half + 1);
     let mut amps = Vec::with_capacity(half + 1);
     for (k, c) in buf.iter().take(half + 1).enumerate() {
-        freqs.push(k as f64 * fs / n as f64);
+        freqs.push(k as f64 * fs_hz / n as f64);
         // Factor 2 accounts for the mirrored negative-frequency energy
         // (except at DC and Nyquist).
         let two = if k == 0 || (n.is_multiple_of(2) && k == half) {
@@ -93,7 +93,7 @@ pub struct Peak {
 pub fn find_peaks(
     freqs: &[f64],
     amps: &[f64],
-    threshold: f64,
+    threshold: f64, // lint: unitless — in the spectrum's own amplitude units
     min_separation_hz: f64,
     max_peaks: usize,
 ) -> Vec<Peak> {
@@ -134,7 +134,7 @@ pub type Spectrogram = (Vec<f64>, Vec<f64>, Vec<Vec<f64>>);
 /// sidebands (the time-frequency version of Fig. 2).
 pub fn spectrogram(
     signal: &[f64],
-    fs: f64,
+    fs_hz: f64,
     frame_len: usize,
     hop: usize,
     window: Window,
@@ -156,11 +156,11 @@ pub fn spectrogram(
     let mut freqs = Vec::new();
     let mut start = 0;
     while start + frame_len <= signal.len() {
-        let (f, a) = amplitude_spectrum(&signal[start..start + frame_len], fs, window)?;
+        let (f, a) = amplitude_spectrum(&signal[start..start + frame_len], fs_hz, window)?;
         if freqs.is_empty() {
             freqs = f;
         }
-        times.push((start + frame_len / 2) as f64 / fs);
+        times.push((start + frame_len / 2) as f64 / fs_hz);
         mags.push(a);
         start += hop;
     }
@@ -170,12 +170,12 @@ pub fn spectrogram(
 /// Convenience: locate the dominant carriers of a real signal.
 pub fn detect_carriers(
     signal: &[f64],
-    fs: f64,
-    threshold: f64,
+    fs_hz: f64,
+    threshold: f64, // lint: unitless — in the spectrum's own amplitude units
     min_separation_hz: f64,
     max_carriers: usize,
 ) -> Result<Vec<Peak>, DspError> {
-    let (f, a) = amplitude_spectrum(signal, fs, Window::Hann)?;
+    let (f, a) = amplitude_spectrum(signal, fs_hz, Window::Hann)?;
     Ok(find_peaks(&f, &a, threshold, min_separation_hz, max_carriers))
 }
 
@@ -197,29 +197,29 @@ mod tests {
 
     #[test]
     fn spectrum_of_sine_peaks_at_tone_frequency() {
-        let fs = 192_000.0;
-        let sig = tone(15_000.0, fs, 0.0, 8192);
-        let (f, a) = amplitude_spectrum(&sig, fs, Window::Hann).unwrap();
+        let fs_hz = 192_000.0;
+        let sig = tone(15_000.0, fs_hz, 0.0, 8192);
+        let (f, a) = amplitude_spectrum(&sig, fs_hz, Window::Hann).unwrap();
         let (imax, _) = a
             .iter()
             .enumerate()
             .max_by(|x, y| x.1.total_cmp(y.1))
             .unwrap();
-        assert!((f[imax] - 15_000.0).abs() < fs / 8192.0 * 1.5);
+        assert!((f[imax] - 15_000.0).abs() < fs_hz / 8192.0 * 1.5);
         // Amplitude calibration: unit sine should read ~1.0.
         assert!((a[imax] - 1.0).abs() < 0.05, "amp {}", a[imax]);
     }
 
     #[test]
     fn detects_two_carriers() {
-        let fs = 192_000.0;
+        let fs_hz = 192_000.0;
         let n = 16384;
-        let mut sig = tone(15_000.0, fs, 0.0, n);
-        let t2 = tone(18_000.0, fs, 0.3, n);
+        let mut sig = tone(15_000.0, fs_hz, 0.0, n);
+        let t2 = tone(18_000.0, fs_hz, 0.3, n);
         for (s, t) in sig.iter_mut().zip(&t2) {
             *s += 0.8 * t;
         }
-        let peaks = detect_carriers(&sig, fs, 0.1, 500.0, 4).unwrap();
+        let peaks = detect_carriers(&sig, fs_hz, 0.1, 500.0, 4).unwrap();
         assert_eq!(peaks.len(), 2);
         let mut fs_found: Vec<f64> = peaks.iter().map(|p| p.frequency_hz).collect();
         fs_found.sort_by(f64::total_cmp);
@@ -241,11 +241,11 @@ mod tests {
 
     #[test]
     fn spectrogram_tracks_a_frequency_step() {
-        let fs = 48_000.0;
-        let mut sig = tone(2_000.0, fs, 0.0, 24_000);
-        sig.extend(tone(6_000.0, fs, 0.0, 24_000));
+        let fs_hz = 48_000.0;
+        let mut sig = tone(2_000.0, fs_hz, 0.0, 24_000);
+        sig.extend(tone(6_000.0, fs_hz, 0.0, 24_000));
         let (times, freqs, mags) =
-            spectrogram(&sig, fs, 2_048, 1_024, Window::Hann).unwrap();
+            spectrogram(&sig, fs_hz, 2_048, 1_024, Window::Hann).unwrap();
         assert_eq!(times.len(), mags.len());
         let peak_freq = |frame: &Vec<f64>| {
             let (i, _) = frame

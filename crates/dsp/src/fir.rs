@@ -35,23 +35,23 @@ impl Fir {
     pub fn lowpass(
         num_taps: usize,
         cutoff_hz: f64,
-        fs: f64,
+        fs_hz: f64,
         window: Window,
     ) -> Result<Self, DspError> {
         if num_taps < 3 {
             return Err(DspError::InvalidOrder(num_taps));
         }
-        if !(fs > 0.0) {
-            return Err(DspError::InvalidParameter("fs must be positive"));
+        if !(fs_hz > 0.0) {
+            return Err(DspError::InvalidParameter("fs_hz must be positive"));
         }
-        if !(cutoff_hz > 0.0 && cutoff_hz < fs / 2.0) {
+        if !(cutoff_hz > 0.0 && cutoff_hz < fs_hz / 2.0) {
             return Err(DspError::FrequencyOutOfRange {
                 frequency_hz: cutoff_hz,
-                nyquist_hz: fs / 2.0,
+                nyquist_hz: fs_hz / 2.0,
             });
         }
         let n = if num_taps.is_multiple_of(2) { num_taps + 1 } else { num_taps };
-        let fc = cutoff_hz / fs;
+        let fc = cutoff_hz / fs_hz;
         let mid = (n - 1) as f64 / 2.0;
         let mut taps: Vec<f64> = (0..n)
             .map(|i| {
@@ -78,7 +78,7 @@ impl Fir {
         num_taps: usize,
         low_hz: f64,
         high_hz: f64,
-        fs: f64,
+        fs_hz: f64,
         window: Window,
     ) -> Result<Self, DspError> {
         if !(low_hz < high_hz) {
@@ -86,7 +86,7 @@ impl Fir {
         }
         let half_bw = (high_hz - low_hz) / 2.0;
         let center = (high_hz + low_hz) / 2.0;
-        let proto = Fir::lowpass(num_taps, half_bw, fs, window)?;
+        let proto = Fir::lowpass(num_taps, half_bw, fs_hz, window)?;
         let n = proto.taps.len();
         let mid = (n - 1) as f64 / 2.0;
         let taps: Vec<f64> = proto
@@ -94,7 +94,7 @@ impl Fir {
             .iter()
             .enumerate()
             // Factor 2 restores unity passband gain after modulation.
-            .map(|(i, &t)| 2.0 * t * (2.0 * PI * center / fs * (i as f64 - mid)).cos())
+            .map(|(i, &t)| 2.0 * t * (2.0 * PI * center / fs_hz * (i as f64 - mid)).cos())
             .collect();
         Ok(Fir { taps })
     }
@@ -116,8 +116,8 @@ impl Fir {
     }
 
     /// Magnitude response at `freq_hz`.
-    pub fn magnitude_at(&self, freq_hz: f64, fs: f64) -> f64 {
-        let w = 2.0 * PI * freq_hz / fs;
+    pub fn magnitude_at(&self, freq_hz: f64, fs_hz: f64) -> f64 {
+        let w = 2.0 * PI * freq_hz / fs_hz;
         let (mut re, mut im) = (0.0, 0.0);
         for (k, &t) in self.taps.iter().enumerate() {
             re += t * (w * k as f64).cos();
@@ -196,9 +196,9 @@ mod tests {
 
     #[test]
     fn filter_attenuates_stopband_signal() {
-        let fs = 48_000.0;
-        let f = Fir::lowpass(101, 1_000.0, fs, Window::Hamming).unwrap();
-        let hi = tone(12_000.0, fs, 0.0, 2000);
+        let fs_hz = 48_000.0;
+        let f = Fir::lowpass(101, 1_000.0, fs_hz, Window::Hamming).unwrap();
+        let hi = tone(12_000.0, fs_hz, 0.0, 2000);
         let out = f.filter(&hi);
         assert!(rms(&out[200..]) < 5e-3);
     }
@@ -231,17 +231,17 @@ mod tests {
 
     #[test]
     fn hilbert_shifts_tone_by_90_degrees() {
-        let fs = 48_000.0;
+        let fs_hz = 48_000.0;
         let f = 2_000.0;
         let h = hilbert(127, Window::Hamming).unwrap();
-        let x = tone(f, fs, 0.0, 4800);
+        let x = tone(f, fs_hz, 0.0, 4800);
         let xh = h.filter(&x);
         let gd = h.group_delay();
         // sin shifted by -90° is -cos; compare past the transient, with
         // the group delay compensated.
         #[allow(clippy::needless_range_loop)] // index feeds the formula
         for i in 400..4000 {
-            let expected = -((std::f64::consts::TAU * f / fs) * (i - gd) as f64).cos();
+            let expected = -((std::f64::consts::TAU * f / fs_hz) * (i - gd) as f64).cos();
             assert!((xh[i] - expected).abs() < 0.02, "at {i}: {} vs {expected}", xh[i]);
         }
     }

@@ -6,12 +6,12 @@ use num_complex::Complex64;
 use std::f64::consts::TAU;
 
 /// Complex DFT coefficient of `signal` at `freq_hz` (not normalised by N).
-pub fn goertzel(signal: &[f64], freq_hz: f64, fs: f64) -> Complex64 {
+pub fn goertzel(signal: &[f64], freq_hz: f64, fs_hz: f64) -> Complex64 {
     let n = signal.len();
     if n == 0 {
         return Complex64::new(0.0, 0.0);
     }
-    let w = TAU * freq_hz / fs;
+    let w = TAU * freq_hz / fs_hz;
     let coeff = 2.0 * w.cos();
     let (mut s_prev, mut s_prev2) = (0.0_f64, 0.0_f64);
     for &x in signal {
@@ -29,16 +29,16 @@ pub fn goertzel(signal: &[f64], freq_hz: f64, fs: f64) -> Complex64 {
 
 /// Amplitude of the sinusoidal component at `freq_hz` (a unit sine reads 1.0,
 /// assuming an integer number of periods fits the block).
-pub fn tone_amplitude(signal: &[f64], freq_hz: f64, fs: f64) -> f64 {
+pub fn tone_amplitude(signal: &[f64], freq_hz: f64, fs_hz: f64) -> f64 {
     if signal.is_empty() {
         return 0.0;
     }
-    2.0 * goertzel(signal, freq_hz, fs).norm() / signal.len() as f64
+    2.0 * goertzel(signal, freq_hz, fs_hz).norm() / signal.len() as f64
 }
 
 /// Mean power of the component at `freq_hz` (unit sine reads 0.5).
-pub fn tone_power(signal: &[f64], freq_hz: f64, fs: f64) -> f64 {
-    let a = tone_amplitude(signal, freq_hz, fs);
+pub fn tone_power(signal: &[f64], freq_hz: f64, fs_hz: f64) -> f64 {
+    let a = tone_amplitude(signal, freq_hz, fs_hz);
     a * a / 2.0
 }
 
@@ -49,41 +49,41 @@ mod tests {
 
     #[test]
     fn unit_sine_amplitude_reads_one() {
-        let fs = 48_000.0;
+        let fs_hz = 48_000.0;
         // 1 kHz: exactly 100 periods in 4800 samples.
-        let sig = tone(1_000.0, fs, 0.0, 4800);
-        let a = tone_amplitude(&sig, 1_000.0, fs);
+        let sig = tone(1_000.0, fs_hz, 0.0, 4800);
+        let a = tone_amplitude(&sig, 1_000.0, fs_hz);
         assert!((a - 1.0).abs() < 1e-6, "a={a}");
     }
 
     #[test]
     fn off_frequency_energy_is_small() {
-        let fs = 48_000.0;
-        let sig = tone(1_000.0, fs, 0.0, 4800);
-        let a = tone_amplitude(&sig, 3_000.0, fs);
+        let fs_hz = 48_000.0;
+        let sig = tone(1_000.0, fs_hz, 0.0, 4800);
+        let a = tone_amplitude(&sig, 3_000.0, fs_hz);
         assert!(a < 1e-6);
     }
 
     #[test]
     fn amplitude_scales_linearly() {
-        let fs = 48_000.0;
-        let sig: Vec<f64> = tone(2_000.0, fs, 0.4, 4800).iter().map(|x| 3.5 * x).collect();
-        let a = tone_amplitude(&sig, 2_000.0, fs);
+        let fs_hz = 48_000.0;
+        let sig: Vec<f64> = tone(2_000.0, fs_hz, 0.4, 4800).iter().map(|x| 3.5 * x).collect();
+        let a = tone_amplitude(&sig, 2_000.0, fs_hz);
         assert!((a - 3.5).abs() < 1e-6);
     }
 
     #[test]
     fn power_of_unit_sine_is_half() {
-        let fs = 48_000.0;
-        let sig = tone(1_500.0, fs, 1.0, 9600);
-        assert!((tone_power(&sig, 1_500.0, fs) - 0.5).abs() < 1e-6);
+        let fs_hz = 48_000.0;
+        let sig = tone(1_500.0, fs_hz, 1.0, 9600);
+        assert!((tone_power(&sig, 1_500.0, fs_hz) - 0.5).abs() < 1e-6);
     }
 
     #[test]
     fn matches_fft_bin() {
-        let fs = 8_000.0;
-        let sig = tone(1_000.0, fs, 0.7, 64);
-        let g = goertzel(&sig, 1_000.0, fs);
+        let fs_hz = 8_000.0;
+        let sig = tone(1_000.0, fs_hz, 0.7, 64);
+        let g = goertzel(&sig, 1_000.0, fs_hz);
         let spectrum = crate::fft::fft(
             &sig.iter()
                 .map(|&x| Complex64::new(x, 0.0))

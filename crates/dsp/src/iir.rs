@@ -32,9 +32,9 @@ impl Biquad {
         }
     }
 
-    /// Evaluate the magnitude response at `freq_hz` for sample rate `fs`.
-    pub fn magnitude_at(&self, freq_hz: f64, fs: f64) -> f64 {
-        let w = std::f64::consts::TAU * freq_hz / fs;
+    /// Evaluate the magnitude response at `freq_hz` for sample rate `fs_hz`.
+    pub fn magnitude_at(&self, freq_hz: f64, fs_hz: f64) -> f64 {
+        let w = std::f64::consts::TAU * freq_hz / fs_hz;
         let z1 = Complex64::from_polar(1.0, -w);
         let z2 = z1 * z1;
         let num = Complex64::new(self.b[0], 0.0) + z1 * self.b[1] + z2 * self.b[2];
@@ -148,18 +148,18 @@ impl Cascade {
     }
 
     /// Magnitude response of the full cascade at `freq_hz`.
-    pub fn magnitude_at(&self, freq_hz: f64, fs: f64) -> f64 {
+    pub fn magnitude_at(&self, freq_hz: f64, fs_hz: f64) -> f64 {
         self.sections
             .iter()
-            .map(|s| s.magnitude_at(freq_hz, fs))
+            .map(|s| s.magnitude_at(freq_hz, fs_hz))
             .product()
     }
 }
 
 /// Analog biquad `(b2 s^2 + b1 s + b0) / (a2 s^2 + a1 s + a0)` mapped to a
-/// digital [`Biquad`] via the bilinear transform with `K = 2 fs`.
-fn bilinear(b: [f64; 3], a: [f64; 3], fs: f64) -> Biquad {
-    let k = 2.0 * fs;
+/// digital [`Biquad`] via the bilinear transform with `K = 2 fs_hz`.
+fn bilinear(b: [f64; 3], a: [f64; 3], fs_hz: f64) -> Biquad {
+    let k = 2.0 * fs_hz;
     let k2 = k * k;
     let (b0, b1, b2) = (b[0], b[1], b[2]);
     let (a0, a1, a2) = (a[0], a[1], a[2]);
@@ -175,14 +175,14 @@ fn bilinear(b: [f64; 3], a: [f64; 3], fs: f64) -> Biquad {
     }
 }
 
-fn check_freq(freq_hz: f64, fs: f64) -> Result<(), DspError> {
-    if !(fs > 0.0) {
-        return Err(DspError::InvalidParameter("fs must be positive"));
+fn check_freq(freq_hz: f64, fs_hz: f64) -> Result<(), DspError> {
+    if !(fs_hz > 0.0) {
+        return Err(DspError::InvalidParameter("fs_hz must be positive"));
     }
-    if !(freq_hz > 0.0 && freq_hz < fs / 2.0) {
+    if !(freq_hz > 0.0 && freq_hz < fs_hz / 2.0) {
         return Err(DspError::FrequencyOutOfRange {
             frequency_hz: freq_hz,
-            nyquist_hz: fs / 2.0,
+            nyquist_hz: fs_hz / 2.0,
         });
     }
     Ok(())
@@ -204,25 +204,25 @@ fn prototype_poles(n: usize) -> Vec<Complex64> {
 }
 
 /// Design an order-`n` Butterworth low-pass filter with -3 dB cutoff
-/// `cutoff_hz` at sample rate `fs`.
-pub fn butter_lowpass(n: usize, cutoff_hz: f64, fs: f64) -> Result<Cascade, DspError> {
+/// `cutoff_hz` at sample rate `fs_hz`.
+pub fn butter_lowpass(n: usize, cutoff_hz: f64, fs_hz: f64) -> Result<Cascade, DspError> {
     if n == 0 || n > 16 {
         return Err(DspError::InvalidOrder(n));
     }
-    check_freq(cutoff_hz, fs)?;
+    check_freq(cutoff_hz, fs_hz)?;
     // Pre-warp the cutoff so the digital -3 dB point lands on cutoff_hz.
-    let wc = 2.0 * fs * (std::f64::consts::PI * cutoff_hz / fs).tan();
+    let wc = 2.0 * fs_hz * (std::f64::consts::PI * cutoff_hz / fs_hz).tan();
     let mut sections = Vec::new();
     for p in prototype_poles(n) {
         if p.im.abs() < 1e-12 {
             // First-order section: H(s) = wc / (s + wc).
-            sections.push(bilinear([wc, 0.0, 0.0], [wc, 1.0, 0.0], fs));
+            sections.push(bilinear([wc, 0.0, 0.0], [wc, 1.0, 0.0], fs_hz));
         } else {
             // H(s) = wc^2 / (s^2 - 2 Re(p) wc s + wc^2).
             sections.push(bilinear(
                 [wc * wc, 0.0, 0.0],
                 [wc * wc, -2.0 * p.re * wc, 1.0],
-                fs,
+                fs_hz,
             ));
         }
     }
@@ -230,24 +230,24 @@ pub fn butter_lowpass(n: usize, cutoff_hz: f64, fs: f64) -> Result<Cascade, DspE
 }
 
 /// Design an order-`n` Butterworth high-pass filter with -3 dB cutoff
-/// `cutoff_hz` at sample rate `fs`.
-pub fn butter_highpass(n: usize, cutoff_hz: f64, fs: f64) -> Result<Cascade, DspError> {
+/// `cutoff_hz` at sample rate `fs_hz`.
+pub fn butter_highpass(n: usize, cutoff_hz: f64, fs_hz: f64) -> Result<Cascade, DspError> {
     if n == 0 || n > 16 {
         return Err(DspError::InvalidOrder(n));
     }
-    check_freq(cutoff_hz, fs)?;
-    let wc = 2.0 * fs * (std::f64::consts::PI * cutoff_hz / fs).tan();
+    check_freq(cutoff_hz, fs_hz)?;
+    let wc = 2.0 * fs_hz * (std::f64::consts::PI * cutoff_hz / fs_hz).tan();
     let mut sections = Vec::new();
     for p in prototype_poles(n) {
         if p.im.abs() < 1e-12 {
             // H(s) = s / (s + wc).
-            sections.push(bilinear([0.0, 1.0, 0.0], [wc, 1.0, 0.0], fs));
+            sections.push(bilinear([0.0, 1.0, 0.0], [wc, 1.0, 0.0], fs_hz));
         } else {
             // H(s) = s^2 / (s^2 - 2 Re(p) wc s + wc^2).
             sections.push(bilinear(
                 [0.0, 0.0, 1.0],
                 [wc * wc, -2.0 * p.re * wc, 1.0],
-                fs,
+                fs_hz,
             ));
         }
     }
@@ -264,13 +264,13 @@ pub fn butter_bandpass(
     n: usize,
     low_hz: f64,
     high_hz: f64,
-    fs: f64,
+    fs_hz: f64,
 ) -> Result<Cascade, DspError> {
     if !(low_hz < high_hz) {
         return Err(DspError::InvalidParameter("low_hz must be < high_hz"));
     }
-    let hp = butter_highpass(n, low_hz, fs)?;
-    let lp = butter_lowpass(n, high_hz, fs)?;
+    let hp = butter_highpass(n, low_hz, fs_hz)?;
+    let lp = butter_lowpass(n, high_hz, fs_hz)?;
     let mut sections = hp.sections;
     sections.extend(lp.sections);
     Ok(Cascade::new(sections))
@@ -323,10 +323,10 @@ mod tests {
 
     #[test]
     fn filtering_attenuates_out_of_band_tone() {
-        let fs = 48_000.0;
-        let f = butter_lowpass(6, 1_000.0, fs).unwrap();
-        let hi = tone(8_000.0, fs, 0.0, 4800);
-        let lo = tone(200.0, fs, 0.0, 4800);
+        let fs_hz = 48_000.0;
+        let f = butter_lowpass(6, 1_000.0, fs_hz).unwrap();
+        let hi = tone(8_000.0, fs_hz, 0.0, 4800);
+        let lo = tone(200.0, fs_hz, 0.0, 4800);
         let hi_out = f.filter(&hi);
         let lo_out = f.filter(&lo);
         assert!(rms(&hi_out[2400..]) < 0.001);
@@ -335,9 +335,9 @@ mod tests {
 
     #[test]
     fn filtfilt_has_zero_phase_delay() {
-        let fs = 48_000.0;
-        let f = butter_lowpass(4, 2_000.0, fs).unwrap();
-        let sig = tone(500.0, fs, 0.0, 4800);
+        let fs_hz = 48_000.0;
+        let f = butter_lowpass(4, 2_000.0, fs_hz).unwrap();
+        let sig = tone(500.0, fs_hz, 0.0, 4800);
         let out = f.filtfilt(&sig);
         // No group delay: the in-band tone should align sample-for-sample.
         for i in 1000..3800 {

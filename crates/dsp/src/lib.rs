@@ -16,10 +16,10 @@
 //! ```
 //! use pab_dsp::{mix, iir};
 //!
-//! let fs = 192_000.0;
-//! let carrier = mix::tone(15_000.0, fs, 0.0, 1024);
-//! let bb = mix::downconvert(&carrier, 15_000.0, fs);
-//! let lp = iir::butter_lowpass(4, 2_000.0, fs).unwrap();
+//! let fs_hz = 192_000.0;
+//! let carrier = mix::tone(15_000.0, fs_hz, 0.0, 1024);
+//! let bb = mix::downconvert(&carrier, 15_000.0, fs_hz);
+//! let lp = iir::butter_lowpass(4, 2_000.0, fs_hz).unwrap();
 //! // Low-pass the complex baseband to remove the double-frequency image,
 //! // then the magnitude (x2 to undo real->complex mixing loss) is the
 //! // envelope: constant 1.0 for a pure unit tone.
@@ -48,7 +48,7 @@ pub use num_complex::Complex64;
 /// Errors produced by DSP routines when given invalid parameters.
 #[derive(Debug, Clone, PartialEq)]
 pub enum DspError {
-    /// A cutoff or center frequency was not inside `(0, fs/2)`.
+    /// A cutoff or center frequency was not inside `(0, fs_hz/2)`.
     FrequencyOutOfRange { frequency_hz: f64, nyquist_hz: f64 },
     /// Filter order/length parameter was invalid (zero, or too large).
     InvalidOrder(usize),

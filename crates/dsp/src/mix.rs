@@ -9,15 +9,15 @@ use num_complex::Complex64;
 use std::f64::consts::TAU;
 
 /// Generate `n` samples of a unit-amplitude real sine at `freq_hz`,
-/// sample rate `fs`, starting phase `phase_rad`.
-pub fn tone(freq_hz: f64, fs: f64, phase_rad: f64, n: usize) -> Vec<f64> {
-    let w = TAU * freq_hz / fs;
+/// sample rate `fs_hz`, starting phase `phase_rad`.
+pub fn tone(freq_hz: f64, fs_hz: f64, phase_rad: f64, n: usize) -> Vec<f64> {
+    let w = TAU * freq_hz / fs_hz;
     (0..n).map(|i| (w * i as f64 + phase_rad).sin()).collect()
 }
 
 /// Generate `n` samples of a unit complex exponential `exp(j(2πf t + φ))`.
-pub fn complex_tone(freq_hz: f64, fs: f64, phase_rad: f64, n: usize) -> Vec<Complex64> {
-    let w = TAU * freq_hz / fs;
+pub fn complex_tone(freq_hz: f64, fs_hz: f64, phase_rad: f64, n: usize) -> Vec<Complex64> {
+    let w = TAU * freq_hz / fs_hz;
     (0..n)
         .map(|i| Complex64::from_polar(1.0, w * i as f64 + phase_rad))
         .collect()
@@ -31,22 +31,22 @@ pub fn complex_tone(freq_hz: f64, fs: f64, phase_rad: f64, n: usize) -> Vec<Comp
 pub struct Nco {
     phase: f64,
     phase_inc: f64,
-    fs: f64,
+    fs_hz: f64,
 }
 
 impl Nco {
-    /// Create an NCO at `freq_hz` for sample rate `fs`.
-    pub fn new(freq_hz: f64, fs: f64) -> Self {
+    /// Create an NCO at `freq_hz` for sample rate `fs_hz`.
+    pub fn new(freq_hz: f64, fs_hz: f64) -> Self {
         Nco {
             phase: 0.0,
-            phase_inc: TAU * freq_hz / fs,
-            fs,
+            phase_inc: TAU * freq_hz / fs_hz,
+            fs_hz,
         }
     }
 
     /// Retune the oscillator; phase stays continuous.
     pub fn set_frequency(&mut self, freq_hz: f64) {
-        self.phase_inc = TAU * freq_hz / self.fs;
+        self.phase_inc = TAU * freq_hz / self.fs_hz;
     }
 
     /// Produce the next real sample (sine convention).
@@ -70,12 +70,12 @@ impl Nco {
 }
 
 /// Downconvert a real passband signal to complex baseband:
-/// `y[n] = x[n] * exp(-j 2π f n / fs)`.
+/// `y[n] = x[n] * exp(-j 2π f n / fs_hz)`.
 ///
 /// The result still contains the double-frequency image; follow with a
 /// low-pass filter (see [`crate::iir::butter_lowpass`]).
-pub fn downconvert(signal: &[f64], carrier_hz: f64, fs: f64) -> Vec<Complex64> {
-    let w = TAU * carrier_hz / fs;
+pub fn downconvert(signal: &[f64], carrier_hz: f64, fs_hz: f64) -> Vec<Complex64> {
+    let w = TAU * carrier_hz / fs_hz;
     signal
         .iter()
         .enumerate()
@@ -84,9 +84,9 @@ pub fn downconvert(signal: &[f64], carrier_hz: f64, fs: f64) -> Vec<Complex64> {
 }
 
 /// Upconvert a complex baseband signal onto a real carrier:
-/// `y[n] = Re( x[n] * exp(+j 2π f n / fs) )`.
-pub fn upconvert(baseband: &[Complex64], carrier_hz: f64, fs: f64) -> Vec<f64> {
-    let w = TAU * carrier_hz / fs;
+/// `y[n] = Re( x[n] * exp(+j 2π f n / fs_hz) )`.
+pub fn upconvert(baseband: &[Complex64], carrier_hz: f64, fs_hz: f64) -> Vec<f64> {
+    let w = TAU * carrier_hz / fs_hz;
     baseband
         .iter()
         .enumerate()
@@ -96,8 +96,8 @@ pub fn upconvert(baseband: &[Complex64], carrier_hz: f64, fs: f64) -> Vec<f64> {
 
 /// Apply a frequency shift to a complex baseband signal (used for CFO
 /// correction after estimation).
-pub fn frequency_shift(signal: &[Complex64], shift_hz: f64, fs: f64) -> Vec<Complex64> {
-    let w = TAU * shift_hz / fs;
+pub fn frequency_shift(signal: &[Complex64], shift_hz: f64, fs_hz: f64) -> Vec<Complex64> {
+    let w = TAU * shift_hz / fs_hz;
     signal
         .iter()
         .enumerate()
@@ -136,9 +136,9 @@ mod tests {
 
     #[test]
     fn downconvert_tone_gives_dc_plus_image() {
-        let fs = 192_000.0;
-        let sig = tone(15_000.0, fs, 0.0, 4096);
-        let bb = downconvert(&sig, 15_000.0, fs);
+        let fs_hz = 192_000.0;
+        let sig = tone(15_000.0, fs_hz, 0.0, 4096);
+        let bb = downconvert(&sig, 15_000.0, fs_hz);
         // Average over an integer number of image periods: the DC term of
         // sin(wt)·e^{-jwt} is -j/2 => magnitude 1/2.
         let mean: Complex64 = bb.iter().sum::<Complex64>() / bb.len() as f64;
@@ -148,14 +148,14 @@ mod tests {
 
     #[test]
     fn up_down_conversion_roundtrip_preserves_envelope() {
-        let fs = 192_000.0;
+        let fs_hz = 192_000.0;
         let n = 8192;
         // Slow raised-cosine envelope.
         let env: Vec<Complex64> = (0..n)
             .map(|i| Complex64::new(0.5 + 0.5 * (TAU * i as f64 / n as f64).cos(), 0.0))
             .collect();
-        let pass = upconvert(&env, 20_000.0, fs);
-        let bb = downconvert(&pass, 20_000.0, fs);
+        let pass = upconvert(&env, 20_000.0, fs_hz);
+        let bb = downconvert(&pass, 20_000.0, fs_hz);
         // 2*bb ≈ env after removing the double-frequency image via coarse
         // block averaging.
         let block = 64;
@@ -170,9 +170,9 @@ mod tests {
 
     #[test]
     fn frequency_shift_moves_tone() {
-        let fs = 48_000.0;
-        let bb = complex_tone(100.0, fs, 0.0, 4800);
-        let shifted = frequency_shift(&bb, -100.0, fs);
+        let fs_hz = 48_000.0;
+        let bb = complex_tone(100.0, fs_hz, 0.0, 4800);
+        let shifted = frequency_shift(&bb, -100.0, fs_hz);
         let mean = shifted.iter().sum::<Complex64>() / shifted.len() as f64;
         assert!((mean.norm() - 1.0).abs() < 1e-6);
     }

@@ -39,7 +39,12 @@ pub fn fractional_delay(x: &[f64], delay_samples: f64) -> Result<Vec<f64>, DspEr
 
 /// Add `src` delayed by `delay_samples` and scaled by `gain` into `dst`
 /// without allocating. Samples that fall beyond `dst` are dropped.
-pub fn add_delayed_scaled(dst: &mut [f64], src: &[f64], delay_samples: f64, gain: f64) {
+pub fn add_delayed_scaled(
+    dst: &mut [f64],
+    src: &[f64],
+    delay_samples: f64,
+    gain: f64, // lint: unitless — linear amplitude scale factor
+) {
     if !(delay_samples >= 0.0) || gain == 0.0 {
         return;
     }
@@ -61,15 +66,15 @@ pub fn add_delayed_scaled(dst: &mut [f64], src: &[f64], delay_samples: f64, gain
 
 /// Anti-aliased decimation by integer factor `m`: low-pass at 80% of the
 /// new Nyquist, then keep every m-th sample. Returns the decimated signal.
-pub fn decimate(x: &[f64], m: usize, fs: f64) -> Result<Vec<f64>, DspError> {
+pub fn decimate(x: &[f64], m: usize, fs_hz: f64) -> Result<Vec<f64>, DspError> {
     if m == 0 {
         return Err(DspError::InvalidParameter("decimation factor must be >= 1"));
     }
     if m == 1 {
         return Ok(x.to_vec());
     }
-    let new_nyquist = fs / (2.0 * m as f64);
-    let f = Fir::lowpass(127, 0.8 * new_nyquist, fs, Window::Hamming)?;
+    let new_nyquist = fs_hz / (2.0 * m as f64);
+    let f = Fir::lowpass(127, 0.8 * new_nyquist, fs_hz, Window::Hamming)?;
     let filtered = f.filter(x);
     Ok(filtered.iter().step_by(m).copied().collect())
 }
@@ -96,13 +101,13 @@ mod tests {
 
     #[test]
     fn fractional_delay_of_tone_shifts_phase() {
-        let fs = 48_000.0;
+        let fs_hz = 48_000.0;
         let f = 1_000.0;
-        let x = tone(f, fs, 0.0, 4800);
+        let x = tone(f, fs_hz, 0.0, 4800);
         let d = 7.3;
         let y = fractional_delay(&x, d).unwrap();
         // Compare against analytically delayed tone (skip the transient).
-        let expected = tone(f, fs, -std::f64::consts::TAU * f / fs * d, 4800);
+        let expected = tone(f, fs_hz, -std::f64::consts::TAU * f / fs_hz * d, 4800);
         for i in 100..4700 {
             assert!((y[i] - expected[i]).abs() < 0.01, "at {i}");
         }
@@ -119,21 +124,21 @@ mod tests {
 
     #[test]
     fn decimate_preserves_in_band_tone() {
-        let fs = 48_000.0;
-        let x = tone(1_000.0, fs, 0.0, 9600);
-        let y = decimate(&x, 4, fs).unwrap();
+        let fs_hz = 48_000.0;
+        let x = tone(1_000.0, fs_hz, 0.0, 9600);
+        let y = decimate(&x, 4, fs_hz).unwrap();
         assert_eq!(y.len(), 2400);
-        let a = tone_amplitude(&y[600..], 1_000.0, fs / 4.0);
+        let a = tone_amplitude(&y[600..], 1_000.0, fs_hz / 4.0);
         assert!((a - 1.0).abs() < 0.05, "a={a}");
     }
 
     #[test]
     fn decimate_removes_aliasing_tone() {
-        let fs = 48_000.0;
+        let fs_hz = 48_000.0;
         // 10 kHz would alias after /4 (new Nyquist 6 kHz) if not filtered.
-        let x = tone(10_000.0, fs, 0.0, 9600);
-        let y = decimate(&x, 4, fs).unwrap();
-        let alias = tone_amplitude(&y[600..], 2_000.0, fs / 4.0);
+        let x = tone(10_000.0, fs_hz, 0.0, 9600);
+        let y = decimate(&x, 4, fs_hz).unwrap();
+        let alias = tone_amplitude(&y[600..], 2_000.0, fs_hz / 4.0);
         assert!(alias < 0.01, "alias={alias}");
     }
 

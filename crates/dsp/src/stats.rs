@@ -62,7 +62,10 @@ pub fn amplitude_ratio_from_db(db: f64) -> f64 {
 
 /// SNR in dB from separate signal and noise power measurements.
 /// Returns `+inf` when noise power is zero and signal power is positive.
-pub fn snr_db(signal_power: f64, noise_power: f64) -> f64 {
+pub fn snr_db(
+    signal_power: f64, // lint: unitless — any linear power unit; only the ratio matters
+    noise_power: f64,  // lint: unitless — same units as signal_power
+) -> f64 {
     if noise_power <= 0.0 {
         if signal_power > 0.0 {
             f64::INFINITY

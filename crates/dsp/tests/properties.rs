@@ -60,16 +60,16 @@ proptest! {
     /// carrier-frequency component's amplitude.
     #[test]
     fn mix_roundtrip_preserves_tone(freq in 5_000.0f64..40_000.0, amp in 0.1f64..10.0) {
-        let fs = 192_000.0;
-        let x: Vec<f64> = tone(freq, fs, 0.0, 8192).iter().map(|v| v * amp).collect();
-        let bb = downconvert(&x, freq, fs);
-        let back = upconvert(&bb, freq, fs);
+        let fs_hz = 192_000.0;
+        let x: Vec<f64> = tone(freq, fs_hz, 0.0, 8192).iter().map(|v| v * amp).collect();
+        let bb = downconvert(&x, freq, fs_hz);
+        let back = upconvert(&bb, freq, fs_hz);
         // Without intermediate filtering the roundtrip is the exact
         // identity: Re(x·e^{-jω n}·e^{+jω n}) = x.
         for (orig, rt) in x.iter().zip(&back) {
             prop_assert!((orig - rt).abs() < 1e-9 * amp.max(1.0));
         }
-        let a = tone_amplitude(&back[1024..7168], freq, fs);
+        let a = tone_amplitude(&back[1024..7168], freq, fs_hz);
         prop_assert!((a - amp).abs() < 1e-3 * amp + 1e-9, "a={a} amp={amp}");
     }
 
@@ -107,9 +107,9 @@ proptest! {
     /// Goertzel amplitude is scale-equivariant.
     #[test]
     fn goertzel_scales_linearly(amp in 0.001f64..1000.0) {
-        let fs = 48_000.0;
-        let x: Vec<f64> = tone(1_500.0, fs, 0.3, 4800).iter().map(|v| v * amp).collect();
-        let a = tone_amplitude(&x, 1_500.0, fs);
+        let fs_hz = 48_000.0;
+        let x: Vec<f64> = tone(1_500.0, fs_hz, 0.3, 4800).iter().map(|v| v * amp).collect();
+        let a = tone_amplitude(&x, 1_500.0, fs_hz);
         prop_assert!((a - amp).abs() < 1e-6 * amp.max(1.0));
     }
 

@@ -20,16 +20,16 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 /// Synthesise the node's backscatter source waveform for one packet.
-fn packet_waveform(bitrate: f64, fs: f64) -> (UplinkPacket, Vec<f64>) {
+fn packet_waveform(bitrate: f64, fs_hz: f64) -> (UplinkPacket, Vec<f64>) {
     let packet = UplinkPacket::sensor_reading(4, 0, SensorKind::Temperature, 13.37);
     let mut halves = fm0::encode(&packet.to_bits().unwrap(), false);
     let last = *halves.last().unwrap();
     halves.push(!last);
     halves.push(!last);
-    let spb = fs / (2.0 * bitrate);
-    let lead = (0.03 * fs) as usize;
+    let spb = fs_hz / (2.0 * bitrate);
+    let lead = (0.03 * fs_hz) as usize;
     let n = lead + (halves.len() as f64 * spb) as usize + lead;
-    let mut nco = pab_dsp::mix::Nco::new(15_000.0, fs);
+    let mut nco = pab_dsp::mix::Nco::new(15_000.0, fs_hz);
     let w = (0..n)
         .map(|i| {
             let amp = if i < lead || i >= n - lead {
@@ -56,7 +56,7 @@ fn main() {
     );
     let rx = Receiver::default();
     let bitrate = 1_024.0;
-    let (packet, w) = packet_waveform(bitrate, rx.fs);
+    let (packet, w) = packet_waveform(bitrate, rx.fs_hz);
     let mut rng = ChaCha8Rng::seed_from_u64(3);
 
     println!(
@@ -66,7 +66,7 @@ fn main() {
     let mut rows = Vec::new();
     for &v in &[0.0, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 40.0] {
         let path = MovingPath::new(3.0, v, 1_500.0).expect("physical path");
-        let mut y = path.apply(&w, rx.fs);
+        let mut y = path.apply(&w, rx.fs_hz);
         add_awgn(&mut y, 2e-3, &mut rng);
         let doppler = 15_000.0 - path.observed_frequency_hz(15_000.0);
         // Fractional symbol-clock slip over the whole packet.

@@ -16,7 +16,7 @@ fn main() {
          two-level alternation once the node backscatters (t=2.8 s)",
     );
     let cfg = LinkConfig::default();
-    let fs = cfg.fs;
+    let fs_hz = cfg.fs_hz;
     let mut sim = LinkSimulator::new(cfg).expect("link config");
     // Paper timing: projector on at 2.2 s, backscatter at 2.8 s, 100 ms
     // per state; simulate 4 s.
@@ -25,7 +25,7 @@ fn main() {
         .expect("fig2 simulation");
 
     // Print a decimated trace (50 ms steps).
-    let step = (0.05 * fs) as usize;
+    let step = (0.05 * fs_hz) as usize;
     let mut rows = Vec::new();
     println!("{:>8} {:>12}", "t (s)", "envelope (V)");
     for (i, chunk) in env.chunks(step).enumerate() {
@@ -39,10 +39,10 @@ fn main() {
     let path = write_csv("fig2_waveform.csv", "time_s,envelope_v", &rows);
 
     // Quantify the three regimes.
-    let silent = stats::mean(&env[..(2.0 * fs) as usize]);
-    let cw = stats::mean(&env[(2.3 * fs) as usize..(2.7 * fs) as usize]);
-    let bs_std = stats::std_dev(&env[(2.9 * fs) as usize..(3.9 * fs) as usize]);
-    let cw_std = stats::std_dev(&env[(2.3 * fs) as usize..(2.7 * fs) as usize]);
+    let silent = stats::mean(&env[..(2.0 * fs_hz) as usize]);
+    let cw = stats::mean(&env[(2.3 * fs_hz) as usize..(2.7 * fs_hz) as usize]);
+    let bs_std = stats::std_dev(&env[(2.9 * fs_hz) as usize..(3.9 * fs_hz) as usize]);
+    let cw_std = stats::std_dev(&env[(2.3 * fs_hz) as usize..(2.7 * fs_hz) as usize]);
     println!();
     println!("silent level      : {silent:.5} V");
     println!("CW level          : {cw:.5} V");
@@ -52,7 +52,7 @@ fn main() {
     // The envelope is at the simulation rate; decimate to an audio-class
     // rate so the WAV is small and listenable.
     let audio: Vec<f64> = env.iter().step_by(4).copied().collect();
-    let wav = write_wav("fig2_envelope.wav", &audio, (fs / 4.0) as u32);
+    let wav = write_wav("fig2_envelope.wav", &audio, (fs_hz / 4.0) as u32);
     println!();
     println!("csv: {}", path.display());
     println!("wav: {} (the demodulated envelope, audible)", wav.display());

@@ -23,15 +23,15 @@ use rand_chacha::ChaCha8Rng;
 fn synth(
     packet: &UplinkPacket,
     bitrate: f64,
-    fs: f64,
+    fs_hz: f64,
     amp_hi: f64,
     amp_lo: f64,
 ) -> Vec<f64> {
     let halves = fm0::encode(&packet.to_bits().unwrap(), false);
-    let spb = fs / (2.0 * bitrate);
-    let lead = (0.008 * fs) as usize;
+    let spb = fs_hz / (2.0 * bitrate);
+    let lead = (0.008 * fs_hz) as usize;
     let n = lead + (halves.len() as f64 * spb) as usize + lead;
-    let mut nco = pab_dsp::mix::Nco::new(15_000.0, fs);
+    let mut nco = pab_dsp::mix::Nco::new(15_000.0, fs_hz);
     (0..n)
         .map(|i| {
             let amp = if i < lead || i >= n - lead {
@@ -55,7 +55,7 @@ fn main() {
         "decodable from ~2 dB; BER ~1e-5 above ~11 dB (packet-size floor)",
     );
     let rx = Receiver::default();
-    let fs = rx.fs;
+    let fs_hz = rx.fs_hz;
     let mut rng = ChaCha8Rng::seed_from_u64(42);
 
     // 1-dB bins from 0 to 18 dB.
@@ -80,7 +80,7 @@ fn main() {
                     value,
                 );
                 let expected = packet.to_bits().unwrap();
-                let mut w = synth(&packet, bitrate, fs, 1.0, 0.4);
+                let mut w = synth(&packet, bitrate, fs_hz, 1.0, 0.4);
                 add_awgn(&mut w, sigma, &mut rng);
                 let Ok(d) = rx.decode_uplink(&w, 15_000.0, bitrate) else {
                     continue; // detection failure: not binnable by SNR

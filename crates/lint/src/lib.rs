@@ -1,0 +1,159 @@
+//! # pab-lint — PAB domain linter
+//!
+//! Workspace-wide static analysis for invariants that `rustc` and
+//! `clippy` cannot see because they are *domain* rules, not language
+//! rules:
+//!
+//! | lint | rule |
+//! |------|------|
+//! | `no-unwrap-in-lib` | no `.unwrap()` / `.expect()` / `panic!` / `todo!` / `unimplemented!` in library `src/` code |
+//! | `unit-suffix` | public `f64` parameters carry a unit suffix (`_hz`, `_pa`, `_volts`, `_secs`, `_db`, `_samples`, ...) |
+//! | `no-wallclock-no-threadrng` | no `SystemTime::now` / `Instant::now` / `thread_rng` / `from_entropy` in library code |
+//! | `lossy-cast` | `as f32` / `as usize` narrowing casts in `dsp`/`core` must be visibly bounded or waivered |
+//!
+//! The linter is deliberately line/token-based (comment- and
+//! string-aware, `#[cfg(test)]`-aware) and has **zero dependencies**,
+//! so it can never be the reason the workspace fails to build. It runs
+//! as an ordinary test (`crates/lint/tests/enforce.rs`), so plain
+//! `cargo test -q` enforces it.
+//!
+//! ## Waivers
+//!
+//! A violation is silenced by a comment on the same line or the line
+//! directly above:
+//!
+//! ```text
+//! // lint: allow(<lint-name>) <reason — required, explain the invariant>
+//! ```
+//!
+//! The `unit-suffix` lint also accepts `// lint: unitless <why>` next to
+//! a genuinely dimensionless parameter.
+
+pub mod lints;
+pub mod scan;
+
+pub use lints::{Violation, CAST_SCOPE, LIB_SCOPE, UNIT_SCOPE, UNIT_SUFFIXES};
+pub use scan::{scan_str, Line, ScannedFile};
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Workspace root, assuming this crate lives at `<root>/crates/lint`.
+pub fn workspace_root() -> PathBuf {
+    // lint: allow(no-unwrap-in-lib) CARGO_MANIFEST_DIR is crates/lint, two parents always exist
+    Path::new(env!("CARGO_MANIFEST_DIR")).parent().unwrap().parent().unwrap().to_path_buf()
+}
+
+/// All `.rs` files under `crates/<name>/src/` for the given crate names,
+/// as workspace-relative paths, sorted for stable reports.
+pub fn lib_sources(root: &Path, crate_names: &[&str]) -> io::Result<Vec<String>> {
+    let mut out = Vec::new();
+    for name in crate_names {
+        let src = root.join("crates").join(name).join("src");
+        if src.is_dir() {
+            collect_rs(&src, root, &mut out)?;
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn collect_rs(dir: &Path, root: &Path, out: &mut Vec<String>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, root, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+/// Scan one workspace-relative file from disk.
+pub fn scan_file(root: &Path, rel: &str) -> io::Result<ScannedFile> {
+    let text = fs::read_to_string(root.join(rel))?;
+    Ok(scan_str(rel, &text))
+}
+
+/// Run every lint over its scope in the workspace rooted at `root`.
+/// Returns all unwaivered violations, sorted by file then line.
+pub fn run_workspace(root: &Path) -> io::Result<Vec<Violation>> {
+    let mut violations = Vec::new();
+
+    for rel in lib_sources(root, lints::LIB_SCOPE)? {
+        let file = scan_file(root, &rel)?;
+        violations.extend(lints::no_unwrap_in_lib(&file));
+        violations.extend(lints::no_wallclock_no_threadrng(&file));
+        if lints::UNIT_SCOPE.contains(&file.crate_name.as_str()) {
+            violations.extend(lints::unit_suffix(&file));
+        }
+        if lints::CAST_SCOPE.contains(&file.crate_name.as_str()) {
+            violations.extend(lints::lossy_cast(&file));
+        }
+    }
+
+    violations.sort_by(|a, b| a.file.cmp(&b.file).then(a.line.cmp(&b.line)));
+    Ok(violations)
+}
+
+/// Render violations as a machine-readable report: one `file:line:
+/// [lint] message` per finding, followed by waiver instructions.
+pub fn render_report(violations: &[Violation]) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    if violations.is_empty() {
+        s.push_str("pab-lint: 0 violations\n");
+        return s;
+    }
+    let _ = writeln!(s, "pab-lint: {} violation(s)", violations.len());
+    for v in violations {
+        let _ = writeln!(s, "  {v}");
+    }
+    s.push_str(
+        "\nTo waive a finding, add on the same line or the line above:\n\
+         \x20   // lint: allow(<lint-name>) <reason>\n\
+         For dimensionless f64 parameters: // lint: unitless <why>\n\
+         See README.md 'Static analysis & invariants' for the conventions.\n",
+    );
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workspace_root_has_cargo_toml() {
+        assert!(workspace_root().join("Cargo.toml").is_file());
+    }
+
+    #[test]
+    fn lib_sources_finds_known_files() {
+        let root = workspace_root();
+        let files = lib_sources(&root, &["dsp"]).unwrap();
+        assert!(files.iter().any(|f| f.ends_with("crates/dsp/src/lib.rs")));
+        assert!(files.iter().all(|f| f.starts_with("crates/dsp/src/")));
+    }
+
+    #[test]
+    fn report_lists_file_line_and_waiver_help() {
+        let v = vec![Violation {
+            file: "crates/core/src/node.rs".into(),
+            line: 42,
+            lint: "no-unwrap-in-lib",
+            message: "msg".into(),
+        }];
+        let r = render_report(&v);
+        assert!(r.contains("crates/core/src/node.rs:42"));
+        assert!(r.contains("lint: allow("));
+        let empty = render_report(&[]);
+        assert!(empty.contains("0 violations"));
+    }
+}

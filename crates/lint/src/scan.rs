@@ -1,0 +1,325 @@
+//! Comment/string-aware line scanner.
+//!
+//! Turns Rust source into per-line records where string-literal and
+//! comment contents are blanked out of the `code` channel (so lint
+//! patterns never fire inside them) and comment text is preserved in a
+//! separate `comment` channel (so waiver comments can be detected).
+//! Additionally marks every line belonging to a `#[cfg(test)]` item or a
+//! `#[test]` function, because the domain lints only police production
+//! library code.
+
+/// One scanned source line.
+#[derive(Debug, Clone)]
+pub struct Line {
+    /// Line text with comment and string-literal contents blanked.
+    pub code: String,
+    /// Concatenated comment text found on this line.
+    pub comment: String,
+    /// True when the line is inside a `#[cfg(test)]` / `#[test]` item.
+    pub in_test: bool,
+}
+
+/// A scanned file plus workspace-relative bookkeeping.
+#[derive(Debug, Clone)]
+pub struct ScannedFile {
+    /// Workspace-relative path, e.g. `crates/dsp/src/fft.rs`.
+    pub rel_path: String,
+    /// Name of the crate directory owning the file (`dsp`, `core`, ...).
+    pub crate_name: String,
+    /// Scanned lines, 0-indexed (report as `index + 1`).
+    pub lines: Vec<Line>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Mode {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+}
+
+/// Scan source text. `rel_path` should be workspace-relative; the crate
+/// name is derived from a leading `crates/<name>/` component when present.
+pub fn scan_str(rel_path: &str, text: &str) -> ScannedFile {
+    let crate_name = rel_path
+        .strip_prefix("crates/")
+        .and_then(|rest| rest.split('/').next())
+        .unwrap_or("")
+        .to_string();
+
+    let mut lines: Vec<Line> = Vec::new();
+    let mut mode = Mode::Code;
+
+    for raw in text.lines() {
+        let mut code = String::with_capacity(raw.len());
+        let mut comment = String::new();
+        let chars: Vec<char> = raw.chars().collect();
+        let mut i = 0usize;
+
+        // A line comment never spans lines.
+        if mode == Mode::LineComment {
+            mode = Mode::Code;
+        }
+
+        while i < chars.len() {
+            let c = chars[i];
+            let next = chars.get(i + 1).copied();
+            match mode {
+                Mode::Code => match c {
+                    '/' if next == Some('/') => {
+                        comment.push_str(&raw[byte_offset(&chars, i)..]);
+                        mode = Mode::LineComment;
+                        break;
+                    }
+                    '/' if next == Some('*') => {
+                        mode = Mode::BlockComment(1);
+                        code.push(' ');
+                        code.push(' ');
+                        i += 2;
+                        continue;
+                    }
+                    '"' => {
+                        mode = Mode::Str;
+                        code.push('"');
+                    }
+                    'r' if next == Some('"') || next == Some('#') => {
+                        // Possible raw string r"..." / r#"..."#.
+                        if let Some(hashes) = raw_string_open(&chars, i) {
+                            mode = Mode::RawStr(hashes);
+                            code.push('r');
+                            for _ in 0..hashes {
+                                code.push('#');
+                            }
+                            code.push('"');
+                            i += 1 + hashes as usize + 1;
+                            continue;
+                        }
+                        code.push(c);
+                    }
+                    '\'' => {
+                        // Char literal vs lifetime: a char literal closes
+                        // with a quote one or two (escaped) chars later.
+                        if next == Some('\\') {
+                            // Escaped char literal: skip to closing quote.
+                            code.push('\'');
+                            let mut j = i + 2;
+                            while j < chars.len() && chars[j] != '\'' {
+                                code.push(' ');
+                                j += 1;
+                            }
+                            code.push('\'');
+                            i = j + 1;
+                            continue;
+                        } else if chars.get(i + 2) == Some(&'\'') {
+                            code.push('\'');
+                            code.push(' ');
+                            code.push('\'');
+                            i += 3;
+                            continue;
+                        }
+                        // Lifetime: keep as-is.
+                        code.push(c);
+                    }
+                    _ => code.push(c),
+                },
+                Mode::LineComment => unreachable!("handled above"),
+                Mode::BlockComment(depth) => {
+                    if c == '*' && next == Some('/') {
+                        if depth == 1 {
+                            mode = Mode::Code;
+                        } else {
+                            mode = Mode::BlockComment(depth - 1);
+                        }
+                        comment.push(' ');
+                        code.push(' ');
+                        code.push(' ');
+                        i += 2;
+                        continue;
+                    }
+                    if c == '/' && next == Some('*') {
+                        mode = Mode::BlockComment(depth + 1);
+                        code.push(' ');
+                        code.push(' ');
+                        i += 2;
+                        continue;
+                    }
+                    comment.push(c);
+                    code.push(' ');
+                }
+                Mode::Str => match c {
+                    '\\' => {
+                        code.push(' ');
+                        code.push(' ');
+                        i += 2;
+                        continue;
+                    }
+                    '"' => {
+                        mode = Mode::Code;
+                        code.push('"');
+                    }
+                    _ => code.push(' '),
+                },
+                Mode::RawStr(hashes) => {
+                    if c == '"' && raw_string_close(&chars, i, hashes) {
+                        mode = Mode::Code;
+                        code.push('"');
+                        for _ in 0..hashes {
+                            code.push('#');
+                        }
+                        i += 1 + hashes as usize;
+                        continue;
+                    }
+                    code.push(' ');
+                }
+            }
+            i += 1;
+        }
+
+        // An unterminated ordinary string at end-of-line: Rust allows a
+        // trailing backslash continuation; stay in Str mode in that case.
+        lines.push(Line {
+            code,
+            comment,
+            in_test: false,
+        });
+    }
+
+    mark_test_regions(&mut lines);
+
+    ScannedFile {
+        rel_path: rel_path.to_string(),
+        crate_name,
+        lines,
+    }
+}
+
+fn byte_offset(chars: &[char], idx: usize) -> usize {
+    chars[..idx].iter().map(|c| c.len_utf8()).sum()
+}
+
+/// Returns `Some(hash_count)` when `chars[start..]` opens a raw string
+/// (`r"`, `r#"`, `r##"`, ...).
+fn raw_string_open(chars: &[char], start: usize) -> Option<u32> {
+    let mut j = start + 1;
+    let mut hashes = 0u32;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if chars.get(j) == Some(&'"') {
+        Some(hashes)
+    } else {
+        None
+    }
+}
+
+/// True when the `"` at `idx` is followed by `hashes` `#` characters.
+fn raw_string_close(chars: &[char], idx: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| chars.get(idx + k) == Some(&'#'))
+}
+
+/// Mark every line belonging to a `#[cfg(test)]` item or `#[test]` fn.
+fn mark_test_regions(lines: &mut [Line]) {
+    let mut i = 0usize;
+    while i < lines.len() {
+        let trigger = {
+            let code = &lines[i].code;
+            code.contains("#[cfg(test)]")
+                || code.contains("#[cfg(all(test")
+                || code.contains("#[test]")
+        };
+        if !trigger {
+            i += 1;
+            continue;
+        }
+        // The attribute line plus everything through the close of the
+        // next brace-balanced block is test code.
+        let mut depth: i64 = 0;
+        let mut started = false;
+        let mut j = i;
+        while j < lines.len() {
+            for c in lines[j].code.chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        started = true;
+                    }
+                    '}' => depth -= 1,
+                    _ => {}
+                }
+            }
+            lines[j].in_test = true;
+            if started && depth <= 0 {
+                break;
+            }
+            j += 1;
+        }
+        i = j + 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blanks_string_contents_but_keeps_quotes() {
+        let f = scan_str("crates/x/src/lib.rs", r#"let s = "panic!(boom)"; s.len();"#);
+        assert!(!f.lines[0].code.contains("panic!"));
+        assert!(f.lines[0].code.contains(".len()"));
+        assert_eq!(f.lines[0].code.matches('"').count(), 2);
+    }
+
+    #[test]
+    fn line_comments_move_to_comment_channel() {
+        let f = scan_str("crates/x/src/lib.rs", "let a = 1; // lint: allow(x) reason");
+        assert!(!f.lines[0].code.contains("lint:"));
+        assert!(f.lines[0].comment.contains("lint: allow(x)"));
+    }
+
+    #[test]
+    fn block_comments_can_nest_and_span_lines() {
+        let src = "a /* one /* two */ still */ b\n/* open\nstill comment .unwrap()\n*/ c";
+        let f = scan_str("crates/x/src/lib.rs", src);
+        assert!(f.lines[0].code.contains('a') && f.lines[0].code.contains('b'));
+        assert!(!f.lines[2].code.contains("unwrap"));
+        assert!(f.lines[3].code.contains('c'));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let src = r##"let s = r#"has .unwrap() inside"#; t()"##;
+        let f = scan_str("crates/x/src/lib.rs", src);
+        assert!(!f.lines[0].code.contains("unwrap"));
+        assert!(f.lines[0].code.contains("t()"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let src = "fn f<'a>(x: &'a str) -> char { let c = '}'; let d = '\\n'; c }";
+        let f = scan_str("crates/x/src/lib.rs", src);
+        // The blanked '}' must not unbalance brace tracking.
+        let opens = f.lines[0].code.matches('{').count();
+        let closes = f.lines[0].code.matches('}').count();
+        assert_eq!(opens, closes);
+        assert!(f.lines[0].code.contains("'a"));
+    }
+
+    #[test]
+    fn cfg_test_region_is_marked() {
+        let src = "pub fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\npub fn lib2() {}";
+        let f = scan_str("crates/x/src/lib.rs", src);
+        assert!(!f.lines[0].in_test);
+        assert!(f.lines[1].in_test);
+        assert!(f.lines[3].in_test);
+        assert!(f.lines[4].in_test);
+        assert!(!f.lines[5].in_test);
+    }
+
+    #[test]
+    fn crate_name_derivation() {
+        assert_eq!(scan_str("crates/dsp/src/fft.rs", "").crate_name, "dsp");
+        assert_eq!(scan_str("examples/quickstart.rs", "").crate_name, "");
+    }
+}

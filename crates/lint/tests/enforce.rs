@@ -1,0 +1,61 @@
+//! Workspace enforcement: `cargo test -p pab-lint` (and therefore plain
+//! `cargo test -q`) fails when any library crate violates a PAB domain
+//! lint without a waiver. The failure message is the machine-readable
+//! report: `file:line: [lint] message` per finding plus waiver help.
+
+use pab_lint::{render_report, run_workspace, scan_str, workspace_root};
+
+#[test]
+fn workspace_has_no_unwaivered_violations() {
+    let root = workspace_root();
+    let violations = run_workspace(&root).expect("scan workspace sources");
+    assert!(
+        violations.is_empty(),
+        "\n{}",
+        render_report(&violations)
+    );
+}
+
+/// Self-check: the enforcement machinery actually detects fresh
+/// violations (guards against the scanner silently matching nothing).
+#[test]
+fn linter_detects_a_fresh_unwrap() {
+    let f = scan_str(
+        "crates/core/src/injected.rs",
+        "pub fn f(x: Option<u8>) -> u8 { x.unwrap() }",
+    );
+    let v = pab_lint::lints::no_unwrap_in_lib(&f);
+    assert_eq!(v.len(), 1, "injected unwrap must be caught");
+    let rendered = render_report(&v);
+    assert!(rendered.contains("crates/core/src/injected.rs:1"));
+    assert!(rendered.contains("no-unwrap-in-lib"));
+}
+
+/// Self-check: deleting a waiver resurfaces the violation.
+#[test]
+fn waiver_removal_resurfaces_violation() {
+    let with = scan_str(
+        "crates/core/src/w.rs",
+        "let v = xs.max().unwrap(); // lint: allow(no-unwrap-in-lib) non-empty checked above",
+    );
+    let without = scan_str("crates/core/src/w.rs", "let v = xs.max().unwrap();");
+    assert!(pab_lint::lints::no_unwrap_in_lib(&with).is_empty());
+    assert_eq!(pab_lint::lints::no_unwrap_in_lib(&without).len(), 1);
+}
+
+/// Every scoped crate must exist on disk — guards against the scope
+/// lists silently drifting from the workspace layout.
+#[test]
+fn lint_scopes_match_workspace_layout() {
+    let root = workspace_root();
+    for name in pab_lint::LIB_SCOPE
+        .iter()
+        .chain(pab_lint::UNIT_SCOPE)
+        .chain(pab_lint::CAST_SCOPE)
+    {
+        assert!(
+            root.join("crates").join(name).join("src").is_dir(),
+            "lint scope names missing crate: {name}"
+        );
+    }
+}

@@ -54,6 +54,7 @@ impl Clock {
         let ideal = self.frequency_hz / (2.0 * target_bps);
         let lo = ideal.floor().max(1.0) as u64;
         let hi = lo + 1;
+        // lint: allow(no-unwrap-in-lib) lo >= 1, so both candidate dividers are valid
         let err = |d: u64| (self.bitrate_for_divider(d).unwrap() - target_bps).abs();
         Ok(if err(lo) <= err(hi) { lo } else { hi })
     }
@@ -72,6 +73,7 @@ impl Clock {
         let d_max = (self.frequency_hz / (2.0 * min_bps)).floor() as u64;
         (d_min..=d_max)
             .rev()
+            // lint: allow(no-unwrap-in-lib) d_min >= 1, so every divider in range is valid
             .map(|d| self.bitrate_for_divider(d).unwrap())
             .filter(|&b| b >= min_bps && b <= max_bps)
             .collect()

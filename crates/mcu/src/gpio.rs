@@ -91,14 +91,14 @@ impl OutputPin {
     }
 
     /// Rasterise the pin history into a boolean waveform of `n` samples at
-    /// `fs`, starting at time 0. Before the first transition the level is
+    /// `fs_hz`, starting at time 0. Before the first transition the level is
     /// the initial `Low`.
-    pub fn rasterize(&self, fs: f64, n: usize) -> Vec<bool> {
+    pub fn rasterize(&self, fs_hz: f64, n: usize) -> Vec<bool> {
         let mut out = vec![false; n];
         let mut level = false;
         let mut log_iter = self.log.iter().peekable();
         for (i, o) in out.iter_mut().enumerate() {
-            let t = i as f64 / fs;
+            let t = i as f64 / fs_hz;
             while let Some(tr) = log_iter.peek() {
                 if tr.time_s <= t {
                     level = tr.level.is_high();
@@ -153,8 +153,8 @@ mod tests {
                 if k % 2 == 0 { PinLevel::High } else { PinLevel::Low },
             );
         }
-        let fs = 10_000.0; // 10 samples per half period
-        let w = p.rasterize(fs, 100);
+        let fs_hz = 10_000.0; // 10 samples per half period
+        let w = p.rasterize(fs_hz, 100);
         assert!(w[0]); // high at t=0
         assert!(w[5]);
         assert!(!w[10]); // low at t=1 ms

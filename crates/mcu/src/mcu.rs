@@ -160,11 +160,11 @@ impl McuServices {
         }
     }
 
-    /// Rasterise a pin history at `fs` over `n` samples from t = 0.
-    pub fn rasterize_pin(&self, pin: Pin, fs: f64, n: usize) -> Vec<bool> {
+    /// Rasterise a pin history at `fs_hz` over `n` samples from t = 0.
+    pub fn rasterize_pin(&self, pin: Pin, fs_hz: f64, n: usize) -> Vec<bool> {
         match pin {
-            Pin::BackscatterSwitch => self.switch_pin.rasterize(fs, n),
-            Pin::PullDown => self.pulldown_pin.rasterize(fs, n),
+            Pin::BackscatterSwitch => self.switch_pin.rasterize(fs_hz, n),
+            Pin::PullDown => self.pulldown_pin.rasterize(fs_hz, n),
         }
     }
 

@@ -72,11 +72,11 @@ proptest! {
             level = level.toggled();
             pin.set(t, level);
         }
-        let fs = 10_000.0;
+        let fs_hz = 10_000.0;
         let n = 1_100;
-        let wave = pin.rasterize(fs, n);
+        let wave = pin.rasterize(fs_hz, n);
         for (i, &w) in wave.iter().enumerate() {
-            let t = i as f64 / fs;
+            let t = i as f64 / fs_hz;
             let expect = sorted.iter().filter(|&&tt| tt <= t).count() % 2 == 1;
             prop_assert_eq!(w, expect, "sample {} (t={})", i, t);
         }

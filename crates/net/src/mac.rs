@@ -125,6 +125,7 @@ impl FdmaScheduler {
             self.cursor[ch] = (self.cursor[ch] + 1) % nodes.len();
             out.push(ScheduledQuery {
                 channel: ch,
+                // lint: allow(no-unwrap-in-lib) ch ranges over self.plan's own channel count
                 frequency_hz: self.plan.center_hz(ch).expect("validated index"),
                 query: DownlinkQuery {
                     dest: addr,

@@ -144,7 +144,8 @@ impl DownlinkQuery {
             return Err(NetError::NoPreamble);
         }
         let body = &bits[9..9 + 28];
-        let crc_got = read_uint(bits, 9 + 28, 8).unwrap() as u8;
+        let crc_got =
+            read_uint(bits, 9 + 28, 8).ok_or(NetError::InvalidField("crc"))? as u8;
         let crc_want = crc8(&bits_to_bytes(body));
         if crc_got != crc_want {
             return Err(NetError::BadChecksum {
@@ -152,9 +153,9 @@ impl DownlinkQuery {
                 got: crc_got as u16,
             });
         }
-        let dest = read_uint(body, 0, 8).unwrap() as u8;
-        let opcode = read_uint(body, 8, 4).unwrap();
-        let arg = read_uint(body, 12, 16).unwrap();
+        let dest = read_uint(body, 0, 8).ok_or(NetError::InvalidField("dest"))? as u8;
+        let opcode = read_uint(body, 8, 4).ok_or(NetError::InvalidField("opcode"))?;
+        let arg = read_uint(body, 12, 16).ok_or(NetError::InvalidField("arg"))?;
         let command =
             Command::from_parts(opcode, arg).ok_or(NetError::InvalidField("opcode"))?;
         Ok(DownlinkQuery { dest, command })
@@ -244,10 +245,10 @@ impl UplinkPacket {
         if bits[..16] != UPLINK_PREAMBLE {
             return Err(NetError::NoPreamble);
         }
-        let src = read_uint(bits, 16, 8).unwrap() as u8;
-        let seq = read_uint(bits, 24, 8).unwrap() as u8;
-        let kind_n = read_uint(bits, 32, 4).unwrap();
-        let len = read_uint(bits, 36, 4).unwrap() as usize;
+        let src = read_uint(bits, 16, 8).ok_or(NetError::InvalidField("src"))? as u8;
+        let seq = read_uint(bits, 24, 8).ok_or(NetError::InvalidField("seq"))? as u8;
+        let kind_n = read_uint(bits, 32, 4).ok_or(NetError::InvalidField("kind"))?;
+        let len = read_uint(bits, 36, 4).ok_or(NetError::InvalidField("len"))? as usize;
         let need = Self::bits_len(len);
         if bits.len() < need {
             return Err(NetError::Truncated {
@@ -258,7 +259,8 @@ impl UplinkPacket {
         let kind = UplinkKind::from_nibble(kind_n).ok_or(NetError::InvalidField("kind"))?;
         let body = &bits[16..40 + len * 8];
         let payload = bits_to_bytes(&bits[40..40 + len * 8]);
-        let crc_got = read_uint(bits, 40 + len * 8, 16).unwrap() as u16;
+        let crc_got =
+            read_uint(bits, 40 + len * 8, 16).ok_or(NetError::InvalidField("crc"))? as u16;
         let crc_want = crc16_ccitt(&bits_to_bytes(body));
         if crc_got != crc_want {
             return Err(NetError::BadChecksum {

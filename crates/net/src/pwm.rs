@@ -78,13 +78,13 @@ pub fn encode(bits: &[bool], timing: &PwmTiming) -> Vec<Segment> {
     out
 }
 
-/// Rasterise segments into a boolean keying waveform at `fs`.
-pub fn rasterize(segments: &[Segment], fs: f64) -> Vec<bool> {
+/// Rasterise segments into a boolean keying waveform at `fs_hz`.
+pub fn rasterize(segments: &[Segment], fs_hz: f64) -> Vec<bool> {
     let total: f64 = segments.iter().map(|s| s.duration_s).sum();
-    let n = (total * fs).ceil() as usize;
+    let n = (total * fs_hz).ceil() as usize;
     let mut out = Vec::with_capacity(n);
     for seg in segments {
-        let count = (seg.duration_s * fs).round() as usize;
+        let count = (seg.duration_s * fs_hz).round() as usize;
         out.extend(std::iter::repeat_n(seg.on, count));
     }
     out
@@ -116,11 +116,11 @@ pub fn decode_falling_edges(edges_s: &[f64], timing: &PwmTiming) -> Result<Vec<b
 /// Decode from a rasterised keying waveform (testing convenience): finds
 /// falling edges and calls [`decode_falling_edges`]. The waveform must
 /// start with a reference pulse whose falling edge anchors timing.
-pub fn decode_waveform(levels: &[bool], fs: f64, timing: &PwmTiming) -> Result<Vec<bool>, NetError> {
+pub fn decode_waveform(levels: &[bool], fs_hz: f64, timing: &PwmTiming) -> Result<Vec<bool>, NetError> {
     let mut edges = Vec::new();
     for i in 1..levels.len() {
         if levels[i - 1] && !levels[i] {
-            edges.push(i as f64 / fs);
+            edges.push(i as f64 / fs_hz);
         }
     }
     decode_falling_edges(&edges, timing)

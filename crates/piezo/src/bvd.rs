@@ -20,13 +20,28 @@ pub struct BvdModel {
 
 impl BvdModel {
     /// Construct directly from the four lumped elements.
-    pub fn new(c0: f64, r1: f64, l1: f64, c1: f64) -> Result<Self, PiezoError> {
-        for (v, name) in [(c0, "c0"), (r1, "r1"), (l1, "l1"), (c1, "c1")] {
+    pub fn new(
+        c0_farads: f64,
+        r1_ohms: f64,
+        l1_henries: f64,
+        c1_farads: f64,
+    ) -> Result<Self, PiezoError> {
+        for (v, name) in [
+            (c0_farads, "c0"),
+            (r1_ohms, "r1"),
+            (l1_henries, "l1"),
+            (c1_farads, "c1"),
+        ] {
             if !(v > 0.0) || !v.is_finite() {
                 return Err(PiezoError::NonPositive(name));
             }
         }
-        Ok(BvdModel { c0, r1, l1, c1 })
+        Ok(BvdModel {
+            c0: c0_farads,
+            r1: r1_ohms,
+            l1: l1_henries,
+            c1: c1_farads,
+        })
     }
 
     /// Synthesize a BVD model from measurable quantities:
@@ -37,9 +52,9 @@ impl BvdModel {
     /// Uses `C1 = C0 k² / (1 - k²)`, `L1 = 1 / (ωs² C1)`, `R1 = ωs L1 / Q`.
     pub fn from_resonance(
         fs_hz: f64,
-        q: f64,
-        c0: f64,
-        k_eff: f64,
+        q: f64,         // lint: unitless — mechanical quality factor
+        c0_farads: f64,
+        k_eff: f64,     // lint: unitless — electromechanical coupling in (0, 1)
     ) -> Result<Self, PiezoError> {
         if !(fs_hz > 0.0) {
             return Err(PiezoError::NonPositive("fs_hz"));
@@ -47,17 +62,17 @@ impl BvdModel {
         if !(q > 0.0) {
             return Err(PiezoError::NonPositive("q"));
         }
-        if !(c0 > 0.0) {
+        if !(c0_farads > 0.0) {
             return Err(PiezoError::NonPositive("c0"));
         }
         if !(k_eff > 0.0 && k_eff < 1.0) {
             return Err(PiezoError::CouplingOutOfRange(k_eff));
         }
         let ws = TAU * fs_hz;
-        let c1 = c0 * k_eff * k_eff / (1.0 - k_eff * k_eff);
+        let c1 = c0_farads * k_eff * k_eff / (1.0 - k_eff * k_eff);
         let l1 = 1.0 / (ws * ws * c1);
         let r1 = ws * l1 / q;
-        BvdModel::new(c0, r1, l1, c1)
+        BvdModel::new(c0_farads, r1, l1, c1)
     }
 
     /// Impedance of the motional (series R-L-C) branch at `freq_hz`.

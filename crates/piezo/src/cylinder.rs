@@ -64,7 +64,7 @@ impl CylinderGeometry {
     /// In-water resonance. Potting and radiation mass-load the shell and
     /// pull the resonance a few percent below the in-air value; the
     /// `loading_factor` (default [`DEFAULT_WATER_LOADING`]) captures that.
-    pub fn in_water_resonance_hz(&self, loading_factor: f64) -> f64 {
+    pub fn in_water_resonance_hz(&self, loading_factor: f64) -> f64 { // lint: unitless — fractional resonance pull
         self.in_air_resonance_hz() * loading_factor
     }
 

@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# One-command local gate: build, tests (including the pab-lint domain
+# linter via crates/lint/tests/enforce.rs), and clippy when available.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q  (includes pab-lint enforcement)"
+cargo test -q
+
+if cargo clippy --version >/dev/null 2>&1; then
+    echo "==> cargo clippy --workspace --all-targets"
+    cargo clippy --workspace --all-targets
+else
+    echo "==> clippy not installed; skipping (build + tests still gate)"
+fi
+
+echo "==> all checks passed"

@@ -1,0 +1,207 @@
+//! Offline, API-compatible subset of the `criterion` benchmark harness.
+//!
+//! Implements `Criterion`, `BenchmarkGroup`, `Bencher::{iter,
+//! iter_batched}`, `Throughput`, `BatchSize`, and the `criterion_group!` /
+//! `criterion_main!` macros. Instead of criterion's statistical analysis
+//! it runs a short warm-up, then a fixed measurement window, and prints
+//! mean wall-clock time per iteration (and throughput when configured).
+//! Good enough to compare hot-path changes locally without any external
+//! dependencies; not a replacement for real criterion statistics.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortises setup cost. The shim runs one setup per
+/// iteration regardless; the variant only documents intent.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Fresh input for every single iteration.
+    PerIteration,
+}
+
+/// Measures closures handed to `bench_function`.
+pub struct Bencher {
+    measured: Option<MeasuredTime>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct MeasuredTime {
+    mean_ns: f64,
+    iterations: u64,
+}
+
+const WARMUP: Duration = Duration::from_millis(50);
+const MEASURE: Duration = Duration::from_millis(200);
+
+impl Bencher {
+    /// Benchmark `routine` by calling it repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up.
+        let start = Instant::now();
+        while start.elapsed() < WARMUP {
+            std_black_box(routine());
+        }
+        // Measure.
+        let start = Instant::now();
+        let mut iterations: u64 = 0;
+        while start.elapsed() < MEASURE {
+            std_black_box(routine());
+            iterations += 1;
+        }
+        let mean_ns = start.elapsed().as_nanos() as f64 / iterations.max(1) as f64;
+        self.measured = Some(MeasuredTime { mean_ns, iterations });
+    }
+
+    /// Benchmark `routine` with a fresh `setup` product per call; setup
+    /// time is excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let start = Instant::now();
+        while start.elapsed() < WARMUP {
+            let input = setup();
+            std_black_box(routine(input));
+        }
+        let mut measured = Duration::ZERO;
+        let mut iterations: u64 = 0;
+        while measured < MEASURE {
+            let input = setup();
+            let t0 = Instant::now();
+            std_black_box(routine(input));
+            measured += t0.elapsed();
+            iterations += 1;
+        }
+        let mean_ns = measured.as_nanos() as f64 / iterations.max(1) as f64;
+        self.measured = Some(MeasuredTime { mean_ns, iterations });
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    _private: (),
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { _private: () }
+    }
+}
+
+fn report(id: &str, m: MeasuredTime, throughput: Option<Throughput>) {
+    let human = if m.mean_ns >= 1e9 {
+        format!("{:.3} s", m.mean_ns / 1e9)
+    } else if m.mean_ns >= 1e6 {
+        format!("{:.3} ms", m.mean_ns / 1e6)
+    } else if m.mean_ns >= 1e3 {
+        format!("{:.3} µs", m.mean_ns / 1e3)
+    } else {
+        format!("{:.1} ns", m.mean_ns)
+    };
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  ({:.2} Melem/s)", n as f64 / m.mean_ns * 1e3)
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!("  ({:.2} MiB/s)", n as f64 / m.mean_ns * 1e9 / (1024.0 * 1024.0))
+        }
+        None => String::new(),
+    };
+    println!("{id:<48} {human:>12}  [{} iters]{rate}", m.iterations);
+}
+
+impl Criterion {
+    /// Run one named benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { measured: None };
+        f(&mut b);
+        if let Some(m) = b.measured {
+            report(id, m, None);
+        }
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// A named group sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run one named benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { measured: None };
+        f(&mut b);
+        if let Some(m) = b.measured {
+            report(&format!("{}/{}", self.name, id), m, self.throughput);
+        }
+        self
+    }
+
+    /// Finish the group.
+    pub fn finish(self) {}
+}
+
+/// Collect benchmark functions into a runnable group, simple-form only
+/// (`criterion_group!(name, target, ...)`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Produce a `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

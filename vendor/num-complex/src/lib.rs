@@ -1,0 +1,365 @@
+//! Offline, API-compatible subset of the `num-complex` crate.
+//!
+//! The build container has no crates.io access, so the workspace vendors
+//! the slice of `num_complex` it actually uses: `Complex<f64>` (as
+//! `Complex64`) with Cartesian/polar constructors, the usual arithmetic
+//! operator impls (including mixed `f64` operands), and the handful of
+//! transcendental helpers the DSP and circuit models call.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number in Cartesian form.
+#[derive(Clone, Copy, PartialEq, Default)]
+pub struct Complex<T> {
+    /// Real part.
+    pub re: T,
+    /// Imaginary part.
+    pub im: T,
+}
+
+/// Alias for a double-precision complex number, matching `num_complex`.
+pub type Complex64 = Complex<f64>;
+/// Alias for a single-precision complex number, matching `num_complex`.
+pub type Complex32 = Complex<f32>;
+
+impl<T> Complex<T> {
+    /// Create a new complex number `re + im·i`.
+    pub const fn new(re: T, im: T) -> Self {
+        Complex { re, im }
+    }
+}
+
+impl Complex<f64> {
+    /// The imaginary unit.
+    pub const I: Complex64 = Complex::new(0.0, 1.0);
+
+    /// The imaginary unit (method form, as in `num_complex`).
+    pub fn i() -> Self {
+        Self::I
+    }
+
+    /// Construct from polar form `r·e^{iθ}`.
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Complex::new(r * theta.cos(), r * theta.sin())
+    }
+
+    /// Squared magnitude `re² + im²`.
+    pub fn norm_sqr(&self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude (Euclidean norm). Uses `hypot` for overflow safety.
+    pub fn norm(&self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Argument (phase angle) in radians.
+    pub fn arg(&self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Complex conjugate.
+    pub fn conj(&self) -> Self {
+        Complex::new(self.re, -self.im)
+    }
+
+    /// Multiplicative inverse `1/z`.
+    pub fn inv(&self) -> Self {
+        let d = self.norm_sqr();
+        Complex::new(self.re / d, -self.im / d)
+    }
+
+    /// Complex exponential `e^z`.
+    pub fn exp(&self) -> Self {
+        Complex::from_polar(self.re.exp(), self.im)
+    }
+
+    /// Principal natural logarithm.
+    pub fn ln(&self) -> Self {
+        Complex::new(self.norm().ln(), self.arg())
+    }
+
+    /// Principal square root.
+    pub fn sqrt(&self) -> Self {
+        Complex::from_polar(self.norm().sqrt(), self.arg() / 2.0)
+    }
+
+    /// Integer power by repeated squaring on polar form.
+    pub fn powi(&self, n: i32) -> Self {
+        Complex::from_polar(self.norm().powi(n), self.arg() * n as f64)
+    }
+
+    /// Raise to a real power.
+    pub fn powf(&self, p: f64) -> Self {
+        Complex::from_polar(self.norm().powf(p), self.arg() * p)
+    }
+
+    /// Scale by a real factor.
+    pub fn scale(&self, t: f64) -> Self {
+        Complex::new(self.re * t, self.im * t)
+    }
+
+    /// Divide by a real factor.
+    pub fn unscale(&self, t: f64) -> Self {
+        Complex::new(self.re / t, self.im / t)
+    }
+
+    /// True when both parts are finite.
+    pub fn is_finite(&self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+}
+
+impl fmt::Debug for Complex<f64> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Complex {{ re: {:?}, im: {:?} }}", self.re, self.im)
+    }
+}
+
+impl fmt::Display for Complex<f64> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im < 0.0 {
+            write!(f, "{}-{}i", self.re, -self.im)
+        } else {
+            write!(f, "{}+{}i", self.re, self.im)
+        }
+    }
+}
+
+impl Add for Complex64 {
+    type Output = Complex64;
+    fn add(self, rhs: Complex64) -> Complex64 {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex64 {
+    type Output = Complex64;
+    fn sub(self, rhs: Complex64) -> Complex64 {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex64 {
+    type Output = Complex64;
+    fn mul(self, rhs: Complex64) -> Complex64 {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Div for Complex64 {
+    type Output = Complex64;
+    fn div(self, rhs: Complex64) -> Complex64 {
+        let d = rhs.norm_sqr();
+        Complex::new(
+            (self.re * rhs.re + self.im * rhs.im) / d,
+            (self.im * rhs.re - self.re * rhs.im) / d,
+        )
+    }
+}
+
+impl Neg for Complex64 {
+    type Output = Complex64;
+    fn neg(self) -> Complex64 {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl Add<f64> for Complex64 {
+    type Output = Complex64;
+    fn add(self, rhs: f64) -> Complex64 {
+        Complex::new(self.re + rhs, self.im)
+    }
+}
+
+impl Sub<f64> for Complex64 {
+    type Output = Complex64;
+    fn sub(self, rhs: f64) -> Complex64 {
+        Complex::new(self.re - rhs, self.im)
+    }
+}
+
+impl Mul<f64> for Complex64 {
+    type Output = Complex64;
+    fn mul(self, rhs: f64) -> Complex64 {
+        Complex::new(self.re * rhs, self.im * rhs)
+    }
+}
+
+impl Div<f64> for Complex64 {
+    type Output = Complex64;
+    fn div(self, rhs: f64) -> Complex64 {
+        Complex::new(self.re / rhs, self.im / rhs)
+    }
+}
+
+impl Add<Complex64> for f64 {
+    type Output = Complex64;
+    fn add(self, rhs: Complex64) -> Complex64 {
+        Complex::new(self + rhs.re, rhs.im)
+    }
+}
+
+impl Sub<Complex64> for f64 {
+    type Output = Complex64;
+    fn sub(self, rhs: Complex64) -> Complex64 {
+        Complex::new(self - rhs.re, -rhs.im)
+    }
+}
+
+impl Mul<Complex64> for f64 {
+    type Output = Complex64;
+    fn mul(self, rhs: Complex64) -> Complex64 {
+        Complex::new(self * rhs.re, self * rhs.im)
+    }
+}
+
+impl Div<Complex64> for f64 {
+    type Output = Complex64;
+    fn div(self, rhs: Complex64) -> Complex64 {
+        Complex::new(self, 0.0) / rhs
+    }
+}
+
+macro_rules! forward_ref_binop {
+    ($($trait:ident :: $method:ident),+ $(,)?) => {$(
+        impl $trait<Complex64> for &Complex64 {
+            type Output = Complex64;
+            fn $method(self, rhs: Complex64) -> Complex64 {
+                $trait::$method(*self, rhs)
+            }
+        }
+        impl $trait<&Complex64> for Complex64 {
+            type Output = Complex64;
+            fn $method(self, rhs: &Complex64) -> Complex64 {
+                $trait::$method(self, *rhs)
+            }
+        }
+        impl $trait<&Complex64> for &Complex64 {
+            type Output = Complex64;
+            fn $method(self, rhs: &Complex64) -> Complex64 {
+                $trait::$method(*self, *rhs)
+            }
+        }
+        impl $trait<f64> for &Complex64 {
+            type Output = Complex64;
+            fn $method(self, rhs: f64) -> Complex64 {
+                $trait::$method(*self, rhs)
+            }
+        }
+    )+};
+}
+forward_ref_binop!(Add::add, Sub::sub, Mul::mul, Div::div);
+
+impl Neg for &Complex64 {
+    type Output = Complex64;
+    fn neg(self) -> Complex64 {
+        -*self
+    }
+}
+
+impl AddAssign for Complex64 {
+    fn add_assign(&mut self, rhs: Complex64) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Complex64 {
+    fn sub_assign(&mut self, rhs: Complex64) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for Complex64 {
+    fn mul_assign(&mut self, rhs: Complex64) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for Complex64 {
+    fn div_assign(&mut self, rhs: Complex64) {
+        *self = *self / rhs;
+    }
+}
+
+impl AddAssign<f64> for Complex64 {
+    fn add_assign(&mut self, rhs: f64) {
+        self.re += rhs;
+    }
+}
+
+impl MulAssign<f64> for Complex64 {
+    fn mul_assign(&mut self, rhs: f64) {
+        self.re *= rhs;
+        self.im *= rhs;
+    }
+}
+
+impl DivAssign<f64> for Complex64 {
+    fn div_assign(&mut self, rhs: f64) {
+        self.re /= rhs;
+        self.im /= rhs;
+    }
+}
+
+impl Sum for Complex64 {
+    fn sum<I: Iterator<Item = Complex64>>(iter: I) -> Complex64 {
+        iter.fold(Complex::new(0.0, 0.0), |a, b| a + b)
+    }
+}
+
+impl<'a> Sum<&'a Complex64> for Complex64 {
+    fn sum<I: Iterator<Item = &'a Complex64>>(iter: I) -> Complex64 {
+        iter.fold(Complex::new(0.0, 0.0), |a, b| a + *b)
+    }
+}
+
+impl From<f64> for Complex64 {
+    fn from(re: f64) -> Self {
+        Complex::new(re, 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = Complex64::new(3.0, -4.0);
+        let b = Complex64::new(-1.0, 2.0);
+        assert_eq!(a + b - b, a);
+        let q = a / b;
+        assert!(((q * b) - a).norm() < 1e-12);
+        assert_eq!(a.norm(), 5.0);
+        assert!((a * a.inv() - Complex64::new(1.0, 0.0)).norm() < 1e-12);
+    }
+
+    #[test]
+    fn polar_roundtrip() {
+        let z = Complex64::from_polar(2.0, 0.7);
+        assert!((z.norm() - 2.0).abs() < 1e-12);
+        assert!((z.arg() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exp_of_i_pi_is_minus_one() {
+        let z = Complex64::new(0.0, std::f64::consts::PI).exp();
+        assert!((z - Complex64::new(-1.0, 0.0)).norm() < 1e-12);
+    }
+
+    #[test]
+    fn mixed_real_ops() {
+        let z = Complex64::new(1.0, 1.0);
+        assert_eq!(2.0 * z, Complex64::new(2.0, 2.0));
+        assert_eq!(z * 2.0, Complex64::new(2.0, 2.0));
+        let mut w = z;
+        w *= 0.5;
+        assert_eq!(w, Complex64::new(0.5, 0.5));
+    }
+}

@@ -1,0 +1,415 @@
+//! Offline, API-compatible subset of the `proptest` crate.
+//!
+//! The build container has no crates.io access, so the workspace vendors
+//! the property-testing surface its tests use: the [`proptest!`] macro with
+//! `name in strategy` parameters and an optional
+//! `#![proptest_config(ProptestConfig::with_cases(n))]` header, the
+//! `prop_assert*` / [`prop_assume!`] macros, range and [`any`] strategies,
+//! tuple strategies, [`Just`], [`prop_oneof!`], `.prop_map`,
+//! `collection::vec`, and `sample::Index`.
+//!
+//! Differences from upstream: cases are generated from a deterministic
+//! per-test RNG (FNV hash of the test path mixed with the case number),
+//! and there is **no shrinking** — a failing case reports its case number
+//! and message instead of a minimised input. That trade keeps the shim
+//! dependency-free while preserving the bug-finding power of the suites.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod arbitrary {
+    //! `Arbitrary` trait and the [`any`] entry point.
+
+    use crate::strategy::{AnyBool, AnyIndex, FullRange, Strategy};
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Strategy type returned by [`Arbitrary::arbitrary`].
+        type Strategy: Strategy<Value = Self>;
+        /// The canonical strategy for this type.
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    /// The canonical strategy for `A` (uniform over the whole domain).
+    pub fn any<A: Arbitrary>() -> A::Strategy {
+        A::arbitrary()
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),+ $(,)?) => {$(
+            impl Arbitrary for $t {
+                type Strategy = FullRange<$t>;
+                fn arbitrary() -> Self::Strategy {
+                    FullRange::new()
+                }
+            }
+        )+};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        type Strategy = AnyBool;
+        fn arbitrary() -> Self::Strategy {
+            AnyBool
+        }
+    }
+
+    impl Arbitrary for crate::sample::Index {
+        type Strategy = AnyIndex;
+        fn arbitrary() -> Self::Strategy {
+            AnyIndex
+        }
+    }
+
+    /// Strategy for `f64` uniform over [0, 1) (upstream uses a wider
+    /// special-value-aware distribution; nothing in the workspace relies
+    /// on that).
+    impl Arbitrary for f64 {
+        type Strategy = UnitF64;
+        fn arbitrary() -> Self::Strategy {
+            UnitF64
+        }
+    }
+
+    /// See the `f64` [`Arbitrary`] impl.
+    #[derive(Debug, Clone, Copy)]
+    pub struct UnitF64;
+
+    impl Strategy for UnitF64 {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            rng.next_f64()
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`vec`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive length bounds for a collection strategy.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            let (lo, hi) = r.into_inner();
+            assert!(lo <= hi, "empty collection size range");
+            SizeRange { lo, hi_inclusive: hi }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of `element` with a length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.size.hi_inclusive - self.size.lo) as u64 + 1;
+            let len = self.size.lo + rng.below(span) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    //! Sampling helpers (`Index`).
+
+    /// An index drawn independently of any particular collection length;
+    /// resolve it against a concrete length with [`Index::index`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Index(pub(crate) u64);
+
+    impl Index {
+        /// Map this abstract index onto `0..len`. Panics if `len == 0`.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+}
+
+pub mod prelude {
+    //! Single-glob import surface, mirroring `proptest::prelude`.
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+/// Run property tests: each `fn name(arg in strategy, ...) { body }` item
+/// becomes a test that samples its strategies for the configured number of
+/// cases. Attributes on the item (including `#[test]` and doc comments)
+/// are passed through, matching upstream usage.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    ( ($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($parm:pat in $strat:expr),+ $(,)? ) $body:block
+    )* ) => { $(
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            let cases: u32 = config.cases;
+            let mut accepted: u32 = 0;
+            let mut attempt: u64 = 0;
+            let max_attempts: u64 = (cases as u64) * 16 + 64;
+            while accepted < cases {
+                attempt += 1;
+                assert!(
+                    attempt <= max_attempts,
+                    "proptest '{}': too many rejected cases ({} accepted of {})",
+                    stringify!($name),
+                    accepted,
+                    cases
+                );
+                let mut __proptest_rng = $crate::test_runner::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    attempt,
+                );
+                $(
+                    let $parm = $crate::strategy::Strategy::sample(&($strat), &mut __proptest_rng);
+                )+
+                let result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                match result {
+                    ::std::result::Result::Ok(()) => accepted += 1,
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest '{}' failed on case {} (attempt {}): {}",
+                            stringify!($name),
+                            accepted + 1,
+                            attempt,
+                            msg
+                        );
+                    }
+                }
+            }
+        }
+    )* };
+}
+
+/// `assert!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// `assert_eq!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left,
+                right
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = &$left;
+        let right = &$right;
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`: {}\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                format!($($fmt)+),
+                left,
+                right
+            )));
+        }
+    }};
+}
+
+/// `assert_ne!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        if !(left != right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = &$left;
+        let right = &$right;
+        if !(left != right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{} != {}`: {}\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                format!($($fmt)+),
+                left
+            )));
+        }
+    }};
+}
+
+/// Discard the current case (does not count toward the case budget).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Uniform choice among heterogeneous strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Shape {
+        Dot,
+        Line(u16),
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(
+            x in 10.0f64..20.0,
+            n in 3usize..7,
+            b in any::<bool>(),
+        ) {
+            prop_assert!((10.0..20.0).contains(&x));
+            prop_assert!((3..7).contains(&n));
+            let _ = b;
+        }
+
+        #[test]
+        fn vec_lengths_respect_size_range(
+            v in crate::collection::vec(any::<u8>(), 2..=5),
+        ) {
+            prop_assert!((2..=5).contains(&v.len()));
+        }
+
+        #[test]
+        fn oneof_and_map_produce_both_variants(
+            s in crate::collection::vec(
+                prop_oneof![Just(Shape::Dot), (1u16..9).prop_map(Shape::Line)],
+                64..65,
+            ),
+        ) {
+            prop_assert!(s.iter().any(|x| *x == Shape::Dot));
+            prop_assert!(s.iter().any(|x| matches!(x, Shape::Line(_))));
+            for x in &s {
+                if let Shape::Line(n) = x {
+                    prop_assert!((1..9).contains(n));
+                }
+            }
+        }
+
+        #[test]
+        fn index_resolves_in_range(ix in any::<crate::sample::Index>(), len in 1usize..50) {
+            prop_assert!(ix.index(len) < len);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(n in 0u64..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert!(n % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::test_runner::TestRng::for_case("x::y", 3);
+        let mut b = crate::test_runner::TestRng::for_case("x::y", 3);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

@@ -1,0 +1,261 @@
+//! Offline, API-compatible subset of the `rustfft` crate.
+//!
+//! Implements the `FftPlanner::new().plan_fft_forward(n)/.plan_fft_inverse(n)`
+//! → `.process(&mut [Complex64])` surface the workspace uses. Power-of-two
+//! lengths run an iterative radix-2 Cooley–Tukey; every other length runs
+//! Bluestein's chirp-z algorithm on top of it, so — like real rustfft —
+//! **all sizes are supported**. Matching rustfft semantics, neither
+//! direction normalises: callers scale the inverse by `1/N` themselves.
+
+pub use num_complex;
+use num_complex::Complex64;
+use std::f64::consts::PI;
+use std::sync::Arc;
+
+/// Transform direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FftDirection {
+    /// Forward DFT (negative-exponent convention).
+    Forward,
+    /// Inverse DFT, unnormalised.
+    Inverse,
+}
+
+/// A planned transform of a fixed length, mirroring `rustfft::Fft`.
+pub trait Fft: Send + Sync {
+    /// Transform `buffer` in place. `buffer.len()` must equal [`Fft::len`].
+    fn process(&self, buffer: &mut [Complex64]);
+    /// The FFT length this plan was built for.
+    fn len(&self) -> usize;
+    /// True for zero-length plans (never produced by the planner).
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+struct PlannedFft {
+    len: usize,
+    direction: FftDirection,
+}
+
+impl Fft for PlannedFft {
+    fn process(&self, buffer: &mut [Complex64]) {
+        assert_eq!(
+            buffer.len(),
+            self.len,
+            "buffer length {} does not match planned FFT length {}",
+            buffer.len(),
+            self.len
+        );
+        dft_in_place(buffer, self.direction);
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+/// Plans FFTs of any size, mirroring `rustfft::FftPlanner`.
+pub struct FftPlanner {
+    _private: (),
+}
+
+impl FftPlanner {
+    /// Create a planner.
+    pub fn new() -> Self {
+        FftPlanner { _private: () }
+    }
+
+    /// Plan a forward FFT of length `len`.
+    pub fn plan_fft_forward(&mut self, len: usize) -> Arc<dyn Fft> {
+        Arc::new(PlannedFft {
+            len,
+            direction: FftDirection::Forward,
+        })
+    }
+
+    /// Plan an unnormalised inverse FFT of length `len`.
+    pub fn plan_fft_inverse(&mut self, len: usize) -> Arc<dyn Fft> {
+        Arc::new(PlannedFft {
+            len,
+            direction: FftDirection::Inverse,
+        })
+    }
+
+    /// Plan a transform with an explicit direction.
+    pub fn plan_fft(&mut self, len: usize, direction: FftDirection) -> Arc<dyn Fft> {
+        Arc::new(PlannedFft { len, direction })
+    }
+}
+
+impl Default for FftPlanner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn dft_in_place(buf: &mut [Complex64], direction: FftDirection) {
+    let n = buf.len();
+    if n <= 1 {
+        return;
+    }
+    if n.is_power_of_two() {
+        radix2_in_place(buf, direction);
+    } else {
+        bluestein(buf, direction);
+    }
+}
+
+/// Iterative radix-2 Cooley–Tukey with bit-reversal permutation.
+fn radix2_in_place(buf: &mut [Complex64], direction: FftDirection) {
+    let n = buf.len();
+    debug_assert!(n.is_power_of_two());
+    let levels = n.trailing_zeros();
+
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 0..n {
+        if i < j {
+            buf.swap(i, j);
+        }
+        let mut mask = n >> 1;
+        while j & mask != 0 {
+            j &= !mask;
+            mask >>= 1;
+        }
+        j |= mask;
+    }
+
+    let sign = match direction {
+        FftDirection::Forward => -1.0,
+        FftDirection::Inverse => 1.0,
+    };
+    for s in 1..=levels {
+        let m = 1usize << s;
+        let half = m >> 1;
+        let w_m = Complex64::from_polar(1.0, sign * PI / half as f64);
+        let mut k = 0;
+        while k < n {
+            let mut w = Complex64::new(1.0, 0.0);
+            for t in 0..half {
+                let u = buf[k + t];
+                let v = buf[k + t + half] * w;
+                buf[k + t] = u + v;
+                buf[k + t + half] = u - v;
+                w = w * w_m;
+            }
+            k += m;
+        }
+    }
+}
+
+/// Bluestein chirp-z transform: express a length-`n` DFT as a circular
+/// convolution of length `m ≥ 2n − 1` (power of two), computed by radix-2.
+fn bluestein(buf: &mut [Complex64], direction: FftDirection) {
+    let n = buf.len();
+    let sign = match direction {
+        FftDirection::Forward => -1.0,
+        FftDirection::Inverse => 1.0,
+    };
+    // chirp[k] = exp(sign * i * pi * k^2 / n); reduce k^2 mod 2n to keep
+    // the phase argument small and accurate for large k.
+    let two_n = 2 * n as u64;
+    let chirp: Vec<Complex64> = (0..n as u64)
+        .map(|k| {
+            let k2 = (k.wrapping_mul(k)) % two_n;
+            Complex64::from_polar(1.0, sign * PI * k2 as f64 / n as f64)
+        })
+        .collect();
+
+    let m = (2 * n - 1).next_power_of_two();
+    let mut a = vec![Complex64::new(0.0, 0.0); m];
+    for k in 0..n {
+        a[k] = buf[k] * chirp[k];
+    }
+    let mut b = vec![Complex64::new(0.0, 0.0); m];
+    b[0] = chirp[0].conj();
+    for k in 1..n {
+        let c = chirp[k].conj();
+        b[k] = c;
+        b[m - k] = c;
+    }
+
+    radix2_in_place(&mut a, FftDirection::Forward);
+    radix2_in_place(&mut b, FftDirection::Forward);
+    for (x, y) in a.iter_mut().zip(&b) {
+        *x = *x * *y;
+    }
+    radix2_in_place(&mut a, FftDirection::Inverse);
+    let scale = 1.0 / m as f64;
+    for (k, out) in buf.iter_mut().enumerate() {
+        *out = a[k] * scale * chirp[k];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_dft(x: &[Complex64], sign: f64) -> Vec<Complex64> {
+        let n = x.len();
+        (0..n)
+            .map(|k| {
+                (0..n)
+                    .map(|t| {
+                        x[t] * Complex64::from_polar(
+                            1.0,
+                            sign * 2.0 * PI * (k * t % n) as f64 / n as f64,
+                        )
+                    })
+                    .sum()
+            })
+            .collect()
+    }
+
+    fn test_signal(n: usize) -> Vec<Complex64> {
+        (0..n)
+            .map(|i| Complex64::new(((i * 7 + 3) % 11) as f64 - 5.0, ((i * 5) % 13) as f64 / 3.0))
+            .collect()
+    }
+
+    #[test]
+    fn matches_naive_dft_power_of_two() {
+        for &n in &[2usize, 8, 64, 256] {
+            let x = test_signal(n);
+            let mut y = x.clone();
+            FftPlanner::new().plan_fft_forward(n).process(&mut y);
+            let want = naive_dft(&x, -1.0);
+            for (a, b) in y.iter().zip(&want) {
+                assert!((*a - *b).norm() < 1e-6 * (n as f64), "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_naive_dft_arbitrary_sizes() {
+        for &n in &[3usize, 5, 12, 100, 243, 1000] {
+            let x = test_signal(n);
+            let mut y = x.clone();
+            FftPlanner::new().plan_fft_forward(n).process(&mut y);
+            let want = naive_dft(&x, -1.0);
+            for (a, b) in y.iter().zip(&want) {
+                assert!((*a - *b).norm() < 1e-6 * (n as f64), "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn forward_then_inverse_recovers_input() {
+        for &n in &[16usize, 48, 96_000 / 64] {
+            let x = test_signal(n);
+            let mut y = x.clone();
+            let mut planner = FftPlanner::new();
+            planner.plan_fft_forward(n).process(&mut y);
+            planner.plan_fft_inverse(n).process(&mut y);
+            for (a, b) in y.iter().zip(&x) {
+                let scaled = *a * (1.0 / n as f64);
+                assert!((scaled - *b).norm() < 1e-8, "n={n}");
+            }
+        }
+    }
+}
