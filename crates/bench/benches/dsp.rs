@@ -1,7 +1,16 @@
 //! Benchmarks for the DSP primitives on the receiver hot path.
+//!
+//! The `*_direct` / `*_fft` pairs pin down the overlap-save crossover
+//! (`pab_dsp::fastconv`), and the planner pair measures what the
+//! thread-local `PlanCache` saves per call; `scripts/bench.sh` parses
+//! these into `BENCH_PR3.json`.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use pab_dsp::correlate::normalized_cross_correlate;
+use num_complex::Complex64;
+use pab_dsp::correlate::{
+    cross_correlate, cross_correlate_direct, normalized_cross_correlate,
+    normalized_cross_correlate_direct,
+};
 use pab_dsp::fir::Fir;
 use pab_dsp::goertzel::tone_amplitude;
 use pab_dsp::iir::butter_lowpass;
@@ -99,6 +108,63 @@ fn bench_correlation(c: &mut Criterion) {
     g.finish();
 }
 
+/// Direct-vs-FFT pairs at 0.5 s @ 192 kHz — the workloads the
+/// `fastconv` crossover dispatch decides between.
+fn bench_direct_vs_fft(c: &mut Criterion) {
+    let s = signal();
+    let tpl: Vec<f64> = (0..512)
+        .map(|i| if (i / 16) % 2 == 0 { 1.0 } else { -1.0 })
+        .collect();
+    let fir = Fir::lowpass(127, 2_000.0, FS, Window::Hamming).unwrap();
+    let mut g = c.benchmark_group("dsp");
+    g.throughput(Throughput::Elements(N as u64));
+    g.bench_function("xcorr_512tap_500ms_direct", |b| {
+        b.iter(|| cross_correlate_direct(&s, &tpl))
+    });
+    g.bench_function("xcorr_512tap_500ms_fft", |b| b.iter(|| cross_correlate(&s, &tpl)));
+    g.bench_function("norm_xcorr_512tap_500ms_direct", |b| {
+        b.iter(|| normalized_cross_correlate_direct(&s, &tpl))
+    });
+    g.bench_function("norm_xcorr_512tap_500ms_fft", |b| {
+        b.iter(|| normalized_cross_correlate(&s, &tpl))
+    });
+    g.bench_function("fir127_500ms_direct", |b| b.iter(|| fir.filter_direct(&s)));
+    g.bench_function("fir127_500ms_fft", |b| b.iter(|| fir.filter(&s)));
+    g.finish();
+}
+
+/// Cached vs uncached FFT planning on the 0.5 s buffer: the uncached
+/// case builds a fresh planner (tables, twiddles, bit-reversal) every
+/// call, the cached case hits the thread-local `PlanCache`.
+fn bench_plan_cache(c: &mut Criterion) {
+    let s: Vec<Complex64> = signal()
+        .iter()
+        .map(|&x| Complex64::new(x, 0.0))
+        .collect();
+    let n_fft = s.len().next_power_of_two();
+    let mut padded = s;
+    padded.resize(n_fft, Complex64::new(0.0, 0.0));
+    let mut g = c.benchmark_group("dsp");
+    g.throughput(Throughput::Elements(n_fft as u64));
+    g.bench_function("fft_500ms_uncached_planner", |b| {
+        b.iter(|| {
+            let mut planner = rustfft::FftPlanner::new();
+            let plan = planner.plan_fft_forward(n_fft);
+            let mut buf = padded.clone();
+            plan.process(&mut buf);
+            buf
+        })
+    });
+    g.bench_function("fft_500ms_cached_planner", |b| {
+        b.iter(|| {
+            let mut buf = padded.clone();
+            pab_dsp::plan::with_thread_cache(|cache| cache.fft_in_place(&mut buf));
+            buf
+        })
+    });
+    g.finish();
+}
+
 fn bench_image_method(c: &mut Criterion) {
     use pab_channel::{Pool, Position};
     let pool = Pool::pool_a();
@@ -137,6 +203,8 @@ criterion_group!(
     bench_goertzel,
     bench_nco,
     bench_correlation,
+    bench_direct_vs_fft,
+    bench_plan_cache,
     bench_image_method,
     bench_channel_apply
 );

@@ -107,6 +107,11 @@ pub struct LinkReport {
 }
 
 /// The link simulator.
+///
+/// The three propagation channels (projector→node, projector→hydrophone,
+/// node→hydrophone) depend only on the configuration, so they are built
+/// once here and reused across every query — the image-method search is
+/// pure overhead when repeated per packet in a Monte-Carlo sweep.
 #[derive(Debug)]
 pub struct LinkSimulator {
     cfg: LinkConfig,
@@ -114,10 +119,14 @@ pub struct LinkSimulator {
     node: PabNode,
     receiver: Receiver,
     rng: ChaCha8Rng,
+    ch_pn: pab_channel::MultipathChannel,
+    ch_ph: pab_channel::MultipathChannel,
+    ch_nh: pab_channel::MultipathChannel,
 }
 
 impl LinkSimulator {
-    /// Build the simulator, designing the node front end.
+    /// Build the simulator, designing the node front end and the
+    /// propagation channels.
     pub fn new(cfg: LinkConfig) -> Result<Self, CoreError> {
         let mut projector = Projector::new(cfg.drive_voltage_v)?;
         projector.fs_hz = cfg.fs_hz;
@@ -130,17 +139,35 @@ impl LinkSimulator {
             .divider_for_bitrate(cfg.bitrate_target_bps)
             .map_err(CoreError::Mcu)?;
         node.default_divider = divider as u16;
-        let receiver = Receiver {
-            sensitivity_v_per_pa: 1.0e-3,
-            fs_hz: cfg.fs_hz,
-        };
+        let receiver = Receiver::new(1.0e-3, cfg.fs_hz);
         let rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+        let ch_pn = cfg.pool.channel(
+            &cfg.projector_pos,
+            &cfg.node_pos,
+            cfg.max_reflections,
+            cfg.carrier_hz,
+        )?;
+        let ch_ph = cfg.pool.channel(
+            &cfg.projector_pos,
+            &cfg.hydrophone_pos,
+            cfg.max_reflections,
+            cfg.carrier_hz,
+        )?;
+        let ch_nh = cfg.pool.channel(
+            &cfg.node_pos,
+            &cfg.hydrophone_pos,
+            cfg.max_reflections,
+            cfg.carrier_hz,
+        )?;
         Ok(LinkSimulator {
             cfg,
             projector,
             node,
             receiver,
             rng,
+            ch_pn,
+            ch_ph,
+            ch_nh,
         })
     }
 
@@ -196,14 +223,8 @@ impl LinkSimulator {
             self.projector
                 .query_waveform(&query, self.cfg.carrier_hz, cw_tail)?;
 
-        // Propagate to the node.
-        let ch_pn = self.cfg.pool.channel(
-            &self.cfg.projector_pos,
-            &self.cfg.node_pos,
-            self.cfg.max_reflections,
-            self.cfg.carrier_hz,
-        )?;
-        let incident = ch_pn.apply(&tx_wave, self.cfg.fs_hz);
+        // Propagate to the node over the cached channel.
+        let incident = self.ch_pn.apply(&tx_wave, self.cfg.fs_hz);
         let node_out = self.node.process(
             &[IncidentComponent {
                 carrier_hz: self.cfg.carrier_hz,
@@ -215,23 +236,12 @@ impl LinkSimulator {
 
         // Superpose the direct projector path and the node's backscatter
         // at the hydrophone.
-        let ch_ph = self.cfg.pool.channel(
-            &self.cfg.projector_pos,
-            &self.cfg.hydrophone_pos,
-            self.cfg.max_reflections,
-            self.cfg.carrier_hz,
-        )?;
-        let ch_nh = self.cfg.pool.channel(
-            &self.cfg.node_pos,
-            &self.cfg.hydrophone_pos,
-            self.cfg.max_reflections,
-            self.cfg.carrier_hz,
-        )?;
         let margin = (0.01 * self.cfg.fs_hz).floor() as usize;
         let n_rx = node_out.backscatter[0].len() + margin;
         let mut y = vec![0.0; n_rx];
-        ch_ph.apply_into(&mut y, &tx_wave, self.cfg.fs_hz);
-        ch_nh.apply_into(&mut y, &node_out.backscatter[0], self.cfg.fs_hz);
+        self.ch_ph.apply_into(&mut y, &tx_wave, self.cfg.fs_hz);
+        self.ch_nh
+            .apply_into(&mut y, &node_out.backscatter[0], self.cfg.fs_hz);
 
         // Ambient noise.
         let sigma = self
@@ -347,13 +357,7 @@ impl LinkSimulator {
                 tx[off + i] = s;
             }
         }
-        let ch_pn = self.cfg.pool.channel(
-            &self.cfg.projector_pos,
-            &self.cfg.node_pos,
-            self.cfg.max_reflections,
-            self.cfg.carrier_hz,
-        )?;
-        let incident = ch_pn.apply(&tx, fs_hz);
+        let incident = self.ch_pn.apply(&tx, fs_hz);
         let comp = IncidentComponent {
             carrier_hz: self.cfg.carrier_hz,
             samples: incident,
@@ -361,21 +365,10 @@ impl LinkSimulator {
         let node_out =
             self.node
                 .process_fixed_toggle(&comp, fs_hz, toggle_start_s, half_period_s)?;
-        let ch_ph = self.cfg.pool.channel(
-            &self.cfg.projector_pos,
-            &self.cfg.hydrophone_pos,
-            self.cfg.max_reflections,
-            self.cfg.carrier_hz,
-        )?;
-        let ch_nh = self.cfg.pool.channel(
-            &self.cfg.node_pos,
-            &self.cfg.hydrophone_pos,
-            self.cfg.max_reflections,
-            self.cfg.carrier_hz,
-        )?;
         let mut y = vec![0.0; n];
-        ch_ph.apply_into(&mut y, &tx, fs_hz);
-        ch_nh.apply_into(&mut y, &node_out.backscatter[0], fs_hz);
+        self.ch_ph.apply_into(&mut y, &tx, fs_hz);
+        self.ch_nh
+            .apply_into(&mut y, &node_out.backscatter[0], fs_hz);
         let sigma = self
             .cfg
             .noise

@@ -129,12 +129,23 @@ struct SlotOutput {
 }
 
 /// The N-node simulator.
+///
+/// All k² propagation channels per hop are geometry-dependent only, so
+/// they are built once at construction and reused across the (N+1) slots
+/// of every run — the image-method search would otherwise be recomputed
+/// k·(2k+1) times per run.
 pub struct MultiNodeSimulator {
     cfg: MultiNodeConfig,
     projector: Projector,
     nodes: Vec<PabNode>,
     receiver: Receiver,
     rng: ChaCha8Rng,
+    /// `[carrier]`: projector → hydrophone at that node's carrier.
+    ch_proj_hydro: Vec<pab_channel::MultipathChannel>,
+    /// `[node][carrier]`: projector → node at each carrier.
+    ch_proj_node: Vec<Vec<pab_channel::MultipathChannel>>,
+    /// `[node][carrier]`: node → hydrophone at each carrier.
+    ch_node_hydro: Vec<Vec<pab_channel::MultipathChannel>>,
 }
 
 impl MultiNodeSimulator {
@@ -164,15 +175,46 @@ impl MultiNodeSimulator {
             n.default_divider = divider;
             nodes.push(n);
         }
+        let mut ch_proj_hydro = Vec::with_capacity(cfg.nodes.len());
+        let mut ch_proj_node = Vec::with_capacity(cfg.nodes.len());
+        let mut ch_node_hydro = Vec::with_capacity(cfg.nodes.len());
+        for p in &cfg.nodes {
+            ch_proj_hydro.push(cfg.pool.channel(
+                &cfg.projector_pos,
+                &cfg.hydrophone_pos,
+                cfg.max_reflections,
+                p.carrier_hz,
+            )?);
+        }
+        for p in &cfg.nodes {
+            let mut to_node = Vec::with_capacity(cfg.nodes.len());
+            let mut to_hydro = Vec::with_capacity(cfg.nodes.len());
+            for q in &cfg.nodes {
+                to_node.push(cfg.pool.channel(
+                    &cfg.projector_pos,
+                    &p.position,
+                    cfg.max_reflections,
+                    q.carrier_hz,
+                )?);
+                to_hydro.push(cfg.pool.channel(
+                    &p.position,
+                    &cfg.hydrophone_pos,
+                    cfg.max_reflections,
+                    q.carrier_hz,
+                )?);
+            }
+            ch_proj_node.push(to_node);
+            ch_node_hydro.push(to_hydro);
+        }
         Ok(MultiNodeSimulator {
             projector,
             nodes,
-            receiver: Receiver {
-                sensitivity_v_per_pa: 1.0e-3,
-                fs_hz: cfg.fs_hz,
-            },
+            receiver: Receiver::new(1.0e-3, cfg.fs_hz),
             rng: ChaCha8Rng::seed_from_u64(cfg.seed),
             cfg,
+            ch_proj_hydro,
+            ch_proj_node,
+            ch_node_hydro,
         })
     }
 
@@ -193,53 +235,30 @@ impl MultiNodeSimulator {
         let n_rx = n_tx + 4 * margin;
 
         let mut y = vec![0.0; n_rx];
-        // Direct projector paths, all carriers.
+        // Direct projector paths, all carriers (cached channels).
         for (i, w) in waves.iter().enumerate() {
-            let ch = cfg.pool.channel(
-                &cfg.projector_pos,
-                &cfg.hydrophone_pos,
-                cfg.max_reflections,
-                cfg.nodes[i].carrier_hz,
-            )?;
-            ch.apply_into(&mut y, w, cfg.fs_hz);
+            self.ch_proj_hydro[i].apply_into(&mut y, w, cfg.fs_hz);
         }
 
         let mut truths = vec![Vec::new(); k];
         let mut responded = vec![false; k];
-        for (ni, (node, place)) in self.nodes.iter().zip(&cfg.nodes).enumerate() {
+        for (ni, (node, _place)) in self.nodes.iter().zip(&cfg.nodes).enumerate() {
             // Incident components at this node: every carrier.
             let mut components = Vec::with_capacity(k);
             for (ci, w) in waves.iter().enumerate() {
-                let ch = cfg.pool.channel(
-                    &cfg.projector_pos,
-                    &place.position,
-                    cfg.max_reflections,
-                    cfg.nodes[ci].carrier_hz,
-                )?;
                 components.push(IncidentComponent {
                     carrier_hz: cfg.nodes[ci].carrier_hz,
-                    samples: ch.apply(w, cfg.fs_hz),
+                    samples: self.ch_proj_node[ni][ci].apply(w, cfg.fs_hz),
                 });
             }
             let out = node.process(&components, cfg.fs_hz, Some(pab_sensors::WaterSample::bench()))?;
             responded[ni] = out.responses_sent > 0;
             // Backscatter of every carrier into the hydrophone.
             for (ci, bs) in out.backscatter.iter().enumerate() {
-                let ch = cfg.pool.channel(
-                    &place.position,
-                    &cfg.hydrophone_pos,
-                    cfg.max_reflections,
-                    cfg.nodes[ci].carrier_hz,
-                )?;
-                ch.apply_into(&mut y, bs, cfg.fs_hz);
+                self.ch_node_hydro[ni][ci].apply_into(&mut y, bs, cfg.fs_hz);
             }
-            // Hydrophone-aligned ground truth.
-            let ch = cfg.pool.channel(
-                &place.position,
-                &cfg.hydrophone_pos,
-                cfg.max_reflections,
-                place.carrier_hz,
-            )?;
+            // Hydrophone-aligned ground truth (own-carrier channel).
+            let ch = &self.ch_node_hydro[ni][ni];
             let delay = (ch.direct().delay_s * cfg.fs_hz).floor() as usize;
             let mut s = vec![0.0; n_rx];
             for (t, &b) in out.switch_wave.iter().enumerate() {

@@ -131,10 +131,18 @@ pub struct ConcurrentSimulator {
     node2: PabNode,
     receiver: Receiver,
     rng: ChaCha8Rng,
+    /// Projector→node channels, `[node][carrier]`, designed once.
+    ch_proj_node: Vec<Vec<MultipathChannel>>,
+    /// Projector→hydrophone channels per carrier.
+    ch_proj_hydro: Vec<MultipathChannel>,
+    /// Node→hydrophone channels, `[node][carrier]`.
+    ch_node_hydro: Vec<Vec<MultipathChannel>>,
 }
 
 impl ConcurrentSimulator {
-    /// Build the simulator (designs both recto-piezos).
+    /// Build the simulator (designs both recto-piezos and pre-computes the
+    /// image-method channels: the geometry is fixed for the simulator's
+    /// lifetime, so every slot reuses the same tap sets).
     pub fn new(cfg: ConcurrentConfig) -> Result<Self, CoreError> {
         let mut projector = Projector::new(cfg.drive_voltage_v)?;
         projector.fs_hz = cfg.fs_hz;
@@ -145,15 +153,38 @@ impl ConcurrentSimulator {
         node1.default_divider = divider;
         let mut node2 = PabNode::new(2, cfg.f2_hz)?;
         node2.default_divider = divider;
+        let carriers = [cfg.f1_hz, cfg.f2_hz];
+        let node_positions = [&cfg.node1_pos, &cfg.node2_pos];
+        let mut ch_proj_node = Vec::with_capacity(2);
+        let mut ch_node_hydro = Vec::with_capacity(2);
+        for pos in node_positions {
+            let mut down = Vec::with_capacity(2);
+            let mut up = Vec::with_capacity(2);
+            for f in carriers {
+                down.push(cfg.pool.channel(&cfg.projector_pos, pos, cfg.max_reflections, f)?);
+                up.push(cfg.pool.channel(pos, &cfg.hydrophone_pos, cfg.max_reflections, f)?);
+            }
+            ch_proj_node.push(down);
+            ch_node_hydro.push(up);
+        }
+        let mut ch_proj_hydro = Vec::with_capacity(2);
+        for f in carriers {
+            ch_proj_hydro.push(cfg.pool.channel(
+                &cfg.projector_pos,
+                &cfg.hydrophone_pos,
+                cfg.max_reflections,
+                f,
+            )?);
+        }
         Ok(ConcurrentSimulator {
             projector,
             node1,
             node2,
-            receiver: Receiver {
-                sensitivity_v_per_pa: 1.0e-3,
-                fs_hz: cfg.fs_hz,
-            },
+            receiver: Receiver::new(1.0e-3, cfg.fs_hz),
             rng: ChaCha8Rng::seed_from_u64(cfg.seed),
+            ch_proj_node,
+            ch_proj_hydro,
+            ch_node_hydro,
             cfg,
         })
     }
@@ -164,13 +195,6 @@ impl ConcurrentSimulator {
             .bitrate_for_divider(self.node1.default_divider as u64)
             // lint: allow(no-unwrap-in-lib) default_divider is validated non-zero at construction
             .expect("divider >= 1")
-    }
-
-    fn channel(&self, a: &Position, b: &Position, f: f64) -> Result<MultipathChannel, CoreError> {
-        Ok(self
-            .cfg
-            .pool
-            .channel(a, b, self.cfg.max_reflections, f)?)
     }
 
     /// Run one *slot*: transmit per-carrier waveforms, run both nodes,
@@ -189,11 +213,9 @@ impl ConcurrentSimulator {
 
         // Incident components at each node.
         let mut node_outs = Vec::new();
-        for (node, pos) in [(&self.node1, &cfg.node1_pos), (&self.node2, &cfg.node2_pos)] {
-            let ch_f1 = self.channel(&cfg.projector_pos, pos, cfg.f1_hz)?;
-            let ch_f2 = self.channel(&cfg.projector_pos, pos, cfg.f2_hz)?;
-            let inc1 = ch_f1.apply(w1, cfg.fs_hz);
-            let inc2 = ch_f2.apply(w2, cfg.fs_hz);
+        for (ni, node) in [&self.node1, &self.node2].into_iter().enumerate() {
+            let inc1 = self.ch_proj_node[ni][0].apply(w1, cfg.fs_hz);
+            let inc2 = self.ch_proj_node[ni][1].apply(w2, cfg.fs_hz);
             let out = node.process(
                 &[
                     IncidentComponent {
@@ -214,27 +236,20 @@ impl ConcurrentSimulator {
         // Superpose at the hydrophone.
         let n_rx = n_tx + 4 * margin;
         let mut y = vec![0.0; n_rx];
-        let ch_ph1 = self.channel(&cfg.projector_pos, &cfg.hydrophone_pos, cfg.f1_hz)?;
-        let ch_ph2 = self.channel(&cfg.projector_pos, &cfg.hydrophone_pos, cfg.f2_hz)?;
-        ch_ph1.apply_into(&mut y, w1, cfg.fs_hz);
-        ch_ph2.apply_into(&mut y, w2, cfg.fs_hz);
+        self.ch_proj_hydro[0].apply_into(&mut y, w1, cfg.fs_hz);
+        self.ch_proj_hydro[1].apply_into(&mut y, w2, cfg.fs_hz);
         let mut truths: [Vec<f64>; 2] = [Vec::new(), Vec::new()];
         let mut responded = [false, false];
-        for (i, (out, pos)) in node_outs
-            .iter()
-            .zip([&cfg.node1_pos, &cfg.node2_pos])
-            .enumerate()
-        {
+        for (i, out) in node_outs.iter().enumerate() {
             responded[i] = out.responses_sent > 0;
             // Each node re-radiates both carriers.
-            for (k, f) in [cfg.f1_hz, cfg.f2_hz].iter().enumerate() {
-                let ch = self.channel(pos, &cfg.hydrophone_pos, *f)?;
+            for (k, ch) in self.ch_node_hydro[i].iter().enumerate() {
                 ch.apply_into(&mut y, &out.backscatter[k], cfg.fs_hz);
             }
             // Ground-truth stream, delayed by the direct-path delay so it
             // aligns with the hydrophone's view.
-            let ch = self.channel(pos, &cfg.hydrophone_pos, cfg.f1_hz)?;
-            let delay = (ch.direct().delay_s * cfg.fs_hz).floor() as usize;
+            let delay =
+                (self.ch_node_hydro[i][0].direct().delay_s * cfg.fs_hz).floor() as usize;
             let mut s = vec![0.0; n_rx];
             for (t, &b) in out.switch_wave.iter().enumerate() {
                 if t + delay < n_rx {

@@ -4,14 +4,32 @@
 
 use crate::{CoreError, DEFAULT_SAMPLE_RATE_HZ};
 use pab_dsp::correlate::{argmax, normalized_cross_correlate};
-use pab_dsp::iir::butter_lowpass;
+use pab_dsp::iir::{butter_lowpass, Cascade};
 use pab_dsp::mix::downconvert;
 use pab_dsp::stats;
 use pab_net::fm0;
 use pab_net::packet::{UplinkPacket, UPLINK_PREAMBLE};
 use pab_net::NetError;
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// Designs the receiver rebuilds identically packet after packet —
+/// Butterworth cascades, anti-alias FIRs, preamble matched-filter
+/// templates — memoised behind a `RefCell` so `&self` decode calls stay
+/// ergonomic. Keys use `f64::to_bits` so identical parameters hit
+/// deterministically.
+#[derive(Debug, Clone, Default)]
+struct RxCaches {
+    butter: HashMap<(usize, u64, u64), Cascade>,
+    fir_aa: HashMap<(usize, u64), pab_dsp::fir::Fir>,
+    preamble: HashMap<(u64, u64), Vec<f64>>,
+}
 
 /// The hydrophone + offline decoder.
+///
+/// Holds per-instance design caches (filters, templates), so keep one
+/// `Receiver` alive across packets in Monte-Carlo sweeps rather than
+/// constructing a fresh one per decode.
 #[derive(Debug, Clone)]
 pub struct Receiver {
     /// Hydrophone sensitivity, volts per pascal (H2a: −180 dB re 1 V/µPa
@@ -19,6 +37,7 @@ pub struct Receiver {
     pub sensitivity_v_per_pa: f64,
     /// Sample rate, Hz.
     pub fs_hz: f64,
+    caches: RefCell<RxCaches>,
 }
 
 /// Result of decoding one uplink packet.
@@ -42,14 +61,48 @@ pub struct Decoded {
 
 impl Default for Receiver {
     fn default() -> Self {
-        Receiver {
-            sensitivity_v_per_pa: 1.0e-3,
-            fs_hz: DEFAULT_SAMPLE_RATE_HZ,
-        }
+        Receiver::new(1.0e-3, DEFAULT_SAMPLE_RATE_HZ)
     }
 }
 
 impl Receiver {
+    /// Build a receiver with the given hydrophone sensitivity and sample
+    /// rate, with empty design caches.
+    pub fn new(sensitivity_v_per_pa: f64, fs_hz: f64) -> Self {
+        Receiver {
+            sensitivity_v_per_pa,
+            fs_hz,
+            caches: RefCell::new(RxCaches::default()),
+        }
+    }
+
+    /// Memoised [`butter_lowpass`] design.
+    fn cached_butter(&self, order: usize, cutoff_hz: f64, fs_hz: f64) -> Result<Cascade, CoreError> {
+        let key = (order, cutoff_hz.to_bits(), fs_hz.to_bits());
+        if let Some(c) = self.caches.borrow().butter.get(&key) {
+            return Ok(c.clone());
+        }
+        let c = butter_lowpass(order, cutoff_hz, fs_hz)?;
+        self.caches.borrow_mut().butter.insert(key, c.clone());
+        Ok(c)
+    }
+
+    /// Memoised anti-alias FIR for decimation by `decim`.
+    fn cached_aa_fir(&self, decim: usize) -> Result<pab_dsp::fir::Fir, CoreError> {
+        let key = (decim, self.fs_hz.to_bits());
+        if let Some(f) = self.caches.borrow().fir_aa.get(&key) {
+            return Ok(f.clone());
+        }
+        let f = pab_dsp::fir::Fir::lowpass(
+            127,
+            0.8 * self.fs_hz / (2.0 * decim as f64),
+            self.fs_hz,
+            pab_dsp::window::Window::Hamming,
+        )?;
+        self.caches.borrow_mut().fir_aa.insert(key, f.clone());
+        Ok(f)
+    }
+
     /// Convert a pressure waveform into the recorded voltage waveform.
     pub fn record(&self, pressure: &[f64]) -> Vec<f64> {
         pressure
@@ -67,7 +120,7 @@ impl Receiver {
         cutoff_hz: f64,
     ) -> Result<Vec<f64>, CoreError> {
         let bb = downconvert(signal, carrier_hz, self.fs_hz);
-        let lp = butter_lowpass(4, cutoff_hz, self.fs_hz)?;
+        let lp = self.cached_butter(4, cutoff_hz, self.fs_hz)?;
         let filtered = lp.filtfilt_complex(&bb);
         Ok(filtered.iter().map(|c| 2.0 * c.norm()).collect())
     }
@@ -82,7 +135,7 @@ impl Receiver {
         cutoff_hz: f64,
     ) -> Result<Vec<num_complex::Complex64>, CoreError> {
         let bb = downconvert(signal, carrier_hz, self.fs_hz);
-        let lp = butter_lowpass(4, cutoff_hz, self.fs_hz)?;
+        let lp = self.cached_butter(4, cutoff_hz, self.fs_hz)?;
         Ok(lp
             .filtfilt_complex(&bb)
             .into_iter()
@@ -91,12 +144,16 @@ impl Receiver {
     }
 
     /// Build the ±1 preamble matched-filter template at `bitrate_bps`
-    /// for sample rate `fs_hz`.
+    /// for sample rate `fs_hz`, memoised per `(bitrate, fs)` pair.
     fn preamble_template(&self, bitrate_bps: f64, fs_hz: f64) -> Vec<f64> {
+        let key = (bitrate_bps.to_bits(), fs_hz.to_bits());
+        if let Some(t) = self.caches.borrow().preamble.get(&key) {
+            return t.clone();
+        }
         let halves = fm0::encode(&UPLINK_PREAMBLE, false);
         let spb = fs_hz / (2.0 * bitrate_bps);
         let n = (halves.len() as f64 * spb).round() as usize;
-        (0..n)
+        let template: Vec<f64> = (0..n)
             .map(|i| {
                 let k = ((i as f64 / spb) as usize).min(halves.len() - 1);
                 if halves[k] {
@@ -105,7 +162,12 @@ impl Receiver {
                     -1.0
                 }
             })
-            .collect()
+            .collect();
+        self.caches
+            .borrow_mut()
+            .preamble
+            .insert(key, template.clone());
+        template
     }
 
     /// Maximum-likelihood FM0 half-bit sequence detection.
@@ -219,50 +281,34 @@ impl Receiver {
         let cutoff = (2.0 * bitrate_bps).clamp(200.0, 0.4 * self.fs_hz);
         let bb = self.demodulate_complex(signal, carrier_hz, cutoff)?;
 
-        // Decimate to ~16 samples per half-bit. One anti-alias FIR design
-        // is shared by the real and imaginary paths (the design cost would
-        // otherwise dominate Monte-Carlo sweeps).
+        // Decimate to ~16 samples per half-bit. The anti-alias FIR design
+        // is memoised and filters the complex baseband in one pass (the
+        // design cost would otherwise dominate Monte-Carlo sweeps).
         let spb_raw = self.fs_hz / (2.0 * bitrate_bps);
         let decim = ((spb_raw / 16.0).floor() as usize).max(1);
-        let re: Vec<f64> = bb.iter().map(|c| c.re).collect();
-        let im: Vec<f64> = bb.iter().map(|c| c.im).collect();
-        let (re_d, im_d) = if decim == 1 {
-            (re, im)
+        let bb_d: Vec<num_complex::Complex64> = if decim == 1 {
+            bb
         } else {
-            let aa = pab_dsp::fir::Fir::lowpass(
-                127,
-                0.8 * self.fs_hz / (2.0 * decim as f64),
-                self.fs_hz,
-                pab_dsp::window::Window::Hamming,
-            )?;
-            (
-                aa.filter(&re).iter().step_by(decim).copied().collect(),
-                aa.filter(&im).iter().step_by(decim).copied().collect(),
-            )
+            let aa = self.cached_aa_fir(decim)?;
+            aa.filter_complex(&bb)
+                .into_iter()
+                .step_by(decim)
+                .collect()
         };
         let fs2 = self.fs_hz / decim as f64;
 
         // Complex detrend: the slow trend is the direct-carrier phasor.
         let trend_cutoff = (bitrate_bps / 20.0).max(2.0);
-        let lp = butter_lowpass(2, trend_cutoff, fs2)?;
-        let tr_re = lp.filtfilt(&re_d);
-        let tr_im = lp.filtfilt(&im_d);
-        let mut d: Vec<num_complex::Complex64> = re_d
+        let lp = self.cached_butter(2, trend_cutoff, fs2)?;
+        let trend_c = lp.filtfilt_complex(&bb_d);
+        let mut d: Vec<num_complex::Complex64> = bb_d
             .iter()
-            .zip(&im_d)
-            .zip(tr_re.iter().zip(&tr_im))
-            .map(|((&r, &i), (&trr, &tri))| {
-                num_complex::Complex64::new(r - trr, i - tri)
-            })
+            .zip(&trend_c)
+            .map(|(&x, &t)| x - t)
             .collect();
 
         // CFO correction: the direct-carrier trend rotates at the CFO
         // rate; estimate it where the carrier is strong and derotate.
-        let trend_c: Vec<num_complex::Complex64> = tr_re
-            .iter()
-            .zip(&tr_im)
-            .map(|(&r, &i)| num_complex::Complex64::new(r, i))
-            .collect();
         // Estimate over the longest *contiguous* strong run: concatenating
         // across carrier-off gaps would add seam phase jumps that bias the
         // estimate.
@@ -287,33 +333,35 @@ impl Receiver {
             }
         }
         let cfo = pab_dsp::correlate::estimate_cfo(&trend_c[best_run.0..best_run.1], fs2);
-        if cfo.abs() > 0.05 {
-            let w = std::f64::consts::TAU * cfo / fs2;
-            for (i, c) in d.iter_mut().enumerate() {
-                *c *= num_complex::Complex64::from_polar(1.0, -w * i as f64);
-            }
+        let correct_cfo = cfo.abs() > 0.05;
+        if correct_cfo {
+            d = pab_dsp::mix::frequency_shift(&d, -cfo, fs2);
         }
 
         // Complex preamble correlation: peak magnitude locates the packet,
-        // peak phase is the modulation direction.
+        // peak phase is the modulation direction. The numerator is a
+        // matched-filter correlation (FFT overlap-save for long templates);
+        // the window energy comes from an O(N) running sum.
         let template = self.preamble_template(bitrate_bps, fs2);
         if d.len() <= template.len() {
             return Err(CoreError::NoPacketDetected);
         }
         let m = template.len();
         let t_energy: f64 = template.iter().map(|x| x * x).sum::<f64>().sqrt();
+        let template_c: Vec<num_complex::Complex64> = template
+            .iter()
+            .map(|&t| num_complex::Complex64::new(t, 0.0))
+            .collect();
+        // Real template, so the conjugation in cross_correlate_complex is
+        // a no-op: this is exactly Σ d[i+k]·template[k].
+        let num = pab_dsp::correlate::cross_correlate_complex(&d, &template_c);
         let mut best = (0usize, 0.0f64, num_complex::Complex64::new(0.0, 0.0));
         // Running window energy for normalisation.
         let mut win_energy: f64 = d[..m].iter().map(|c| c.norm_sqr()).sum();
-        for i in 0..=d.len() - m {
+        for (i, &acc) in num.iter().enumerate() {
             if i > 0 {
                 win_energy += d[i + m - 1].norm_sqr() - d[i - 1].norm_sqr();
             }
-            let acc: num_complex::Complex64 = d[i..i + m]
-                .iter()
-                .zip(&template)
-                .map(|(c, &t)| c * t)
-                .sum();
             let denom = win_energy.max(1e-30).sqrt() * t_energy;
             let score = acc.norm() / denom;
             if score > best.1 {
@@ -332,19 +380,12 @@ impl Receiver {
         // low bitrates where that spans many bits). The cluster means in
         // slice_and_decode absorb the constant offset.
         let rot = num_complex::Complex64::from_polar(1.0, -theta);
-        let w_cfo = std::f64::consts::TAU * cfo / fs2;
-        let projected: Vec<f64> = re_d
-            .iter()
-            .zip(&im_d)
-            .enumerate()
-            .map(|(i, (&r, &im))| {
-                let mut c = num_complex::Complex64::new(r, im);
-                if cfo.abs() > 0.05 {
-                    c *= num_complex::Complex64::from_polar(1.0, -w_cfo * i as f64);
-                }
-                (c * rot).re
-            })
-            .collect();
+        let raw = if correct_cfo {
+            pab_dsp::mix::frequency_shift(&bb_d, -cfo, fs2)
+        } else {
+            bb_d
+        };
+        let projected: Vec<f64> = raw.iter().map(|&c| (c * rot).re).collect();
 
         let mut decoded = self.slice_and_decode(&projected, start, fs2, bitrate_bps)?;
         decoded.start_sample = start * decim;

@@ -3,12 +3,31 @@
 //! ("standard packet detection and carrier frequency offset correction
 //! using the preamble").
 
+use crate::fastconv;
 use num_complex::Complex64;
 
 /// Sliding cross-correlation of `signal` against `template` (valid-mode:
 /// output length = signal.len() - template.len() + 1). Empty output when
 /// the template is longer than the signal.
+///
+/// Templates of [`fastconv::FFT_CROSSOVER_TAPS`] taps or more run an
+/// O(N log N) FFT overlap-save path; shorter ones run the direct loop
+/// (see [`cross_correlate_direct`]).
 pub fn cross_correlate(signal: &[f64], template: &[f64]) -> Vec<f64> {
+    if template.is_empty() || signal.len() < template.len() {
+        return Vec::new();
+    }
+    if fastconv::fft_pays_off(signal.len(), template.len()) {
+        fastconv::correlate_valid_real(signal, template)
+    } else {
+        cross_correlate_direct(signal, template)
+    }
+}
+
+/// The direct O(N·M) sliding-window correlation. Public so equivalence
+/// tests and benchmarks can compare it against the FFT fast path of
+/// [`cross_correlate`].
+pub fn cross_correlate_direct(signal: &[f64], template: &[f64]) -> Vec<f64> {
     if template.is_empty() || signal.len() < template.len() {
         return Vec::new();
     }
@@ -27,7 +46,46 @@ pub fn cross_correlate(signal: &[f64], template: &[f64]) -> Vec<f64> {
 /// Normalised cross-correlation in `[-1, 1]`: correlation divided by the
 /// local signal energy and template energy. Robust to amplitude scaling,
 /// which matters because backscatter modulation depth varies with range.
+///
+/// Long templates use the FFT path for the numerator and a running-sum
+/// window energy for the denominator, making the whole computation
+/// O(N log N) instead of O(N·M) (see [`normalized_cross_correlate_direct`]).
 pub fn normalized_cross_correlate(signal: &[f64], template: &[f64]) -> Vec<f64> {
+    if template.is_empty() || signal.len() < template.len() {
+        return Vec::new();
+    }
+    let m = template.len();
+    let t_energy: f64 = template.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if t_energy == 0.0 {
+        return vec![0.0; signal.len() - m + 1];
+    }
+    if !fastconv::fft_pays_off(signal.len(), m) {
+        return normalized_cross_correlate_direct(signal, template);
+    }
+    let mut num = fastconv::correlate_valid_real(signal, template);
+    // Running-sum window energy: O(N) total instead of O(N·M). The
+    // incremental subtraction can leave a tiny negative residue from
+    // cancellation, hence the max(0.0) before sqrt.
+    let mut win_energy: f64 = signal[..m].iter().map(|x| x * x).sum();
+    for (i, v) in num.iter_mut().enumerate() {
+        if i > 0 {
+            let leaving = signal[i - 1];
+            let entering = signal[i + m - 1];
+            win_energy += entering * entering - leaving * leaving;
+        }
+        let s_energy = win_energy.max(0.0).sqrt();
+        *v = if s_energy == 0.0 {
+            0.0
+        } else {
+            *v / (s_energy * t_energy)
+        };
+    }
+    num
+}
+
+/// The direct O(N·M) normalised correlation, recomputing each window's
+/// energy exactly. Reference implementation for [`normalized_cross_correlate`].
+pub fn normalized_cross_correlate_direct(signal: &[f64], template: &[f64]) -> Vec<f64> {
     if template.is_empty() || signal.len() < template.len() {
         return Vec::new();
     }
@@ -50,8 +108,27 @@ pub fn normalized_cross_correlate(signal: &[f64], template: &[f64]) -> Vec<f64> 
         .collect()
 }
 
-/// Complex correlation for baseband packet detection.
+/// Complex correlation for baseband packet detection: conjugates the
+/// template, matching the matched-filter convention. Long templates use
+/// the FFT overlap-save path.
 pub fn cross_correlate_complex(signal: &[Complex64], template: &[Complex64]) -> Vec<Complex64> {
+    if template.is_empty() || signal.len() < template.len() {
+        return Vec::new();
+    }
+    if fastconv::fft_pays_off(signal.len(), template.len()) {
+        let conj: Vec<Complex64> = template.iter().map(|t| t.conj()).collect();
+        fastconv::correlate_valid(signal, &conj)
+    } else {
+        cross_correlate_complex_direct(signal, template)
+    }
+}
+
+/// The direct O(N·M) complex correlation. Reference implementation for
+/// [`cross_correlate_complex`].
+pub fn cross_correlate_complex_direct(
+    signal: &[Complex64],
+    template: &[Complex64],
+) -> Vec<Complex64> {
     if template.is_empty() || signal.len() < template.len() {
         return Vec::new();
     }
@@ -146,6 +223,37 @@ mod tests {
         let mags: Vec<f64> = c.iter().map(|x| x.norm()).collect();
         let (imax, _) = argmax(&mags).unwrap();
         assert_eq!(imax, 100);
+    }
+
+    #[test]
+    fn fft_path_matches_direct_above_crossover() {
+        // 512-tap template over 8k samples takes the FFT path.
+        let signal: Vec<f64> = (0..8_192).map(|i| ((i * 31 + 7) % 19) as f64 - 9.0).collect();
+        let template: Vec<f64> = (0..512).map(|i| (i as f64 * 0.013).sin()).collect();
+        assert!(crate::fastconv::fft_pays_off(signal.len(), template.len()));
+        let fft = cross_correlate(&signal, &template);
+        let dir = cross_correlate_direct(&signal, &template);
+        for (a, b) in fft.iter().zip(&dir) {
+            assert!((a - b).abs() < 1e-9 * template.len() as f64);
+        }
+        let nfft = normalized_cross_correlate(&signal, &template);
+        let ndir = normalized_cross_correlate_direct(&signal, &template);
+        for (a, b) in nfft.iter().zip(&ndir) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn complex_fft_path_matches_direct() {
+        let signal: Vec<Complex64> = (0..4_096)
+            .map(|i| Complex64::new(((i * 13) % 23) as f64 - 11.0, ((i * 5) % 9) as f64))
+            .collect();
+        let template = complex_tone(1_500.0, 48_000.0, 0.2, 256);
+        let fft = cross_correlate_complex(&signal, &template);
+        let dir = cross_correlate_complex_direct(&signal, &template);
+        for (a, b) in fft.iter().zip(&dir) {
+            assert!((a - b).norm() < 1e-9 * template.len() as f64);
+        }
     }
 
     #[test]

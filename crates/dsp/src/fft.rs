@@ -3,32 +3,25 @@
 //! decoder identifies the different transmitted frequencies on the downlink
 //! using FFT and peak detection").
 
+use crate::plan::with_thread_cache;
 use crate::window::Window;
 use crate::DspError;
 use num_complex::Complex64;
-use rustfft::FftPlanner;
 
 /// Forward FFT of a complex buffer (in place semantics hidden; returns a new
 /// vector). Length may be any size supported by rustfft (all sizes are).
+/// Plans come from the thread-local [`crate::plan::PlanCache`], so repeated
+/// transforms of the same length pay the planning cost once.
 pub fn fft(input: &[Complex64]) -> Vec<Complex64> {
     let mut buf = input.to_vec();
-    FftPlanner::new()
-        .plan_fft_forward(buf.len())
-        .process(&mut buf);
+    with_thread_cache(|c| c.fft_in_place(&mut buf));
     buf
 }
 
 /// Inverse FFT with 1/N normalisation so `ifft(fft(x)) == x`.
 pub fn ifft(input: &[Complex64]) -> Vec<Complex64> {
     let mut buf = input.to_vec();
-    let n = buf.len();
-    FftPlanner::new()
-        .plan_fft_inverse(n)
-        .process(&mut buf);
-    let scale = 1.0 / n as f64;
-    for c in &mut buf {
-        *c *= scale;
-    }
+    with_thread_cache(|c| c.ifft_in_place(&mut buf));
     buf
 }
 
@@ -60,7 +53,7 @@ pub fn amplitude_spectrum(
         .zip(&w)
         .map(|(&s, &w)| Complex64::new(s * w, 0.0))
         .collect();
-    FftPlanner::new().plan_fft_forward(n).process(&mut buf);
+    with_thread_cache(|c| c.fft_in_place(&mut buf));
     let half = n / 2;
     let mut freqs = Vec::with_capacity(half + 1);
     let mut amps = Vec::with_capacity(half + 1);

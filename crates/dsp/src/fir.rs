@@ -101,7 +101,22 @@ impl Fir {
 
     /// Full convolution filtering, output length = input length ("same"
     /// alignment: `output[i]` uses input ending at `i`; i.e. causal filter).
+    ///
+    /// Filters of [`crate::fastconv::FFT_CROSSOVER_TAPS`] taps or more
+    /// over long inputs run FFT overlap-save (O(N log N)); short filters
+    /// or inputs run the direct loop (see [`Fir::filter_direct`]).
     pub fn filter(&self, x: &[f64]) -> Vec<f64> {
+        if crate::fastconv::fft_pays_off(x.len(), self.taps.len()) {
+            crate::fastconv::convolve_same_real(x, &self.taps)
+        } else {
+            self.filter_direct(x)
+        }
+    }
+
+    /// The direct O(N·M) convolution loop. Public so equivalence tests and
+    /// benchmarks can compare it against the FFT fast path of
+    /// [`Fir::filter`].
+    pub fn filter_direct(&self, x: &[f64]) -> Vec<f64> {
         let m = self.taps.len();
         let mut y = vec![0.0; x.len()];
         for (i, yi) in y.iter_mut().enumerate() {
@@ -109,6 +124,28 @@ impl Fir {
             let kmax = m.min(i + 1);
             for k in 0..kmax {
                 acc += self.taps[k] * x[i - k];
+            }
+            *yi = acc;
+        }
+        y
+    }
+
+    /// Complex-input filtering with the same "same"-causal alignment as
+    /// [`Fir::filter`]. Because the taps are real, this equals filtering
+    /// the real and imaginary parts independently, without splitting the
+    /// buffer into two temporaries — the receiver's decimation and
+    /// matched-filter stages use it to keep baseband complex end-to-end.
+    pub fn filter_complex(&self, x: &[num_complex::Complex64]) -> Vec<num_complex::Complex64> {
+        if crate::fastconv::fft_pays_off(x.len(), self.taps.len()) {
+            return crate::fastconv::convolve_same(x, &self.taps);
+        }
+        let m = self.taps.len();
+        let mut y = vec![num_complex::Complex64::new(0.0, 0.0); x.len()];
+        for (i, yi) in y.iter_mut().enumerate() {
+            let mut acc = num_complex::Complex64::new(0.0, 0.0);
+            let kmax = m.min(i + 1);
+            for k in 0..kmax {
+                acc += x[i - k] * self.taps[k];
             }
             *yi = acc;
         }
@@ -201,6 +238,39 @@ mod tests {
         let hi = tone(12_000.0, fs_hz, 0.0, 2000);
         let out = f.filter(&hi);
         assert!(rms(&out[200..]) < 5e-3);
+    }
+
+    #[test]
+    fn fft_filter_matches_direct_loop() {
+        let fs_hz = 48_000.0;
+        // 127 taps over 6000 samples takes the FFT path.
+        let f = Fir::lowpass(127, 1_000.0, fs_hz, Window::Hamming).unwrap();
+        let x: Vec<f64> = (0..6_000).map(|i| ((i * 17 + 3) % 29) as f64 - 14.0).collect();
+        assert!(crate::fastconv::fft_pays_off(x.len(), f.taps().len()));
+        let fft = f.filter(&x);
+        let dir = f.filter_direct(&x);
+        assert_eq!(fft.len(), dir.len());
+        for (a, b) in fft.iter().zip(&dir) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn complex_filter_matches_separate_re_im() {
+        use num_complex::Complex64;
+        let f = Fir::lowpass(127, 2_000.0, 48_000.0, Window::Hamming).unwrap();
+        let x: Vec<Complex64> = (0..5_000)
+            .map(|i| Complex64::new(((i * 7) % 13) as f64 - 6.0, ((i * 11) % 17) as f64 - 8.0))
+            .collect();
+        let re: Vec<f64> = x.iter().map(|c| c.re).collect();
+        let im: Vec<f64> = x.iter().map(|c| c.im).collect();
+        let yre = f.filter_direct(&re);
+        let yim = f.filter_direct(&im);
+        let yc = f.filter_complex(&x);
+        for ((c, &r), &i) in yc.iter().zip(&yre).zip(&yim) {
+            assert!((c.re - r).abs() < 1e-9);
+            assert!((c.im - i).abs() < 1e-9);
+        }
     }
 
     #[test]

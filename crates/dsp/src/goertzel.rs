@@ -5,26 +5,58 @@
 use num_complex::Complex64;
 use std::f64::consts::TAU;
 
+/// A Goertzel detector for one fixed `(freq_hz, fs_hz)` bin.
+///
+/// The recurrence coefficient and end-correction trig are computed once at
+/// construction, so a receiver evaluating the same bin packet after packet
+/// (e.g. the FSK downlink decoder or the recto-piezo frequency sweep) pays
+/// no per-call trigonometry beyond the final phase-reference rotation.
+#[derive(Debug, Clone, Copy)]
+pub struct GoertzelBin {
+    w: f64,
+    coeff: f64,
+    cos_w: f64,
+    sin_w: f64,
+}
+
+impl GoertzelBin {
+    /// Plan a detector for `freq_hz` at sample rate `fs_hz`.
+    pub fn new(freq_hz: f64, fs_hz: f64) -> Self {
+        let w = TAU * freq_hz / fs_hz;
+        GoertzelBin {
+            w,
+            coeff: 2.0 * w.cos(),
+            cos_w: w.cos(),
+            sin_w: w.sin(),
+        }
+    }
+
+    /// Complex DFT coefficient of `signal` at this bin (not normalised by N).
+    pub fn evaluate(&self, signal: &[f64]) -> Complex64 {
+        let n = signal.len();
+        if n == 0 {
+            return Complex64::new(0.0, 0.0);
+        }
+        let (mut s_prev, mut s_prev2) = (0.0_f64, 0.0_f64);
+        for &x in signal {
+            let s = x + self.coeff * s_prev - s_prev2;
+            s_prev2 = s_prev;
+            s_prev = s;
+        }
+        // y[N-1] phase-referenced to the start of the block.
+        let real = s_prev - s_prev2 * self.cos_w;
+        let imag = s_prev2 * self.sin_w;
+        let raw = Complex64::new(real, imag);
+        // Rotate so the phase matches a DFT evaluated at sample index 0.
+        raw * Complex64::from_polar(1.0, -self.w * (n as f64 - 1.0))
+    }
+}
+
 /// Complex DFT coefficient of `signal` at `freq_hz` (not normalised by N).
+/// One-shot convenience over [`GoertzelBin`]; hoist the bin out of the loop
+/// when evaluating the same frequency repeatedly.
 pub fn goertzel(signal: &[f64], freq_hz: f64, fs_hz: f64) -> Complex64 {
-    let n = signal.len();
-    if n == 0 {
-        return Complex64::new(0.0, 0.0);
-    }
-    let w = TAU * freq_hz / fs_hz;
-    let coeff = 2.0 * w.cos();
-    let (mut s_prev, mut s_prev2) = (0.0_f64, 0.0_f64);
-    for &x in signal {
-        let s = x + coeff * s_prev - s_prev2;
-        s_prev2 = s_prev;
-        s_prev = s;
-    }
-    // y[N-1] phase-referenced to the start of the block.
-    let real = s_prev - s_prev2 * w.cos();
-    let imag = s_prev2 * w.sin();
-    let raw = Complex64::new(real, imag);
-    // Rotate so the phase matches a DFT evaluated at sample index 0.
-    raw * Complex64::from_polar(1.0, -w * (n as f64 - 1.0))
+    GoertzelBin::new(freq_hz, fs_hz).evaluate(signal)
 }
 
 /// Amplitude of the sinusoidal component at `freq_hz` (a unit sine reads 1.0,

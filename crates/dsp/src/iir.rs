@@ -123,28 +123,48 @@ impl Cascade {
         rev[pad..pad + n].to_vec()
     }
 
-    /// Filter a complex signal (real and imaginary parts independently).
+    /// Filter a complex signal. The real coefficients act on the real and
+    /// imaginary parts independently, so the biquads run directly on the
+    /// complex samples — numerically identical to filtering the two parts
+    /// separately, without splitting the buffer into two temporaries.
     pub fn filter_complex(&self, x: &[Complex64]) -> Vec<Complex64> {
-        let re: Vec<f64> = x.iter().map(|c| c.re).collect();
-        let im: Vec<f64> = x.iter().map(|c| c.im).collect();
-        let fr = self.filter(&re);
-        let fi = self.filter(&im);
-        fr.into_iter()
-            .zip(fi)
-            .map(|(r, i)| Complex64::new(r, i))
+        let zero = Complex64::new(0.0, 0.0);
+        let mut states = vec![(zero, zero); self.sections.len()];
+        x.iter()
+            .map(|&xi| {
+                let mut v = xi;
+                for (c, st) in self.sections.iter().zip(states.iter_mut()) {
+                    let y = v * c.b[0] + st.0;
+                    st.0 = v * c.b[1] - y * c.a[0] + st.1;
+                    st.1 = v * c.b[2] - y * c.a[1];
+                    v = y;
+                }
+                v
+            })
             .collect()
     }
 
-    /// Zero-phase filtering of a complex signal.
+    /// Zero-phase filtering of a complex signal, with the same
+    /// odd-reflection padding as [`Cascade::filtfilt`].
     pub fn filtfilt_complex(&self, x: &[Complex64]) -> Vec<Complex64> {
-        let re: Vec<f64> = x.iter().map(|c| c.re).collect();
-        let im: Vec<f64> = x.iter().map(|c| c.im).collect();
-        let fr = self.filtfilt(&re);
-        let fi = self.filtfilt(&im);
-        fr.into_iter()
-            .zip(fi)
-            .map(|(r, i)| Complex64::new(r, i))
-            .collect()
+        if x.is_empty() {
+            return Vec::new();
+        }
+        let pad = (3 * (2 * self.sections.len() + 1)).min(x.len().saturating_sub(1));
+        let n = x.len();
+        let mut ext = Vec::with_capacity(n + 2 * pad);
+        for i in (1..=pad).rev() {
+            ext.push(x[0] * 2.0 - x[i]);
+        }
+        ext.extend_from_slice(x);
+        for i in 1..=pad {
+            ext.push(x[n - 1] * 2.0 - x[n - 1 - i]);
+        }
+        let fwd = self.filter_complex(&ext);
+        let mut rev: Vec<Complex64> = fwd.into_iter().rev().collect();
+        rev = self.filter_complex(&rev);
+        rev.reverse();
+        rev[pad..pad + n].to_vec()
     }
 
     /// Magnitude response of the full cascade at `freq_hz`.
@@ -281,6 +301,25 @@ mod tests {
     use super::*;
     use crate::mix::tone;
     use crate::stats::rms;
+
+    #[test]
+    fn complex_filtering_matches_separate_re_im_bitwise() {
+        let lp = butter_lowpass(4, 2_000.0, 48_000.0).unwrap();
+        let x: Vec<Complex64> = (0..1_000)
+            .map(|i| Complex64::new(((i * 7) % 23) as f64 - 11.0, ((i * 13) % 19) as f64 - 9.0))
+            .collect();
+        let re: Vec<f64> = x.iter().map(|c| c.re).collect();
+        let im: Vec<f64> = x.iter().map(|c| c.im).collect();
+        for (complex_out, (r, i)) in [
+            (lp.filter_complex(&x), (lp.filter(&re), lp.filter(&im))),
+            (lp.filtfilt_complex(&x), (lp.filtfilt(&re), lp.filtfilt(&im))),
+        ] {
+            for ((c, &rr), &ii) in complex_out.iter().zip(&r).zip(&i) {
+                assert_eq!(c.re.to_bits(), rr.to_bits());
+                assert_eq!(c.im.to_bits(), ii.to_bits());
+            }
+        }
+    }
 
     #[test]
     fn lowpass_minus_3db_at_cutoff() {

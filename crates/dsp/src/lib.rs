@@ -34,11 +34,13 @@
 
 pub mod correlate;
 pub mod envelope;
+pub mod fastconv;
 pub mod fft;
 pub mod fir;
 pub mod goertzel;
 pub mod iir;
 pub mod mix;
+pub mod plan;
 pub mod resample;
 pub mod stats;
 pub mod window;

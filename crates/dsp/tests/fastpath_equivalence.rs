@@ -1,0 +1,115 @@
+//! Property tests pinning the FFT fast path to the direct reference
+//! implementations across random lengths straddling the overlap-save
+//! crossover (`FFT_CROSSOVER_TAPS`), so the dispatch in
+//! `cross_correlate` / `normalized_cross_correlate` / `Fir::filter`
+//! can never silently change numerics by more than 1e-9.
+
+use num_complex::Complex64;
+use pab_dsp::correlate::{
+    cross_correlate, cross_correlate_complex, cross_correlate_complex_direct,
+    cross_correlate_direct, normalized_cross_correlate, normalized_cross_correlate_direct,
+};
+use pab_dsp::fastconv::FFT_CROSSOVER_TAPS;
+use pab_dsp::fir::Fir;
+use pab_dsp::window::Window;
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn random_signal(rng: &mut ChaCha8Rng, n: usize) -> Vec<f64> {
+    (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Plain correlation: FFT path equals the direct O(N·M) loop.
+    /// Kernel lengths are drawn across the crossover (half below
+    /// `FFT_CROSSOVER_TAPS`, half above), so both dispatch arms and the
+    /// boundary itself get exercised.
+    #[test]
+    fn cross_correlate_matches_direct(
+        sig_len in 16usize..4096,
+        tpl_len in 1usize..(3 * FFT_CROSSOVER_TAPS),
+        seed in any::<u64>(),
+    ) {
+        let tpl_len = tpl_len.min(sig_len);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let s = random_signal(&mut rng, sig_len);
+        let t = random_signal(&mut rng, tpl_len);
+        let fast = cross_correlate(&s, &t);
+        let slow = cross_correlate_direct(&s, &t);
+        prop_assert_eq!(fast.len(), slow.len());
+        // Tolerance scales with the dot-product length (units cancel:
+        // inputs are O(1)).
+        let tol = 1e-9 * tpl_len as f64;
+        for (a, b) in fast.iter().zip(&slow) {
+            prop_assert!((a - b).abs() < tol, "{a} vs {b}");
+        }
+    }
+
+    /// Normalised correlation: FFT numerator + running-sum energy equals
+    /// the direct per-lag normalisation.
+    #[test]
+    fn normalized_cross_correlate_matches_direct(
+        sig_len in 16usize..4096,
+        tpl_len in 2usize..(3 * FFT_CROSSOVER_TAPS),
+        seed in any::<u64>(),
+    ) {
+        let tpl_len = tpl_len.min(sig_len);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let s = random_signal(&mut rng, sig_len);
+        let t = random_signal(&mut rng, tpl_len);
+        let fast = normalized_cross_correlate(&s, &t);
+        let slow = normalized_cross_correlate_direct(&s, &t);
+        prop_assert_eq!(fast.len(), slow.len());
+        for (a, b) in fast.iter().zip(&slow) {
+            prop_assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    /// Complex correlation (the CFO-tolerant preamble search).
+    #[test]
+    fn cross_correlate_complex_matches_direct(
+        sig_len in 16usize..2048,
+        tpl_len in 1usize..(3 * FFT_CROSSOVER_TAPS),
+        seed in any::<u64>(),
+    ) {
+        let tpl_len = tpl_len.min(sig_len);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let s: Vec<Complex64> = (0..sig_len)
+            .map(|_| Complex64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .collect();
+        let t: Vec<Complex64> = (0..tpl_len)
+            .map(|_| Complex64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .collect();
+        let fast = cross_correlate_complex(&s, &t);
+        let slow = cross_correlate_complex_direct(&s, &t);
+        prop_assert_eq!(fast.len(), slow.len());
+        let tol = 1e-9 * tpl_len as f64;
+        for (a, b) in fast.iter().zip(&slow) {
+            prop_assert!((a - b).norm() < tol, "{a} vs {b}");
+        }
+    }
+
+    /// FIR filtering: overlap-save "same" convolution equals the direct
+    /// causal loop for designed low-pass taps.
+    #[test]
+    fn fir_filter_matches_direct(
+        sig_len in 16usize..4096,
+        taps in 3usize..(3 * FFT_CROSSOVER_TAPS),
+        seed in any::<u64>(),
+    ) {
+        // Odd tap counts only (the designer requires symmetry).
+        let taps = if taps % 2 == 0 { taps + 1 } else { taps };
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let s = random_signal(&mut rng, sig_len);
+        let f = Fir::lowpass(taps, 4_000.0, 48_000.0, Window::Hamming).unwrap();
+        let fast = f.filter(&s);
+        let slow = f.filter_direct(&s);
+        prop_assert_eq!(fast.len(), slow.len());
+        for (a, b) in fast.iter().zip(&slow) {
+            prop_assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+}

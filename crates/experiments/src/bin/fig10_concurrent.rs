@@ -8,7 +8,9 @@
 
 use pab_channel::Position;
 use pab_core::network::{ConcurrentConfig, ConcurrentSimulator};
-use pab_experiments::{banner, write_csv};
+use pab_experiments::{banner, sweep, write_csv};
+
+const BASE_SEED: u64 = 10;
 
 fn main() {
     banner(
@@ -32,19 +34,26 @@ fn main() {
         "{:>4} {:>16} {:>16} {:>12} {:>8}",
         "loc", "before (dB)", "after (dB)", "crc ok", "cond"
     );
+    // One sweep point per placement; each point is a fully independent
+    // three-slot experiment with a derived-seed noise stream.
+    let reports = sweep::run(placements.to_vec(), |i, (n1, n2, h)| {
+        let cfg = ConcurrentConfig {
+            node1_pos: n1,
+            node2_pos: n2,
+            hydrophone_pos: h,
+            seed: sweep::derive_seed(BASE_SEED, i as u64),
+            ..Default::default()
+        };
+        let mut sim = ConcurrentSimulator::new(cfg).expect("sim");
+        sim.run()
+    });
+
     let mut rows = Vec::new();
     let mut improved = 0;
     let mut after_above_3 = 0;
     let mut measured = 0;
-    for (i, (n1, n2, h)) in placements.iter().enumerate() {
-        let cfg = ConcurrentConfig {
-            node1_pos: *n1,
-            node2_pos: *n2,
-            hydrophone_pos: *h,
-            ..Default::default()
-        };
-        let mut sim = ConcurrentSimulator::new(cfg).expect("sim");
-        match sim.run() {
+    for (i, report) in reports.into_iter().enumerate() {
+        match report {
             Ok(r) => {
                 measured += 1;
                 let worst_before = r.sinr_before_db[0].min(r.sinr_before_db[1]);

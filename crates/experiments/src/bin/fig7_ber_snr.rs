@@ -8,10 +8,15 @@
 //! levels; each trial's SNR is the receiver's own estimate (squared
 //! channel estimate over residual noise power); BER is the fraction of
 //! wrong bits against the known transmitted packet.
+//!
+//! The (bitrate × sigma) grid fans out across cores on the deterministic
+//! sweep engine: every cell runs its trials on a private RNG seeded by
+//! `derive_seed(BASE_SEED, cell_index)`, so the binned totals are
+//! bit-identical whether the sweep ran on one thread or sixteen.
 
 use pab_core::receiver::Receiver;
 use pab_channel::noise::add_awgn;
-use pab_experiments::{banner, write_csv};
+use pab_experiments::{banner, sweep, write_csv};
 use pab_net::packet::{SensorKind, UplinkPacket};
 use pab_net::{bits, fm0};
 use rand::Rng;
@@ -49,53 +54,63 @@ fn synth(
         .collect()
 }
 
+/// 1-dB bins from 0 to 18 dB.
+const BINS: usize = 19;
+const BASE_SEED: u64 = 42;
+
+/// Run one (bitrate, sigma) grid cell: all its trials on a derived-seed
+/// RNG, returning per-bin (error, total) counts.
+fn run_cell(index: usize, bitrate: f64, sigma: f64) -> ([u64; BINS], [u64; BINS]) {
+    let rx = Receiver::default();
+    let fs_hz = rx.fs_hz;
+    let mut rng = ChaCha8Rng::seed_from_u64(sweep::derive_seed(BASE_SEED, index as u64));
+    let mut errors = [0u64; BINS];
+    let mut total = [0u64; BINS];
+    let trials_per_cell = 18;
+    for t in 0..trials_per_cell {
+        let value = rng.gen_range(-20.0..20.0);
+        let packet =
+            UplinkPacket::sensor_reading((t % 250) as u8, t as u8, SensorKind::Ph, value);
+        let expected = packet.to_bits().unwrap();
+        let mut w = synth(&packet, bitrate, fs_hz, 1.0, 0.4);
+        add_awgn(&mut w, sigma, &mut rng);
+        let Ok(d) = rx.decode_uplink(&w, 15_000.0, bitrate) else {
+            continue; // detection failure: not binnable by SNR
+        };
+        let snr = d.snr_db;
+        if !snr.is_finite() || snr < -0.5 {
+            continue;
+        }
+        let bin = (snr.round().max(0.0) as usize).min(BINS - 1);
+        let n = expected.len().min(d.bits.len());
+        let errs =
+            bits::hamming_distance(&expected[..n], &d.bits[..n]) + (expected.len() - n);
+        errors[bin] += errs as u64;
+        total[bin] += expected.len() as u64;
+    }
+    (errors, total)
+}
+
 fn main() {
     banner(
         "Fig. 7 — BER vs SNR",
         "decodable from ~2 dB; BER ~1e-5 above ~11 dB (packet-size floor)",
     );
-    let rx = Receiver::default();
-    let fs_hz = rx.fs_hz;
-    let mut rng = ChaCha8Rng::seed_from_u64(42);
-
-    // 1-dB bins from 0 to 18 dB.
-    const BINS: usize = 19;
-    let mut errors = [0u64; BINS];
-    let mut total = [0u64; BINS];
 
     let bitrates = [512.0, 1024.0, 2048.0, 2730.67];
     let sigmas = [
         0.3, 0.5, 0.7, 0.9, 1.1, 1.4, 1.7, 2.0, 2.4, 2.8, 3.3,
     ];
-    let trials_per_cell = 18;
+    let cells = sweep::grid2(&bitrates, &sigmas);
+    let per_cell = sweep::run(cells, |i, (bitrate, sigma)| run_cell(i, bitrate, sigma));
 
-    for &bitrate in &bitrates {
-        for &sigma in &sigmas {
-            for t in 0..trials_per_cell {
-                let value = rng.gen_range(-20.0..20.0);
-                let packet = UplinkPacket::sensor_reading(
-                    (t % 250) as u8,
-                    t as u8,
-                    SensorKind::Ph,
-                    value,
-                );
-                let expected = packet.to_bits().unwrap();
-                let mut w = synth(&packet, bitrate, fs_hz, 1.0, 0.4);
-                add_awgn(&mut w, sigma, &mut rng);
-                let Ok(d) = rx.decode_uplink(&w, 15_000.0, bitrate) else {
-                    continue; // detection failure: not binnable by SNR
-                };
-                let snr = d.snr_db;
-                if !snr.is_finite() || snr < -0.5 {
-                    continue;
-                }
-                let bin = (snr.round().max(0.0) as usize).min(BINS - 1);
-                let n = expected.len().min(d.bits.len());
-                let errs = bits::hamming_distance(&expected[..n], &d.bits[..n])
-                    + (expected.len() - n);
-                errors[bin] += errs as u64;
-                total[bin] += expected.len() as u64;
-            }
+    // Merge cell histograms in point order.
+    let mut errors = [0u64; BINS];
+    let mut total = [0u64; BINS];
+    for (e, t) in per_cell {
+        for b in 0..BINS {
+            errors[b] += e[b];
+            total[b] += t[b];
         }
     }
 

@@ -11,8 +11,10 @@
 
 use pab_core::link::{LinkConfig, LinkSimulator};
 use pab_dsp::stats;
-use pab_experiments::{banner, write_csv};
+use pab_experiments::{banner, sweep, write_csv};
 use pab_net::packet::Command;
+
+const BASE_SEED: u64 = 8;
 
 fn main() {
     banner(
@@ -27,30 +29,35 @@ fn main() {
         "{:>12} {:>12} {:>10} {:>8} {:>8}",
         "target (bps)", "actual (bps)", "SNR (dB)", "std", "decoded"
     );
+    // One sweep point per (target, trial); trials keep the paper's slight
+    // placement variation while the RNG seed derives from the point index.
+    let trials: [u64; 3] = [1, 2, 3];
+    let points = sweep::grid2(&targets, &trials);
+    let per_point = sweep::run(points, |i, (target, trial)| {
+        let cfg = LinkConfig {
+            bitrate_target_bps: target,
+            seed: sweep::derive_seed(BASE_SEED, i as u64),
+            // Slight placement variation between trials, as in the
+            // paper's repeated experiments.
+            node_pos: pab_channel::Position::new(1.5 + 0.02 * trial as f64, 1.5, 0.6),
+            ..Default::default()
+        };
+        let mut sim = LinkSimulator::new(cfg).expect("link");
+        let actual = sim.bitrate_bps();
+        let report = sim.run_query(Command::Ping).expect("run");
+        (actual, report.snr_db, report.crc_ok)
+    });
+
     let mut rows = Vec::new();
-    for &target in &targets {
-        let mut snrs = Vec::new();
-        let mut decoded = 0u32;
-        let mut actual = target;
-        for seed in 1..=3u64 {
-            let cfg = LinkConfig {
-                bitrate_target_bps: target,
-                seed,
-                // Slight placement variation between trials, as in the
-                // paper's repeated experiments.
-                node_pos: pab_channel::Position::new(1.5 + 0.02 * seed as f64, 1.5, 0.6),
-                ..Default::default()
-            };
-            let mut sim = LinkSimulator::new(cfg).expect("link");
-            actual = sim.bitrate_bps();
-            let report = sim.run_query(Command::Ping).expect("run");
-            if report.snr_db.is_finite() {
-                snrs.push(report.snr_db);
-            }
-            if report.crc_ok {
-                decoded += 1;
-            }
-        }
+    for (ti, &target) in targets.iter().enumerate() {
+        let cell = &per_point[ti * trials.len()..(ti + 1) * trials.len()];
+        let actual = cell.last().map(|&(a, _, _)| a).unwrap_or(target);
+        let snrs: Vec<f64> = cell
+            .iter()
+            .filter(|(_, snr, _)| snr.is_finite())
+            .map(|&(_, snr, _)| snr)
+            .collect();
+        let decoded = cell.iter().filter(|&&(_, _, ok)| ok).count();
         let mean = stats::mean(&snrs);
         let sd = stats::std_dev(&snrs);
         rows.push(format!("{target},{actual:.1},{mean:.2},{sd:.2},{decoded}"));

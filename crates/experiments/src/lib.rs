@@ -18,6 +18,8 @@
 //! Run them all with `for b in fig2_waveform fig3_rectopiezo ...; do
 //! cargo run --release -p pab-experiments --bin $b; done`.
 
+pub mod sweep;
+
 use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};

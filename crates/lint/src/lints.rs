@@ -18,7 +18,10 @@ pub const LIB_SCOPE: &[&str] = &[
 pub const UNIT_SCOPE: &[&str] = &["analog", "channel", "core", "dsp", "piezo"];
 
 /// Crates where narrowing `as` casts must be bounded or waivered.
-pub const CAST_SCOPE: &[&str] = &["core", "dsp"];
+/// `mcu` is in scope because its register/timer emulation narrows to the
+/// MSP430's `u32`/`u16`/`i16` widths constantly — exactly where a silent
+/// truncation becomes a firmware-fidelity bug.
+pub const CAST_SCOPE: &[&str] = &["core", "dsp", "mcu"];
 
 /// Unit suffixes accepted on public `f64` parameters. The long forms
 /// from the convention doc plus the SI shorthand the codebase already
@@ -163,9 +166,12 @@ pub fn no_wallclock_no_threadrng(file: &ScannedFile) -> Vec<Violation> {
     out
 }
 
-/// `lossy-cast`: narrowing `as f32` / `as usize` casts silently truncate
-/// or lose precision. A cast is accepted when the same line visibly
-/// bounds or rounds the value (`.clamp(`, `.min(`, `.max(`, `.floor()`,
+/// `lossy-cast`: narrowing `as f32` / `as usize` / `as u32` / `as i16`
+/// casts silently truncate or lose precision (`as u32`/`as i16` are the
+/// MCU emulation's register widths, where a float or wide counter
+/// wrapping into a 16-bit timer compare register is a classic silent
+/// firmware bug). A cast is accepted when the same line visibly bounds
+/// or rounds the value (`.clamp(`, `.min(`, `.max(`, `.floor()`,
 /// `.ceil()`, `.round()`) or carries a waiver.
 pub fn lossy_cast(file: &ScannedFile) -> Vec<Violation> {
     const GUARDS: &[&str] = &[".clamp(", ".min(", ".max(", ".floor()", ".ceil()", ".round()"];
@@ -174,7 +180,7 @@ pub fn lossy_cast(file: &ScannedFile) -> Vec<Violation> {
         if line.in_test {
             continue;
         }
-        for pat in [" as f32", " as usize"] {
+        for pat in [" as f32", " as usize", " as u32", " as i16"] {
             if !line.code.contains(pat) {
                 continue;
             }
@@ -417,6 +423,27 @@ mod tests {
         assert_eq!(v.len(), 2);
         assert_eq!(v[0].line, 1);
         assert_eq!(v[1].line, 5);
+    }
+
+    #[test]
+    fn lossy_cast_covers_mcu_register_widths() {
+        let f = scan_str(
+            "crates/mcu/src/x.rs",
+            "let a = ticks as u32;\n\
+             let b = sample as i16;\n\
+             let c = v.clamp(-32768.0, 32767.0) as i16;\n\
+             let d = n as u32; // lint: allow(lossy-cast) divider <= 2^16 by construction\n\
+             let e = big as u64;",
+        );
+        let v = lossy_cast(&f);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert_eq!(v[0].line, 1);
+        assert_eq!(v[1].line, 2);
+    }
+
+    #[test]
+    fn cast_scope_includes_mcu() {
+        assert!(CAST_SCOPE.contains(&"mcu"));
     }
 
     #[test]

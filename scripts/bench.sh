@@ -1,0 +1,47 @@
+#!/usr/bin/env sh
+# Run the Criterion DSP suite plus a fig7 wall-clock timing and emit a
+# machine-readable JSON map (kernel name -> mean ns, plus the end-to-end
+# figure time) to stdout-visible file $1 (default: bench_run.json).
+#
+# Record a before/after pair across a perf change by running this once on
+# each commit and diffing the JSONs; BENCH_PR3.json in the repo root is
+# such a pair for the fast-path PR, assembled from two runs.
+set -eu
+
+cd "$(dirname "$0")/.."
+out="${1:-bench_run.json}"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+echo "==> cargo bench -p pab-bench --bench dsp"
+cargo bench -p pab-bench --bench dsp | tee "$tmp"
+
+echo "==> timing fig7_ber_snr (release wall-clock)"
+cargo build --release -p pab-experiments --bin fig7_ber_snr >/dev/null 2>&1
+t0=$(date +%s.%N)
+./target/release/fig7_ber_snr >/dev/null
+t1=$(date +%s.%N)
+fig7_s=$(echo "$t0 $t1" | awk '{printf "%.3f", $2 - $1}')
+echo "fig7_ber_snr wall-clock: ${fig7_s} s"
+
+# Parse the criterion shim's report lines:
+#   <id>  <value> <unit>  [<n> iters]  (<rate>)
+awk -v fig7="$fig7_s" '
+BEGIN { print "{"; print "  \"kernels_ns\": {"; first = 1 }
+/\[[0-9]+ iters\]/ {
+    id = $1; v = $2; u = $3
+    if (u == "s")       f = 1e9
+    else if (u == "ms") f = 1e6
+    else if (u == "µs") f = 1e3
+    else                f = 1
+    if (!first) printf(",\n")
+    first = 0
+    printf("    \"%s\": %.1f", id, v * f)
+}
+END {
+    print "\n  },"
+    printf("  \"fig7_ber_snr_wall_s\": %s\n", fig7)
+    print "}"
+}' "$tmp" > "$out"
+
+echo "==> wrote $out"

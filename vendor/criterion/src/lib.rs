@@ -167,6 +167,24 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    /// Accepted for API compatibility; the shim's fixed warm-up/measure
+    /// windows ignore the requested sample count.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim keeps its fixed
+    /// measurement window so local runs stay quick.
+    pub fn measurement_time(&mut self, _time: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim keeps its fixed warm-up
+    /// window.
+    pub fn warm_up_time(&mut self, _time: Duration) -> &mut Self {
+        self
+    }
+
     /// Run one named benchmark inside the group.
     pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
     where

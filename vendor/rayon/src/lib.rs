@@ -1,0 +1,188 @@
+//! Offline, API-compatible subset of the `rayon` data-parallelism crate.
+//!
+//! The build environment has no crates.io access, so this shim implements
+//! exactly the surface the PAB workspace uses — `Vec::into_par_iter()`
+//! followed by `.map(..).collect::<Vec<_>>()`, plus
+//! [`current_num_threads`] — on plain `std::thread::scope`. Two contracts
+//! the real rayon also honours, and which the deterministic sweep engine
+//! (`pab-experiments::sweep`) relies on:
+//!
+//! * **Order stability** — `collect()` returns results in the order of the
+//!   input items, no matter how work was scheduled across threads.
+//! * **Pure fan-out** — the mapping closure runs exactly once per item.
+//!
+//! Work is split into contiguous chunks, one scoped thread per chunk, and
+//! the chunk outputs are stitched back together by chunk index. There is
+//! no work stealing; for the coarse-grained simulation sweeps this shim
+//! exists for (hundreds of milliseconds to seconds per item), chunk
+//! imbalance is dwarfed by per-item cost.
+
+use std::num::NonZeroUsize;
+use std::sync::Mutex;
+
+/// Number of worker threads a parallel iterator will fan out across
+/// (the machine's available parallelism; 1 if that cannot be queried).
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// The traits a caller needs in scope, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::iter::IntoParallelIterator;
+}
+
+pub mod iter {
+    //! Parallel-iterator types: `Vec<T> -> VecParIter<T> -> VecParMap<T, F>`.
+
+    use super::execute_chunked;
+
+    /// Conversion into a parallel iterator, mirroring
+    /// `rayon::iter::IntoParallelIterator`.
+    pub trait IntoParallelIterator {
+        /// Item produced by the iterator.
+        type Item: Send;
+        /// The concrete parallel iterator.
+        type Iter;
+        /// Convert `self` into a parallel iterator.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        type Iter = VecParIter<T>;
+        fn into_par_iter(self) -> VecParIter<T> {
+            VecParIter { items: self }
+        }
+    }
+
+    /// A parallel iterator over an owned `Vec`.
+    #[derive(Debug)]
+    pub struct VecParIter<T> {
+        items: Vec<T>,
+    }
+
+    impl<T: Send> VecParIter<T> {
+        /// Lazily attach a mapping operation; nothing runs until
+        /// [`VecParMap::collect`].
+        pub fn map<R, F>(self, op: F) -> VecParMap<T, F>
+        where
+            R: Send,
+            F: Fn(T) -> R + Sync,
+        {
+            VecParMap {
+                items: self.items,
+                op,
+            }
+        }
+    }
+
+    /// A mapped parallel iterator; [`collect`](VecParMap::collect) runs the
+    /// fan-out.
+    #[derive(Debug)]
+    pub struct VecParMap<T, F> {
+        items: Vec<T>,
+        op: F,
+    }
+
+    impl<T, F> VecParMap<T, F> {
+        /// Run the map across threads and gather results **in input
+        /// order**.
+        pub fn collect<C, R>(self) -> C
+        where
+            T: Send,
+            R: Send,
+            F: Fn(T) -> R + Sync,
+            C: From<Vec<R>>,
+        {
+            C::from(execute_chunked(self.items, &self.op))
+        }
+    }
+}
+
+/// Map `op` over `items` on up to [`current_num_threads`] scoped threads,
+/// returning outputs in input order.
+fn execute_chunked<T, R, F>(items: Vec<T>, op: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = current_num_threads().min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        return items.into_iter().map(op).collect();
+    }
+    let chunk_len = n.div_ceil(threads);
+    let mut chunks: Vec<(usize, Vec<T>)> = Vec::with_capacity(threads);
+    let mut rest = items;
+    let mut idx = 0usize;
+    while !rest.is_empty() {
+        let tail = rest.split_off(chunk_len.min(rest.len()));
+        chunks.push((idx, rest));
+        rest = tail;
+        idx += 1;
+    }
+    let gathered: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::with_capacity(chunks.len()));
+    std::thread::scope(|scope| {
+        for (ci, chunk) in chunks {
+            let gathered = &gathered;
+            scope.spawn(move || {
+                let out: Vec<R> = chunk.into_iter().map(op).collect();
+                gathered
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .push((ci, out));
+            });
+        }
+    });
+    let mut parts = gathered
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    parts.sort_by_key(|&(ci, _)| ci);
+    parts.into_iter().flat_map(|(_, v)| v).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_input_order() {
+        let input: Vec<u64> = (0..1000).collect();
+        let out: Vec<u64> = input.clone().into_par_iter().map(|x| x * 3 + 1).collect();
+        let expected: Vec<u64> = input.into_iter().map(|x| x * 3 + 1).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn runs_once_per_item() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let calls = AtomicUsize::new(0);
+        let out: Vec<usize> = (0..97usize)
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .map(|x| {
+                calls.fetch_add(1, Ordering::SeqCst);
+                x
+            })
+            .collect();
+        assert_eq!(out.len(), 97);
+        assert_eq!(calls.load(Ordering::SeqCst), 97);
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: Vec<i32> = Vec::new();
+        let out: Vec<i32> = empty.into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+        let one: Vec<i32> = vec![7].into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(one, vec![8]);
+    }
+
+    #[test]
+    fn current_num_threads_is_positive() {
+        assert!(super::current_num_threads() >= 1);
+    }
+}

@@ -6,9 +6,18 @@
 //! Bluestein's chirp-z algorithm on top of it, so — like real rustfft —
 //! **all sizes are supported**. Matching rustfft semantics, neither
 //! direction normalises: callers scale the inverse by `1/N` themselves.
+//!
+//! Like real rustfft, **planning is where the setup cost lives**: a plan
+//! precomputes its bit-reversal permutation, per-stage twiddle tables and
+//! (for Bluestein sizes) the chirp sequence and the transformed chirp
+//! filter, so `process` does no trigonometry at all. Callers that reuse
+//! plans (see `pab_dsp::plan::PlanCache`) amortise that setup across
+//! calls; the planner itself also shares radix-2 tables between plans of
+//! equal length.
 
 pub use num_complex;
 use num_complex::Complex64;
+use std::collections::HashMap;
 use std::f64::consts::PI;
 use std::sync::Arc;
 
@@ -33,9 +42,91 @@ pub trait Fft: Send + Sync {
     }
 }
 
+/// Precomputed radix-2 machinery for one power-of-two length: the
+/// bit-reversal swap list and the forward twiddle factors of every
+/// butterfly stage (the inverse pass conjugates on the fly).
+struct Radix2Tables {
+    n: usize,
+    /// `(i, j)` pairs with `i < j` to swap during bit-reversal.
+    swaps: Vec<(u32, u32)>,
+    /// Stage `s` (1-based) uses `twiddles[s-1]`, a table of `2^(s-1)`
+    /// forward factors `exp(-iπt/half)`.
+    twiddles: Vec<Vec<Complex64>>,
+}
+
+impl Radix2Tables {
+    fn new(n: usize) -> Self {
+        debug_assert!(n.is_power_of_two() && n >= 2);
+        let levels = n.trailing_zeros();
+        let mut swaps = Vec::new();
+        let mut j = 0usize;
+        for i in 0..n {
+            if i < j {
+                swaps.push((i as u32, j as u32));
+            }
+            let mut mask = n >> 1;
+            while j & mask != 0 {
+                j &= !mask;
+                mask >>= 1;
+            }
+            j |= mask;
+        }
+        let twiddles = (1..=levels)
+            .map(|s| {
+                let half = 1usize << (s - 1);
+                (0..half)
+                    .map(|t| Complex64::from_polar(1.0, -PI * t as f64 / half as f64))
+                    .collect()
+            })
+            .collect();
+        Radix2Tables { n, swaps, twiddles }
+    }
+
+    fn process(&self, buf: &mut [Complex64], direction: FftDirection) {
+        debug_assert_eq!(buf.len(), self.n);
+        for &(i, j) in &self.swaps {
+            buf.swap(i as usize, j as usize);
+        }
+        let conj = direction == FftDirection::Inverse;
+        for stage in &self.twiddles {
+            let half = stage.len();
+            let m = half << 1;
+            let mut k = 0;
+            while k < self.n {
+                for (t, &tw) in stage.iter().enumerate() {
+                    let w = if conj { tw.conj() } else { tw };
+                    let u = buf[k + t];
+                    let v = buf[k + t + half] * w;
+                    buf[k + t] = u + v;
+                    buf[k + t + half] = u - v;
+                }
+                k += m;
+            }
+        }
+    }
+}
+
+/// Per-plan kernel: what `process` executes.
+enum Kernel {
+    /// Lengths 0 and 1 are identity transforms.
+    Identity,
+    Radix2(Arc<Radix2Tables>),
+    /// Bluestein chirp-z for non-power-of-two lengths: a length-`n` DFT
+    /// as a circular convolution of length `m = next_pow2(2n-1)`.
+    Bluestein {
+        /// `chirp[k] = exp(sign·iπk²/n)` for this plan's direction.
+        chirp: Vec<Complex64>,
+        /// Forward FFT of the chirp filter `b`, scaled by `1/m` so the
+        /// inverse pass needs no extra normalisation loop.
+        b_fft: Vec<Complex64>,
+        tables: Arc<Radix2Tables>,
+    },
+}
+
 struct PlannedFft {
     len: usize,
     direction: FftDirection,
+    kernel: Kernel,
 }
 
 impl Fft for PlannedFft {
@@ -47,7 +138,30 @@ impl Fft for PlannedFft {
             buffer.len(),
             self.len
         );
-        dft_in_place(buffer, self.direction);
+        match &self.kernel {
+            Kernel::Identity => {}
+            Kernel::Radix2(tables) => tables.process(buffer, self.direction),
+            Kernel::Bluestein {
+                chirp,
+                b_fft,
+                tables,
+            } => {
+                let n = self.len;
+                let m = tables.n;
+                let mut a = vec![Complex64::new(0.0, 0.0); m];
+                for k in 0..n {
+                    a[k] = buffer[k] * chirp[k];
+                }
+                tables.process(&mut a, FftDirection::Forward);
+                for (x, y) in a.iter_mut().zip(b_fft) {
+                    *x *= *y;
+                }
+                tables.process(&mut a, FftDirection::Inverse);
+                for (k, out) in buffer.iter_mut().enumerate() {
+                    *out = a[k] * chirp[k];
+                }
+            }
+        }
     }
 
     fn len(&self) -> usize {
@@ -55,140 +169,91 @@ impl Fft for PlannedFft {
     }
 }
 
-/// Plans FFTs of any size, mirroring `rustfft::FftPlanner`.
+/// Plans FFTs of any size, mirroring `rustfft::FftPlanner`. Radix-2
+/// tables are cached per length and shared across the plans this planner
+/// hands out.
 pub struct FftPlanner {
-    _private: (),
+    tables: HashMap<usize, Arc<Radix2Tables>>,
 }
 
 impl FftPlanner {
     /// Create a planner.
     pub fn new() -> Self {
-        FftPlanner { _private: () }
+        FftPlanner {
+            tables: HashMap::new(),
+        }
+    }
+
+    fn radix2_tables(&mut self, n: usize) -> Arc<Radix2Tables> {
+        self.tables
+            .entry(n)
+            .or_insert_with(|| Arc::new(Radix2Tables::new(n)))
+            .clone()
     }
 
     /// Plan a forward FFT of length `len`.
     pub fn plan_fft_forward(&mut self, len: usize) -> Arc<dyn Fft> {
-        Arc::new(PlannedFft {
-            len,
-            direction: FftDirection::Forward,
-        })
+        self.plan_fft(len, FftDirection::Forward)
     }
 
     /// Plan an unnormalised inverse FFT of length `len`.
     pub fn plan_fft_inverse(&mut self, len: usize) -> Arc<dyn Fft> {
-        Arc::new(PlannedFft {
-            len,
-            direction: FftDirection::Inverse,
-        })
+        self.plan_fft(len, FftDirection::Inverse)
     }
 
     /// Plan a transform with an explicit direction.
     pub fn plan_fft(&mut self, len: usize, direction: FftDirection) -> Arc<dyn Fft> {
-        Arc::new(PlannedFft { len, direction })
+        let kernel = if len <= 1 {
+            Kernel::Identity
+        } else if len.is_power_of_two() {
+            Kernel::Radix2(self.radix2_tables(len))
+        } else {
+            let n = len;
+            let sign = match direction {
+                FftDirection::Forward => -1.0,
+                FftDirection::Inverse => 1.0,
+            };
+            // chirp[k] = exp(sign·iπk²/n); reduce k² mod 2n to keep the
+            // phase argument small and accurate for large k.
+            let two_n = 2 * n as u64;
+            let chirp: Vec<Complex64> = (0..n as u64)
+                .map(|k| {
+                    let k2 = (k.wrapping_mul(k)) % two_n;
+                    Complex64::from_polar(1.0, sign * PI * k2 as f64 / n as f64)
+                })
+                .collect();
+            let m = (2 * n - 1).next_power_of_two();
+            let tables = self.radix2_tables(m);
+            let mut b = vec![Complex64::new(0.0, 0.0); m];
+            b[0] = chirp[0].conj();
+            for k in 1..n {
+                let c = chirp[k].conj();
+                b[k] = c;
+                b[m - k] = c;
+            }
+            tables.process(&mut b, FftDirection::Forward);
+            // Fold the 1/m convolution normalisation into the filter.
+            let scale = 1.0 / m as f64;
+            for x in &mut b {
+                *x *= scale;
+            }
+            Kernel::Bluestein {
+                chirp,
+                b_fft: b,
+                tables,
+            }
+        };
+        Arc::new(PlannedFft {
+            len,
+            direction,
+            kernel,
+        })
     }
 }
 
 impl Default for FftPlanner {
     fn default() -> Self {
         Self::new()
-    }
-}
-
-fn dft_in_place(buf: &mut [Complex64], direction: FftDirection) {
-    let n = buf.len();
-    if n <= 1 {
-        return;
-    }
-    if n.is_power_of_two() {
-        radix2_in_place(buf, direction);
-    } else {
-        bluestein(buf, direction);
-    }
-}
-
-/// Iterative radix-2 Cooley–Tukey with bit-reversal permutation.
-fn radix2_in_place(buf: &mut [Complex64], direction: FftDirection) {
-    let n = buf.len();
-    debug_assert!(n.is_power_of_two());
-    let levels = n.trailing_zeros();
-
-    // Bit-reversal permutation.
-    let mut j = 0usize;
-    for i in 0..n {
-        if i < j {
-            buf.swap(i, j);
-        }
-        let mut mask = n >> 1;
-        while j & mask != 0 {
-            j &= !mask;
-            mask >>= 1;
-        }
-        j |= mask;
-    }
-
-    let sign = match direction {
-        FftDirection::Forward => -1.0,
-        FftDirection::Inverse => 1.0,
-    };
-    for s in 1..=levels {
-        let m = 1usize << s;
-        let half = m >> 1;
-        let w_m = Complex64::from_polar(1.0, sign * PI / half as f64);
-        let mut k = 0;
-        while k < n {
-            let mut w = Complex64::new(1.0, 0.0);
-            for t in 0..half {
-                let u = buf[k + t];
-                let v = buf[k + t + half] * w;
-                buf[k + t] = u + v;
-                buf[k + t + half] = u - v;
-                w = w * w_m;
-            }
-            k += m;
-        }
-    }
-}
-
-/// Bluestein chirp-z transform: express a length-`n` DFT as a circular
-/// convolution of length `m ≥ 2n − 1` (power of two), computed by radix-2.
-fn bluestein(buf: &mut [Complex64], direction: FftDirection) {
-    let n = buf.len();
-    let sign = match direction {
-        FftDirection::Forward => -1.0,
-        FftDirection::Inverse => 1.0,
-    };
-    // chirp[k] = exp(sign * i * pi * k^2 / n); reduce k^2 mod 2n to keep
-    // the phase argument small and accurate for large k.
-    let two_n = 2 * n as u64;
-    let chirp: Vec<Complex64> = (0..n as u64)
-        .map(|k| {
-            let k2 = (k.wrapping_mul(k)) % two_n;
-            Complex64::from_polar(1.0, sign * PI * k2 as f64 / n as f64)
-        })
-        .collect();
-
-    let m = (2 * n - 1).next_power_of_two();
-    let mut a = vec![Complex64::new(0.0, 0.0); m];
-    for k in 0..n {
-        a[k] = buf[k] * chirp[k];
-    }
-    let mut b = vec![Complex64::new(0.0, 0.0); m];
-    b[0] = chirp[0].conj();
-    for k in 1..n {
-        let c = chirp[k].conj();
-        b[k] = c;
-        b[m - k] = c;
-    }
-
-    radix2_in_place(&mut a, FftDirection::Forward);
-    radix2_in_place(&mut b, FftDirection::Forward);
-    for (x, y) in a.iter_mut().zip(&b) {
-        *x = *x * *y;
-    }
-    radix2_in_place(&mut a, FftDirection::Inverse);
-    let scale = 1.0 / m as f64;
-    for (k, out) in buf.iter_mut().enumerate() {
-        *out = a[k] * scale * chirp[k];
     }
 }
 
@@ -245,6 +310,19 @@ mod tests {
     }
 
     #[test]
+    fn inverse_matches_naive_dft_arbitrary_sizes() {
+        for &n in &[3usize, 12, 100] {
+            let x = test_signal(n);
+            let mut y = x.clone();
+            FftPlanner::new().plan_fft_inverse(n).process(&mut y);
+            let want = naive_dft(&x, 1.0);
+            for (a, b) in y.iter().zip(&want) {
+                assert!((*a - *b).norm() < 1e-6 * (n as f64), "n={n}");
+            }
+        }
+    }
+
+    #[test]
     fn forward_then_inverse_recovers_input() {
         for &n in &[16usize, 48, 96_000 / 64] {
             let x = test_signal(n);
@@ -257,5 +335,22 @@ mod tests {
                 assert!((scaled - *b).norm() < 1e-8, "n={n}");
             }
         }
+    }
+
+    #[test]
+    fn plans_are_reusable_and_shareable() {
+        let mut planner = FftPlanner::new();
+        let plan = planner.plan_fft_forward(64);
+        let x = test_signal(64);
+        let mut y1 = x.clone();
+        let mut y2 = x.clone();
+        plan.process(&mut y1);
+        plan.process(&mut y2);
+        for (a, b) in y1.iter().zip(&y2) {
+            assert_eq!(a.re.to_bits(), b.re.to_bits());
+            assert_eq!(a.im.to_bits(), b.im.to_bits());
+        }
+        assert_eq!(plan.len(), 64);
+        assert!(!plan.is_empty());
     }
 }
