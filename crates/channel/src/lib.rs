@@ -15,7 +15,9 @@
 //! * [`propagation`] — applying a tapped-delay-line channel to sampled
 //!   pressure waveforms;
 //! * [`mobility`] — time-varying (Doppler) propagation for moving nodes,
-//!   one of the paper's §8 open challenges.
+//!   one of the paper's §8 open challenges;
+//! * [`faults`] — seeded, schedulable impairments (noise bursts, path
+//!   fades, node dropouts, carrier drift) composable onto any link.
 //!
 //! All randomness flows through caller-provided [`rand::Rng`]s so that
 //! simulations are deterministic and reproducible.
@@ -38,6 +40,7 @@
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
 
 
+pub mod faults;
 pub mod mobility;
 pub mod noise;
 pub mod pool;
@@ -45,6 +48,7 @@ pub mod propagation;
 pub mod spreading;
 pub mod water;
 
+pub use faults::{BroadbandBurst, DriftRamp, DropoutWindow, FaultSchedule, PathFade};
 pub use pool::{Pool, Position};
 pub use propagation::{MultipathChannel, Tap};
 pub use water::WaterProperties;

@@ -44,6 +44,7 @@
 
 pub mod baseline;
 pub mod collision;
+pub mod faultnet;
 pub mod firmware;
 pub mod link;
 pub mod multinode;
@@ -53,6 +54,7 @@ pub mod powerup;
 pub mod projector;
 pub mod receiver;
 
+pub use faultnet::{FaultNetConfig, FaultNetReport, FaultNetSimulator, FaultNodeSpec};
 pub use firmware::PabFirmware;
 pub use link::{LinkConfig, LinkReport, LinkSimulator};
 pub use node::PabNode;

@@ -90,6 +90,14 @@ pub struct LinkReport {
     pub ber: f64,
     /// Receiver-estimated SNR of the backscatter modulation, dB.
     pub snr_db: f64,
+    /// Whether the receiver found a packet preamble at all. `false` is an
+    /// *erasure* — the MAC-level signal that the node may be dead or
+    /// browned out, as opposed to `crc_ok == false` with a preamble
+    /// (noisy but alive).
+    pub preamble_found: bool,
+    /// Peak preamble correlation in [0, 1] (0.0 on erasure) — the margin
+    /// the MAC's link-quality estimator consumes.
+    pub preamble_corr: f64,
     /// Whether the node powered up.
     pub node_powered_up: bool,
     /// Node's peak rectified voltage, volts.
@@ -194,6 +202,17 @@ impl LinkSimulator {
             .expect("divider >= 1")
     }
 
+    /// Retune the node's uplink bitrate to the nearest watch-crystal
+    /// divider (the rate-ladder actuation path: the coordinator commands
+    /// a slower FM0 rate, the node reprograms its divider).
+    pub fn set_bitrate_target(&mut self, bitrate_bps: f64) -> Result<(), CoreError> {
+        let divider = Clock::watch_crystal()
+            .divider_for_bitrate(bitrate_bps)
+            .map_err(CoreError::Mcu)?;
+        self.node.default_divider = divider as u16;
+        Ok(())
+    }
+
     /// Expected response duration for a query, seconds.
     fn response_window_s(&self, payload_len: usize) -> f64 {
         let bits = UplinkPacket::bits_len(payload_len) as f64;
@@ -259,6 +278,111 @@ impl LinkSimulator {
         Ok(self.build_report(command, node_out, decoded, bitrate, recorded))
     }
 
+    /// Run one query/response exchange addressed to `dest` with a
+    /// [`FaultSchedule`](pab_channel::FaultSchedule) applied at the sample
+    /// level, the exchange starting at absolute simulation time
+    /// `t_start_s`:
+    ///
+    /// * **drift** offsets the projector's oscillator for the exchange
+    ///   (restored afterwards), on top of any configured static CFO;
+    /// * **fades** scale the node's path gain per sample, on both the
+    ///   downlink (projector→node) and uplink (node→hydrophone) legs —
+    ///   the direct projector→hydrophone path is geometry the fade does
+    ///   not model and stays clean;
+    /// * **dropouts** brown the node out: it neither decodes nor
+    ///   backscatters if the window overlaps the exchange;
+    /// * **bursts** add broadband noise at the hydrophone after ambient
+    ///   AWGN, keyed on absolute sample index so same-seed runs are
+    ///   bit-identical however slots are scheduled.
+    pub fn run_query_to_faulted(
+        &mut self,
+        dest: u8,
+        command: Command,
+        faults: &pab_channel::FaultSchedule,
+        t_start_s: f64,
+    ) -> Result<LinkReport, CoreError> {
+        let fs_hz = self.cfg.fs_hz;
+        let payload_len = match command {
+            Command::ReadSensor(_) => 4,
+            _ => 0,
+        };
+        let query = DownlinkQuery { dest, command };
+        let cw_tail = self.response_window_s(payload_len);
+
+        let drift_hz = faults.drift_hz_at(t_start_s);
+        let saved_cfo_hz = self.projector.cfo_hz;
+        self.projector.cfo_hz += drift_hz;
+        let wave = self
+            .projector
+            .query_waveform(&query, self.cfg.carrier_hz, cw_tail);
+        self.projector.cfo_hz = saved_cfo_hz;
+        let (tx_wave, _query_end) = wave?;
+
+        // Downlink leg, with the fade's time-varying gain on the node path.
+        let mut incident = self.ch_pn.apply(&tx_wave, fs_hz);
+        if !faults.is_quiet() {
+            for (i, s) in incident.iter_mut().enumerate() {
+                *s *= faults.gain_at(t_start_s + i as f64 / fs_hz);
+            }
+        }
+
+        // A brown-out anywhere in the exchange silences the node: it
+        // cannot hold charge through the window, so nothing decodes and
+        // nothing backscatters (the receiver will report an erasure).
+        let window_s = tx_wave.len() as f64 / fs_hz;
+        let node_out = if faults.node_down_during(t_start_s, t_start_s + window_s) {
+            NodeOutput {
+                powered_up: false,
+                rectified_v: 0.0,
+                switch_wave: vec![false; incident.len()],
+                backscatter: vec![vec![0.0; incident.len()]],
+                powered_at_s: None,
+                decoded_query: None,
+                responses_sent: 0,
+                bitrate_bps: self.bitrate_bps(),
+                average_power_w: 0.0,
+            }
+        } else {
+            self.node.process(
+                &[IncidentComponent {
+                    carrier_hz: self.cfg.carrier_hz,
+                    samples: incident,
+                }],
+                fs_hz,
+                Some(self.cfg.water),
+            )?
+        };
+
+        // Uplink leg: fade the backscatter source, then superpose with the
+        // clean direct path at the hydrophone.
+        let mut backscatter = node_out.backscatter[0].clone();
+        if !faults.is_quiet() {
+            for (i, s) in backscatter.iter_mut().enumerate() {
+                *s *= faults.gain_at(t_start_s + i as f64 / fs_hz);
+            }
+        }
+        let margin = (0.01 * fs_hz).floor() as usize;
+        let n_rx = backscatter.len() + margin;
+        let mut y = vec![0.0; n_rx];
+        self.ch_ph.apply_into(&mut y, &tx_wave, fs_hz);
+        self.ch_nh.apply_into(&mut y, &backscatter, fs_hz);
+
+        let sigma = self
+            .cfg
+            .noise
+            .rms_pressure_pa(self.cfg.carrier_hz, fs_hz / 2.0)?
+            * self.cfg.noise_scale;
+        add_awgn(&mut y, sigma, &mut self.rng);
+        faults.add_burst_noise(&mut y, t_start_s, fs_hz);
+
+        let recorded = self.receiver.record(&y);
+        let bitrate = self.bitrate_bps();
+        let decoded = self
+            .receiver
+            .decode_uplink(&recorded, self.cfg.carrier_hz, bitrate);
+        Ok(self.build_report(command, node_out, decoded, bitrate, recorded))
+    }
+
     fn build_report(
         &self,
         command: Command,
@@ -301,6 +425,8 @@ impl LinkSimulator {
                     packet,
                     ber,
                     snr_db: d.snr_db,
+                    preamble_found: true,
+                    preamble_corr: d.preamble_corr,
                     node_powered_up: node_out.powered_up,
                     node_rectified_v: node_out.rectified_v,
                     bitrate_bps: bitrate,
@@ -315,6 +441,8 @@ impl LinkSimulator {
                 packet: None,
                 ber: f64::NAN,
                 snr_db: f64::NEG_INFINITY,
+                preamble_found: false,
+                preamble_corr: 0.0,
                 node_powered_up: node_out.powered_up,
                 node_rectified_v: node_out.rectified_v,
                 bitrate_bps: bitrate,
@@ -478,6 +606,83 @@ mod tests {
         let report = sim.run_query_to(99, Command::Ping).unwrap();
         assert_eq!(report.node_output.responses_sent, 0);
         assert!(!report.crc_ok);
+    }
+
+    #[test]
+    fn quiet_fault_schedule_changes_nothing() {
+        let faults = pab_channel::FaultSchedule::default();
+        let mut a = LinkSimulator::new(LinkConfig::default()).unwrap();
+        let mut b = LinkSimulator::new(LinkConfig::default()).unwrap();
+        let clean = a.run_query(Command::Ping).unwrap();
+        let faulted = b
+            .run_query_to_faulted(7, Command::Ping, &faults, 12.5)
+            .unwrap();
+        assert!(faulted.crc_ok);
+        assert!(faulted.preamble_found);
+        assert_eq!(clean.received, faulted.received, "bit-identical waveform");
+    }
+
+    #[test]
+    fn dropout_window_produces_an_erasure() {
+        let faults = pab_channel::FaultSchedule::new(3)
+            .with_dropout(pab_channel::DropoutWindow {
+                start_s: 10.0,
+                duration_s: 60.0,
+            })
+            .unwrap();
+        let mut sim = LinkSimulator::new(LinkConfig::default()).unwrap();
+        // Inside the window: erasure (no preamble at all), not a CRC fail.
+        let report = sim
+            .run_query_to_faulted(7, Command::Ping, &faults, 30.0)
+            .unwrap();
+        assert!(!report.node_powered_up);
+        assert!(!report.preamble_found, "brown-out must erase, corr={}", report.preamble_corr);
+        // Outside the window the link is healthy again.
+        let report = sim
+            .run_query_to_faulted(7, Command::Ping, &faults, 80.0)
+            .unwrap();
+        assert!(report.crc_ok);
+    }
+
+    #[test]
+    fn deep_fade_breaks_the_link_only_inside_the_window() {
+        let faults = pab_channel::FaultSchedule::new(4)
+            .with_fade(pab_channel::PathFade {
+                start_s: 0.0,
+                duration_s: 1000.0,
+                floor_ratio: 1e-4,
+            })
+            .unwrap();
+        let mut sim = LinkSimulator::new(LinkConfig::default()).unwrap();
+        // Mid-fade (gain ~1e-4): the node cannot even power up.
+        let report = sim
+            .run_query_to_faulted(7, Command::Ping, &faults, 500.0)
+            .unwrap();
+        assert!(!report.crc_ok);
+        // Past the fade: healthy.
+        let report = sim
+            .run_query_to_faulted(7, Command::Ping, &faults, 1500.0)
+            .unwrap();
+        assert!(report.crc_ok);
+    }
+
+    #[test]
+    fn faulted_runs_are_bit_identical_across_invocations() {
+        let faults = pab_channel::FaultSchedule::new(9)
+            .with_burst(pab_channel::BroadbandBurst {
+                start_s: 0.0,
+                duration_s: 5.0,
+                rms_pa: 0.05,
+            })
+            .unwrap();
+        let run = || {
+            let mut sim = LinkSimulator::new(LinkConfig::default()).unwrap();
+            let r = sim
+                .run_query_to_faulted(7, Command::Ping, &faults, 0.5)
+                .unwrap();
+            r.received
+        };
+        assert_eq!(run(), run(), "fault layer must honor the determinism contract");
     }
 
     #[test]

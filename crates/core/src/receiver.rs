@@ -55,6 +55,10 @@ pub struct Decoded {
     pub start_sample: usize,
     /// Estimated SNR of the backscatter modulation, dB (§6.1 definition).
     pub snr_db: f64,
+    /// Peak normalized preamble correlation in [0, 1] — the detection
+    /// margin the MAC's link-quality estimator feeds on. Always ≥ 0.3
+    /// (the detection threshold) for a successfully decoded packet.
+    pub preamble_corr: f64,
     /// The demodulated envelope (diagnostics; the Fig. 2 waveform).
     pub envelope: Vec<f64>,
 }
@@ -389,6 +393,7 @@ impl Receiver {
 
         let mut decoded = self.slice_and_decode(&projected, start, fs2, bitrate_bps)?;
         decoded.start_sample = start * decim;
+        decoded.preamble_corr = peak_corr;
         Ok(decoded)
     }
 
@@ -432,6 +437,7 @@ impl Receiver {
         }
         let mut decoded = self.slice_and_decode(&centered, start, fs_hz, bitrate_bps)?;
         decoded.start_sample = start * decim;
+        decoded.preamble_corr = peak_corr;
         Ok(decoded)
     }
 
@@ -521,6 +527,20 @@ impl Receiver {
         let (mu_lo, mu_hi) = cluster_track(&soft);
         let halves = Self::ml_fm0_halves_adaptive(&soft, &mu_lo, &mu_hi);
         let bits = fm0::decode_lenient(&halves);
+
+        // Post-decode detection verification: the matched filter's
+        // normalized peak can exceed the 0.3 threshold on pure noise (the
+        // direct-path CW leaves a noise-like residual), which would let a
+        // silent node masquerade as a corrupted packet. A true packet —
+        // even a badly corrupted one — decodes its preamble bits nearly
+        // intact, while a false detection yields ~50% preamble mismatch;
+        // reject when more than a quarter of the preamble bits disagree.
+        let pre_len = UPLINK_PREAMBLE.len().min(bits.len());
+        let pre_err = pab_net::bits::hamming_distance(&bits[..pre_len], &UPLINK_PREAMBLE[..pre_len]);
+        if pre_len < UPLINK_PREAMBLE.len() || 4 * pre_err > UPLINK_PREAMBLE.len() {
+            return Err(CoreError::NoPacketDetected);
+        }
+
         let packet = UplinkPacket::from_bits(&bits);
 
         // SNR per §6.1: signal power = squared channel estimate (half the
@@ -551,6 +571,8 @@ impl Receiver {
             soft,
             start_sample: start,
             snr_db,
+            // Overwritten by the callers, which know the detection peak.
+            preamble_corr: 0.0,
             envelope: centered.to_vec(),
         })
     }

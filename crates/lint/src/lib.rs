@@ -10,6 +10,7 @@
 //! | `unit-suffix` | public `f64` parameters carry a unit suffix (`_hz`, `_pa`, `_volts`, `_secs`, `_db`, `_samples`, ...) |
 //! | `no-wallclock-no-threadrng` | no `SystemTime::now` / `Instant::now` / `thread_rng` / `from_entropy` in library code |
 //! | `lossy-cast` | `as f32` / `as usize` narrowing casts in `dsp`/`core` must be visibly bounded or waivered |
+//! | `no-unbounded-retry` | `while`/`loop` headers that retry/resend/backoff must reference a budget, limit or timeout |
 //!
 //! The linter is deliberately line/token-based (comment- and
 //! string-aware, `#[cfg(test)]`-aware) and has **zero dependencies**,
@@ -91,6 +92,7 @@ pub fn run_workspace(root: &Path) -> io::Result<Vec<Violation>> {
         let file = scan_file(root, &rel)?;
         violations.extend(lints::no_unwrap_in_lib(&file));
         violations.extend(lints::no_wallclock_no_threadrng(&file));
+        violations.extend(lints::no_unbounded_retry(&file));
         if lints::UNIT_SCOPE.contains(&file.crate_name.as_str()) {
             violations.extend(lints::unit_suffix(&file));
         }

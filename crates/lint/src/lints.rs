@@ -205,6 +205,57 @@ pub fn lossy_cast(file: &ScannedFile) -> Vec<Violation> {
     out
 }
 
+/// `no-unbounded-retry`: a retry loop in library code must name its
+/// bound. Any `while`/`loop` header whose condition mentions retrying
+/// (`retry`, `resend`, `reprobe`, `requery`, `backoff`, ...) without
+/// also referencing a budget, limit, timeout or similar bound is an
+/// unbounded-livelock hazard — exactly the class of bug behind the
+/// inventory-round starvation this lint was added alongside. Bounded
+/// `for` loops are inherently fine and never flagged. The check is
+/// header-level: it inspects the loop's own line, so a bare `loop {`
+/// with the retry logic inside the body is out of scope (and `for` is
+/// the preferred idiom there anyway).
+pub fn no_unbounded_retry(file: &ScannedFile) -> Vec<Violation> {
+    const RETRY_TOKENS: &[&str] = &[
+        "retry", "retries", "retrans", "resend", "re_send", "reprobe", "re_probe", "requery",
+        "re_query", "backoff",
+    ];
+    const BOUND_TOKENS: &[&str] = &[
+        "budget", "max", "limit", "timeout", "deadline", "cap", "attempt", "remaining", "quota",
+    ];
+    let mut out = Vec::new();
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let code = line.code.to_ascii_lowercase();
+        let trimmed = code.trim_start();
+        let is_loop_header = trimmed.starts_with("while ")
+            || code.contains(" while ")
+            || trimmed == "loop"
+            || trimmed.starts_with("loop {");
+        if !is_loop_header || !RETRY_TOKENS.iter().any(|t| code.contains(t)) {
+            continue;
+        }
+        if BOUND_TOKENS.iter().any(|t| code.contains(t)) {
+            continue;
+        }
+        if waived(file, idx, "no-unbounded-retry") {
+            continue;
+        }
+        out.push(Violation {
+            file: file.rel_path.clone(),
+            line: idx + 1,
+            lint: "no-unbounded-retry",
+            message: "retry loop with no visible bound; reference a budget/limit/timeout \
+                      in the loop condition or waive with \
+                      `// lint: allow(no-unbounded-retry) <why it terminates>`"
+                .to_string(),
+        });
+    }
+    out
+}
+
 /// `unit-suffix`: every `f64` parameter of a `pub fn` must say what unit
 /// it is in (`_hz`, `_pa`, `_volts`, `_secs`, `_db`, `_samples`, ...).
 /// Dimensionless parameters use `_frac`/`_ratio` or a
@@ -444,6 +495,45 @@ mod tests {
     #[test]
     fn cast_scope_includes_mcu() {
         assert!(CAST_SCOPE.contains(&"mcu"));
+    }
+
+    #[test]
+    fn unbounded_retry_while_flagged() {
+        let f = lib("while needs_retry {\n    resend_packet();\n}");
+        let v = no_unbounded_retry(&f);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 1);
+        assert_eq!(v[0].lint, "no-unbounded-retry");
+    }
+
+    #[test]
+    fn bounded_retry_loops_pass() {
+        let f = lib(
+            "while retries_used < retry_budget {\n\
+             while should_resend && attempts < 4 {\n\
+             while backoff_slots > 0 && now_s < deadline_s {\n\
+             for retry in 0..max_retries {",
+        );
+        assert!(no_unbounded_retry(&f).is_empty());
+    }
+
+    #[test]
+    fn unbounded_retry_waiver_and_test_code() {
+        let f = lib(
+            "// lint: allow(no-unbounded-retry) terminates: channel closes on drop\n\
+             while rx.needs_retry() {}\n\
+             #[cfg(test)]\n\
+             mod t {\n\
+             fn g() { while needs_retry {} }\n\
+             }",
+        );
+        assert!(no_unbounded_retry(&f).is_empty());
+    }
+
+    #[test]
+    fn non_retry_loops_never_flagged() {
+        let f = lib("while i < n {\nloop {\nwhile !done {");
+        assert!(no_unbounded_retry(&f).is_empty());
     }
 
     #[test]

@@ -43,6 +43,25 @@ fn waiver_removal_resurfaces_violation() {
     assert_eq!(pab_lint::lints::no_unwrap_in_lib(&without).len(), 1);
 }
 
+/// Self-check: an unbounded retry loop injected into lib scope is
+/// caught, and naming its bound clears it.
+#[test]
+fn linter_detects_a_fresh_unbounded_retry() {
+    let bad = scan_str(
+        "crates/net/src/injected.rs",
+        "while link.needs_retry() { resend(); }",
+    );
+    let v = pab_lint::lints::no_unbounded_retry(&bad);
+    assert_eq!(v.len(), 1, "injected unbounded retry must be caught");
+    assert!(render_report(&v).contains("no-unbounded-retry"));
+
+    let good = scan_str(
+        "crates/net/src/injected.rs",
+        "while link.needs_retry() && retries < budget { resend(); }",
+    );
+    assert!(pab_lint::lints::no_unbounded_retry(&good).is_empty());
+}
+
 /// Every scoped crate must exist on disk — guards against the scope
 /// lists silently drifting from the workspace layout.
 #[test]

@@ -115,23 +115,41 @@ impl FdmaScheduler {
     /// Produce the next slot's concurrent queries, one per non-empty
     /// channel, all issuing `command`.
     pub fn next_slot(&mut self, command: Command) -> Vec<ScheduledQuery> {
+        self.next_slot_where(command, |_| true)
+    }
+
+    /// Like [`next_slot`](Self::next_slot), but only nodes for which
+    /// `eligible` returns true are considered. The cursor walk skips
+    /// ineligible nodes *before* committing the cursor, so a channel whose
+    /// eligible and ineligible nodes alternate still carries a query every
+    /// slot (no starvation). A channel with no eligible node emits nothing
+    /// and its cursor stays put.
+    pub fn next_slot_where(
+        &mut self,
+        command: Command,
+        mut eligible: impl FnMut(u8) -> bool,
+    ) -> Vec<ScheduledQuery> {
         let mut out = Vec::new();
         for ch in 0..self.plan.len() {
             let nodes = &self.per_channel[ch];
-            if nodes.is_empty() {
-                continue;
+            for probe in 0..nodes.len() {
+                let pos = (self.cursor[ch] + probe) % nodes.len();
+                let addr = nodes[pos];
+                if !eligible(addr) {
+                    continue;
+                }
+                self.cursor[ch] = (pos + 1) % nodes.len();
+                out.push(ScheduledQuery {
+                    channel: ch,
+                    // lint: allow(no-unwrap-in-lib) ch ranges over self.plan's own channel count
+                    frequency_hz: self.plan.center_hz(ch).expect("validated index"),
+                    query: DownlinkQuery {
+                        dest: addr,
+                        command,
+                    },
+                });
+                break;
             }
-            let addr = nodes[self.cursor[ch] % nodes.len()];
-            self.cursor[ch] = (self.cursor[ch] + 1) % nodes.len();
-            out.push(ScheduledQuery {
-                channel: ch,
-                // lint: allow(no-unwrap-in-lib) ch ranges over self.plan's own channel count
-                frequency_hz: self.plan.center_hz(ch).expect("validated index"),
-                query: DownlinkQuery {
-                    dest: addr,
-                    command,
-                },
-            });
         }
         out
     }
@@ -235,9 +253,15 @@ impl ThroughputMeter {
     }
 
     /// Record a delivered packet of `payload_bits` over `duration_s`.
-    pub fn record(&mut self, payload_bits: u64, duration_s: f64) {
+    /// A negative or non-finite duration is a caller bug (a mis-ordered
+    /// timestamp pair), not a value to clamp away — it is rejected.
+    pub fn record(&mut self, payload_bits: u64, duration_s: f64) -> Result<(), NetError> {
+        if !(duration_s >= 0.0) || !duration_s.is_finite() {
+            return Err(NetError::InvalidField("negative or non-finite duration_s"));
+        }
         self.payload_bits += payload_bits;
-        self.elapsed_s += duration_s.max(0.0);
+        self.elapsed_s += duration_s;
+        Ok(())
     }
 
     /// Goodput, bits per second.
@@ -282,16 +306,23 @@ impl InventoryRound {
 
     /// Queries for the next slot, skipping nodes that already met the
     /// target. Returns an empty vector when the round is complete.
+    ///
+    /// Finished nodes are skipped *inside* the scheduler's cursor walk:
+    /// filtering after the cursor advanced (the old behaviour) starved a
+    /// channel on alternate slots whenever a finished node alternated with
+    /// an unfinished one.
     pub fn next_slot(&mut self, command: Command) -> Vec<ScheduledQuery> {
         if self.is_complete() {
             return Vec::new();
         }
         self.slots_used += 1;
-        self.scheduler
-            .next_slot(command)
-            .into_iter()
-            .filter(|q| self.tracker.stats(q.query.dest).0 < self.target_per_node)
-            .collect()
+        let InventoryRound {
+            scheduler,
+            tracker,
+            target_per_node,
+            ..
+        } = self;
+        scheduler.next_slot_where(command, |addr| tracker.stats(addr).0 < *target_per_node)
     }
 
     /// Record the outcome of one scheduled query.
@@ -315,6 +346,525 @@ impl InventoryRound {
     /// Slots consumed so far.
     pub fn slots_used(&self) -> u64 {
         self.slots_used
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Resilient MAC: no-response handling, backoff, quarantine/eviction, and
+// closed-loop rate adaptation.
+//
+// The plain InventoryRound assumes every scheduled query produces *some*
+// reception. A node that browns out (supercap below the Fig. 9 power-up
+// threshold), drifts off-resonance, or sinks into a fade produces an
+// *erasure* — no preamble at all — and the round livelocks. The types below
+// distinguish erasures from CRC failures ("dead" vs "noisy"), budget
+// retries with exponential backoff, quarantine unresponsive nodes with
+// periodically doubling re-probes, evict them permanently after the probe
+// budget, and walk an FM0 rate ladder (the Fig. 8 SNR-vs-bitrate tradeoff,
+// closed-loop) from a per-node link-quality EWMA.
+// ---------------------------------------------------------------------------
+
+/// What the physical layer observed in response to one scheduled query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RxObservation {
+    /// Preamble found and CRC passed. `margin` is the preamble correlation
+    /// peak in [0, 1] — how far above the detection floor the packet sat.
+    Delivered {
+        /// Preamble correlation margin.
+        margin: f64,
+    },
+    /// Preamble found but the payload failed CRC: the node is alive, the
+    /// link is noisy.
+    CrcFailed {
+        /// Preamble correlation margin.
+        margin: f64,
+    },
+    /// No preamble within the response window — the slotted equivalent of
+    /// a response timeout. The node may be dead, browned out, or faded.
+    Erasure,
+}
+
+/// Per-node link-quality estimator: an EWMA blending CRC pass rate with
+/// preamble correlation margin into one score in [0, 1]. Deliveries score
+/// in [0.5, 1], CRC failures in [0, 0.25] (scaled by margin), erasures 0.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkQualityEstimator {
+    alpha: f64,
+    quality: f64,
+    observations: u64,
+}
+
+impl LinkQualityEstimator {
+    /// New estimator with EWMA smoothing factor `alpha` in (0, 1].
+    /// Starts optimistic (quality 1.0) so fresh nodes begin at full rate.
+    pub fn new(alpha: f64) -> Result<Self, NetError> {
+        if !(alpha > 0.0) || alpha > 1.0 {
+            return Err(NetError::InvalidField("ewma alpha"));
+        }
+        Ok(LinkQualityEstimator {
+            alpha,
+            quality: 1.0,
+            observations: 0,
+        })
+    }
+
+    /// Fold one reception outcome into the estimate.
+    pub fn observe(&mut self, obs: RxObservation) {
+        let sample = match obs {
+            RxObservation::Delivered { margin } => 0.5 + 0.5 * margin.clamp(0.0, 1.0),
+            RxObservation::CrcFailed { margin } => 0.25 * margin.clamp(0.0, 1.0),
+            RxObservation::Erasure => 0.0,
+        };
+        self.quality += self.alpha * (sample - self.quality);
+        self.observations += 1;
+    }
+
+    /// Current quality estimate in [0, 1].
+    pub fn quality(&self) -> f64 {
+        self.quality
+    }
+
+    /// Number of observations folded in so far.
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+}
+
+/// A descending ladder of FM0 uplink bitrates for graceful degradation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RateLadder {
+    rates_bps: Vec<f64>,
+    level: usize,
+}
+
+impl RateLadder {
+    /// Build a ladder from strictly descending, positive rates. The node
+    /// starts at the top (fastest) rung.
+    pub fn new(rates_bps: Vec<f64>) -> Result<Self, NetError> {
+        if rates_bps.is_empty() {
+            return Err(NetError::InvalidField("empty rate ladder"));
+        }
+        if rates_bps.iter().any(|&r| !(r > 0.0) || !r.is_finite()) {
+            return Err(NetError::InvalidField("rate ladder entry"));
+        }
+        if rates_bps.windows(2).any(|w| w[1] >= w[0]) {
+            return Err(NetError::InvalidField("rate ladder not descending"));
+        }
+        Ok(RateLadder {
+            rates_bps,
+            level: 0,
+        })
+    }
+
+    /// The default FM0 ladder: watch-crystal bitrates 32768 Hz / (2·divider)
+    /// for dividers 6, 8, 16, 32, 64 — the operating points of the paper's
+    /// Fig. 8 SNR-vs-bitrate tradeoff.
+    pub fn fm0_default() -> Self {
+        RateLadder {
+            rates_bps: vec![32_768.0 / 12.0, 2048.0, 1024.0, 512.0, 256.0],
+            level: 0,
+        }
+    }
+
+    /// Current bitrate, bits per second.
+    pub fn current_bps(&self) -> f64 {
+        self.rates_bps[self.level.min(self.rates_bps.len() - 1)]
+    }
+
+    /// Current rung (0 = fastest).
+    pub fn level(&self) -> usize {
+        self.level
+    }
+
+    /// Step to the next slower rate. Returns false if already at the floor.
+    pub fn step_down(&mut self) -> bool {
+        if self.level + 1 < self.rates_bps.len() {
+            self.level += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Step to the next faster rate. Returns false if already at the top.
+    pub fn step_up(&mut self) -> bool {
+        if self.level > 0 {
+            self.level -= 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Tunables for the adaptive policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptiveConfig {
+    /// Retries allowed per packet before it is dropped.
+    pub retry_budget: u32,
+    /// Backoff after the first failure of a packet, slots; doubles per
+    /// consecutive failure.
+    pub backoff_base_slots: u64,
+    /// Ceiling on the exponential backoff, slots.
+    pub backoff_cap_slots: u64,
+    /// Consecutive erasures before the node is quarantined.
+    pub quarantine_after: u32,
+    /// First quarantine length, slots; doubles per failed re-probe.
+    pub quarantine_slots: u64,
+    /// Failed re-probes before the node is permanently evicted.
+    pub max_probes: u32,
+    /// EWMA smoothing factor for the link-quality estimator.
+    pub ewma_alpha: f64,
+    /// The bitrate ladder each node walks.
+    pub ladder: RateLadder,
+    /// Step down the ladder when quality falls below this threshold.
+    pub step_down_below: f64,
+    /// Step up after this many consecutive deliveries.
+    pub step_up_after: u32,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            retry_budget: 4,
+            backoff_base_slots: 1,
+            backoff_cap_slots: 8,
+            quarantine_after: 3,
+            quarantine_slots: 4,
+            max_probes: 3,
+            ewma_alpha: 0.3,
+            ladder: RateLadder::fm0_default(),
+            step_down_below: 0.35,
+            step_up_after: 4,
+        }
+    }
+}
+
+impl AdaptiveConfig {
+    fn validate(&self) -> Result<(), NetError> {
+        if !(self.ewma_alpha > 0.0) || self.ewma_alpha > 1.0 {
+            return Err(NetError::InvalidField("ewma alpha"));
+        }
+        if self.quarantine_after == 0 || self.max_probes == 0 {
+            return Err(NetError::InvalidField("quarantine thresholds"));
+        }
+        if self.step_up_after == 0 {
+            return Err(NetError::InvalidField("step_up_after"));
+        }
+        if self.backoff_base_slots == 0 || self.quarantine_slots == 0 {
+            return Err(NetError::InvalidField("backoff/quarantine slots"));
+        }
+        Ok(())
+    }
+}
+
+/// The coordinator's loss-handling policy for one inventory round.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MacPolicy {
+    /// Any failure drops the packet immediately; no eviction. A dead node
+    /// is polled forever (the pre-resilience behaviour, kept as baseline).
+    NoRetry,
+    /// Up to `max_retries` immediate retries per packet; no backoff, no
+    /// eviction — a dead node still burns its channel's slots forever.
+    FixedRetry {
+        /// Retries per packet.
+        max_retries: u32,
+    },
+    /// Timeout/backoff/quarantine/eviction plus closed-loop rate control.
+    Adaptive(AdaptiveConfig),
+}
+
+#[derive(Debug, Clone)]
+struct NodeMacState {
+    delivered: u64,
+    dropped: u64,
+    retries_used: u32,
+    consec_failures: u32,
+    consec_erasures: u32,
+    consec_deliveries: u32,
+    next_eligible_slot: u64,
+    probes_failed: u32,
+    quarantined: bool,
+    evicted: bool,
+    quality: LinkQualityEstimator,
+    ladder: RateLadder,
+}
+
+/// An inventory round that survives faults: drives [`FdmaScheduler`] under
+/// a [`MacPolicy`], classifying each reception as delivered / CRC-failed /
+/// erased and reacting with retry budgets, exponential backoff, dead-node
+/// quarantine with doubling re-probes, permanent eviction, and per-node
+/// bitrate adaptation. Completion means every non-evicted node met the
+/// per-node delivery target — so a browned-out node cannot livelock the
+/// round under the adaptive policy.
+#[derive(Debug, Clone)]
+pub struct ResilientMac {
+    scheduler: FdmaScheduler,
+    policy: MacPolicy,
+    target_per_node: u64,
+    slots_used: u64,
+    state: BTreeMap<u8, NodeMacState>,
+}
+
+impl ResilientMac {
+    /// Start a round over `plan` collecting `per_node` packets from each
+    /// registered node under `policy`.
+    pub fn new(plan: ChannelPlan, policy: MacPolicy, per_node: u64) -> Result<Self, NetError> {
+        if let MacPolicy::Adaptive(cfg) = &policy {
+            cfg.validate()?;
+        }
+        Ok(ResilientMac {
+            scheduler: FdmaScheduler::new(plan),
+            policy,
+            target_per_node: per_node.max(1),
+            slots_used: 0,
+            state: BTreeMap::new(),
+        })
+    }
+
+    /// Register a node (see [`FdmaScheduler::register`]).
+    pub fn register(&mut self, node: NodeEntry) -> Result<(), NetError> {
+        self.scheduler.register(node)?;
+        let ladder = match &self.policy {
+            MacPolicy::Adaptive(cfg) => cfg.ladder.clone(),
+            _ => RateLadder::fm0_default(),
+        };
+        let alpha = match &self.policy {
+            MacPolicy::Adaptive(cfg) => cfg.ewma_alpha,
+            _ => 0.3,
+        };
+        self.state.insert(
+            node.addr,
+            NodeMacState {
+                delivered: 0,
+                dropped: 0,
+                retries_used: 0,
+                consec_failures: 0,
+                consec_erasures: 0,
+                consec_deliveries: 0,
+                next_eligible_slot: 0,
+                probes_failed: 0,
+                quarantined: false,
+                evicted: false,
+                quality: LinkQualityEstimator::new(alpha)?,
+                ladder,
+            },
+        );
+        Ok(())
+    }
+
+    /// Queries for the next slot. A node is eligible when it is not
+    /// evicted, has not met the target, and its backoff/quarantine window
+    /// has elapsed. May return an empty vector while nodes back off — the
+    /// slot still elapses (and counts) with the channel idle.
+    pub fn next_slot(&mut self, command: Command) -> Vec<ScheduledQuery> {
+        if self.is_complete() {
+            return Vec::new();
+        }
+        self.slots_used += 1;
+        let ResilientMac {
+            scheduler,
+            state,
+            target_per_node,
+            slots_used,
+            ..
+        } = self;
+        scheduler.next_slot_where(command, |addr| match state.get(&addr) {
+            Some(st) => {
+                !st.evicted
+                    && st.delivered < *target_per_node
+                    && *slots_used >= st.next_eligible_slot
+            }
+            None => false,
+        })
+    }
+
+    /// Record the physical-layer observation for one scheduled query.
+    pub fn record(&mut self, addr: u8, obs: RxObservation) -> Result<TxOutcome, NetError> {
+        // Copy the adaptive tunables out first so `st` can borrow mutably.
+        let adaptive = match &self.policy {
+            MacPolicy::Adaptive(cfg) => Some(cfg.clone()),
+            _ => None,
+        };
+        let slot = self.slots_used;
+        let st = self
+            .state
+            .get_mut(&addr)
+            .ok_or(NetError::InvalidField("unregistered address"))?;
+        st.quality.observe(obs);
+        let crc_ok = matches!(obs, RxObservation::Delivered { .. });
+
+        let Some(cfg) = adaptive else {
+            // Baseline policies: the classic tracker semantics, blind to
+            // the erasure/CRC distinction and with no eviction.
+            let max_retries = match self.policy {
+                MacPolicy::FixedRetry { max_retries } => max_retries,
+                _ => 0,
+            };
+            return Ok(if crc_ok {
+                st.delivered += 1;
+                st.retries_used = 0;
+                TxOutcome::Delivered
+            } else if st.retries_used < max_retries {
+                st.retries_used += 1;
+                TxOutcome::Retry
+            } else {
+                st.dropped += 1;
+                st.retries_used = 0;
+                TxOutcome::Dropped
+            });
+        };
+
+        match obs {
+            RxObservation::Delivered { .. } => {
+                st.delivered += 1;
+                st.retries_used = 0;
+                st.consec_failures = 0;
+                st.consec_erasures = 0;
+                st.consec_deliveries += 1;
+                st.probes_failed = 0;
+                st.quarantined = false;
+                st.next_eligible_slot = slot;
+                if st.consec_deliveries >= cfg.step_up_after {
+                    st.consec_deliveries = 0;
+                    st.ladder.step_up();
+                }
+                Ok(TxOutcome::Delivered)
+            }
+            RxObservation::CrcFailed { .. } => {
+                // The node responded: it is alive, however noisy. Any
+                // quarantine ends and the erasure streak resets.
+                st.quarantined = false;
+                st.probes_failed = 0;
+                st.consec_erasures = 0;
+                st.consec_deliveries = 0;
+                Ok(Self::fail_with_backoff(st, &cfg, slot))
+            }
+            RxObservation::Erasure => {
+                st.consec_deliveries = 0;
+                st.consec_erasures += 1;
+                if st.quarantined {
+                    // A re-probe went unanswered.
+                    st.probes_failed += 1;
+                    if st.probes_failed >= cfg.max_probes {
+                        st.evicted = true;
+                        st.dropped += 1;
+                        return Ok(TxOutcome::Dropped);
+                    }
+                    let wait = cfg
+                        .quarantine_slots
+                        .saturating_mul(1u64 << st.probes_failed.min(16));
+                    st.next_eligible_slot = slot.saturating_add(wait);
+                    return Ok(TxOutcome::Retry);
+                }
+                if st.consec_erasures >= cfg.quarantine_after {
+                    st.quarantined = true;
+                    st.probes_failed = 0;
+                    st.next_eligible_slot = slot.saturating_add(cfg.quarantine_slots);
+                    if st.quality.quality() < cfg.step_down_below {
+                        st.ladder.step_down();
+                    }
+                    return Ok(TxOutcome::Retry);
+                }
+                Ok(Self::fail_with_backoff(st, &cfg, slot))
+            }
+        }
+    }
+
+    /// Shared failure path: consume the retry budget with exponential
+    /// backoff, stepping the rate ladder down when quality is poor.
+    fn fail_with_backoff(st: &mut NodeMacState, cfg: &AdaptiveConfig, slot: u64) -> TxOutcome {
+        if st.quality.quality() < cfg.step_down_below {
+            st.ladder.step_down();
+        }
+        if st.retries_used < cfg.retry_budget {
+            st.retries_used += 1;
+            st.consec_failures += 1;
+            let backoff = cfg
+                .backoff_base_slots
+                .saturating_mul(1u64 << (st.consec_failures - 1).min(16))
+                .min(cfg.backoff_cap_slots);
+            st.next_eligible_slot = slot.saturating_add(backoff);
+            TxOutcome::Retry
+        } else {
+            st.dropped += 1;
+            st.retries_used = 0;
+            st.consec_failures = 0;
+            TxOutcome::Dropped
+        }
+    }
+
+    /// Whether every non-evicted node met the delivery target.
+    pub fn is_complete(&self) -> bool {
+        self.state
+            .values()
+            .all(|st| st.evicted || st.delivered >= self.target_per_node)
+    }
+
+    /// (delivered, dropped) for one node; (0, 0) if unregistered.
+    pub fn stats(&self, addr: u8) -> (u64, u64) {
+        self.state
+            .get(&addr)
+            .map(|st| (st.delivered, st.dropped))
+            .unwrap_or((0, 0))
+    }
+
+    /// Whether `addr` has been permanently evicted.
+    pub fn is_evicted(&self, addr: u8) -> bool {
+        self.state.get(&addr).map(|st| st.evicted).unwrap_or(false)
+    }
+
+    /// Whether `addr` is currently quarantined (awaiting a re-probe).
+    pub fn is_quarantined(&self, addr: u8) -> bool {
+        self.state
+            .get(&addr)
+            .map(|st| st.quarantined && !st.evicted)
+            .unwrap_or(false)
+    }
+
+    /// Link-quality estimate for `addr` in [0, 1]; 0 if unregistered.
+    pub fn quality(&self, addr: u8) -> f64 {
+        self.state
+            .get(&addr)
+            .map(|st| st.quality.quality())
+            .unwrap_or(0.0)
+    }
+
+    /// The uplink bitrate the coordinator currently commands from `addr`.
+    pub fn rate_bps(&self, addr: u8) -> f64 {
+        self.state
+            .get(&addr)
+            .map(|st| st.ladder.current_bps())
+            .unwrap_or_else(|| RateLadder::fm0_default().current_bps())
+    }
+
+    /// Addresses evicted so far, ascending.
+    pub fn evicted_addresses(&self) -> Vec<u8> {
+        self.state
+            .iter()
+            .filter(|(_, st)| st.evicted)
+            .map(|(&a, _)| a)
+            .collect()
+    }
+
+    /// Slots consumed so far (including idle backoff slots).
+    pub fn slots_used(&self) -> u64 {
+        self.slots_used
+    }
+
+    /// The channel plan.
+    pub fn plan(&self) -> &ChannelPlan {
+        self.scheduler.plan()
+    }
+
+    /// Addresses of every registered node.
+    pub fn registered_addresses(&self) -> Vec<u8> {
+        self.scheduler.registered_addresses()
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> &MacPolicy {
+        &self.policy
     }
 }
 
@@ -397,10 +947,19 @@ mod tests {
     fn throughput_meter() {
         let mut m = ThroughputMeter::new();
         assert_eq!(m.goodput_bps(), 0.0);
-        m.record(1000, 1.0);
-        m.record(1000, 1.0);
+        m.record(1000, 1.0).unwrap();
+        m.record(1000, 1.0).unwrap();
         assert!((m.goodput_bps() - 1000.0).abs() < 1e-9);
-        m.record(0, -5.0); // negative duration ignored
+    }
+
+    #[test]
+    fn throughput_meter_rejects_bogus_durations() {
+        let mut m = ThroughputMeter::new();
+        m.record(1000, 1.0).unwrap();
+        assert!(m.record(0, -5.0).is_err(), "negative duration is a bug");
+        assert!(m.record(0, f64::NAN).is_err());
+        assert!(m.record(0, f64::INFINITY).is_err());
+        // Rejected records must not have touched the accumulators.
         assert!((m.goodput_bps() - 1000.0).abs() < 1e-9);
     }
 
@@ -451,6 +1010,256 @@ mod tests {
         let slot = round.next_slot(Command::Ping);
         assert_eq!(slot.len(), 1);
         assert_eq!(slot[0].query.dest, 2);
+    }
+
+    #[test]
+    fn unfinished_node_is_not_starved_by_finished_neighbor() {
+        // Regression for the cursor-walk starvation bug: with nodes {1, 2}
+        // sharing one channel and node 1 already finished, the old logic
+        // advanced the cursor to node 1, filtered it out *afterwards*, and
+        // emitted an empty slot — so node 2 was only served every other
+        // slot. The fix skips finished nodes inside the cursor walk, so
+        // every slot carries a query and the round ends in exactly 1 slot.
+        let mut round = InventoryRound::new(ChannelPlan::new(vec![15_000.0]).unwrap(), 1, 0);
+        round.register(NodeEntry { addr: 1, channel: 0 }).unwrap();
+        round.register(NodeEntry { addr: 2, channel: 0 }).unwrap();
+        round.record(1, true); // node 1 done before the first slot
+        while !round.is_complete() {
+            assert!(round.slots_used() < 4, "round did not converge");
+            let queries = round.next_slot(Command::Ping);
+            assert_eq!(queries.len(), 1, "a slot with an unfinished node must carry a query");
+            assert_eq!(queries[0].query.dest, 2);
+            round.record(2, true);
+        }
+        assert_eq!(round.slots_used(), 1);
+    }
+
+    #[test]
+    fn starvation_free_slot_count_with_interleaved_completion() {
+        // Four nodes on one channel, one packet each, lossless: exactly 4
+        // slots regardless of the order completions interleave with the
+        // cursor (the old logic inflated this).
+        let mut round = InventoryRound::new(ChannelPlan::new(vec![15_000.0]).unwrap(), 1, 0);
+        for addr in 1..=4 {
+            round.register(NodeEntry { addr, channel: 0 }).unwrap();
+        }
+        while !round.is_complete() {
+            assert!(round.slots_used() < 16, "round did not converge");
+            for q in round.next_slot(Command::Ping) {
+                round.record(q.query.dest, true);
+            }
+        }
+        assert_eq!(round.slots_used(), 4);
+    }
+
+    #[test]
+    fn next_slot_where_leaves_cursor_on_skipped_channel() {
+        let mut s = FdmaScheduler::new(ChannelPlan::new(vec![15_000.0]).unwrap());
+        s.register(NodeEntry { addr: 1, channel: 0 }).unwrap();
+        s.register(NodeEntry { addr: 2, channel: 0 }).unwrap();
+        // Nothing eligible: no query, cursor unchanged.
+        assert!(s.next_slot_where(Command::Ping, |_| false).is_empty());
+        let q = s.next_slot(Command::Ping);
+        assert_eq!(q[0].query.dest, 1, "cursor must not have moved");
+    }
+
+    #[test]
+    fn link_quality_estimator_tracks_outcomes() {
+        let mut q = LinkQualityEstimator::new(0.5).unwrap();
+        assert_eq!(q.quality(), 1.0, "optimistic start");
+        q.observe(RxObservation::Delivered { margin: 1.0 });
+        assert!((q.quality() - 1.0).abs() < 1e-12);
+        q.observe(RxObservation::Erasure);
+        assert!((q.quality() - 0.5).abs() < 1e-12);
+        q.observe(RxObservation::CrcFailed { margin: 0.8 });
+        assert!(q.quality() < 0.5 && q.quality() > 0.0);
+        assert_eq!(q.observations(), 3);
+        assert!(LinkQualityEstimator::new(0.0).is_err());
+        assert!(LinkQualityEstimator::new(1.5).is_err());
+    }
+
+    #[test]
+    fn rate_ladder_walks_and_validates() {
+        assert!(RateLadder::new(vec![]).is_err());
+        assert!(RateLadder::new(vec![100.0, 200.0]).is_err(), "must descend");
+        assert!(RateLadder::new(vec![100.0, -1.0]).is_err());
+        let mut l = RateLadder::fm0_default();
+        assert!((l.current_bps() - 32_768.0 / 12.0).abs() < 1e-9);
+        assert!(!l.step_up(), "already at the top");
+        assert!(l.step_down());
+        assert_eq!(l.current_bps(), 2048.0);
+        while l.step_down() {}
+        assert_eq!(l.current_bps(), 256.0, "floor of the ladder");
+        assert!(l.step_up());
+        assert_eq!(l.current_bps(), 512.0);
+    }
+
+    fn adaptive_mac(per_node: u64) -> ResilientMac {
+        let mut mac = ResilientMac::new(
+            ChannelPlan::paper_two_channel(),
+            MacPolicy::Adaptive(AdaptiveConfig::default()),
+            per_node,
+        )
+        .unwrap();
+        mac.register(NodeEntry { addr: 1, channel: 0 }).unwrap();
+        mac.register(NodeEntry { addr: 2, channel: 1 }).unwrap();
+        mac
+    }
+
+    #[test]
+    fn adaptive_mac_evicts_dead_node_and_completes() {
+        // Node 2 is browned out (pure erasures). The round must terminate
+        // with node 2 evicted and node 1's traffic undisturbed.
+        let mut mac = adaptive_mac(3);
+        let mut guard = 0;
+        while !mac.is_complete() {
+            guard += 1;
+            assert!(guard < 400, "round livelocked on the dead node");
+            for q in mac.next_slot(Command::Ping) {
+                let obs = if q.query.dest == 1 {
+                    RxObservation::Delivered { margin: 0.9 }
+                } else {
+                    RxObservation::Erasure
+                };
+                mac.record(q.query.dest, obs).unwrap();
+            }
+        }
+        assert_eq!(mac.stats(1), (3, 0), "healthy node undisturbed");
+        assert!(mac.is_evicted(2));
+        assert_eq!(mac.evicted_addresses(), vec![2]);
+    }
+
+    #[test]
+    fn adaptive_mac_evicts_dead_node_sharing_a_channel() {
+        // Dead and healthy node on the SAME channel: the healthy node must
+        // still reach its target (starvation fix + eviction interplay).
+        let mut mac = ResilientMac::new(
+            ChannelPlan::new(vec![15_000.0]).unwrap(),
+            MacPolicy::Adaptive(AdaptiveConfig::default()),
+            3,
+        )
+        .unwrap();
+        mac.register(NodeEntry { addr: 1, channel: 0 }).unwrap();
+        mac.register(NodeEntry { addr: 2, channel: 0 }).unwrap();
+        let mut guard = 0;
+        while !mac.is_complete() {
+            guard += 1;
+            assert!(guard < 400, "round livelocked");
+            for q in mac.next_slot(Command::Ping) {
+                let obs = if q.query.dest == 1 {
+                    RxObservation::Delivered { margin: 0.9 }
+                } else {
+                    RxObservation::Erasure
+                };
+                mac.record(q.query.dest, obs).unwrap();
+            }
+        }
+        assert_eq!(mac.stats(1).0, 3);
+        assert!(mac.is_evicted(2));
+    }
+
+    #[test]
+    fn fixed_retry_never_terminates_on_dead_node() {
+        // The baseline policy has no eviction: a dead node keeps the round
+        // incomplete no matter how many slots elapse.
+        let mut mac = ResilientMac::new(
+            ChannelPlan::paper_two_channel(),
+            MacPolicy::FixedRetry { max_retries: 2 },
+            1,
+        )
+        .unwrap();
+        mac.register(NodeEntry { addr: 1, channel: 0 }).unwrap();
+        mac.register(NodeEntry { addr: 2, channel: 1 }).unwrap();
+        for _ in 0..200 {
+            for q in mac.next_slot(Command::Ping) {
+                let obs = if q.query.dest == 1 {
+                    RxObservation::Delivered { margin: 0.9 }
+                } else {
+                    RxObservation::Erasure
+                };
+                mac.record(q.query.dest, obs).unwrap();
+            }
+        }
+        assert!(!mac.is_complete());
+        assert!(!mac.is_evicted(2));
+        assert_eq!(mac.stats(1).0, 1, "healthy node still completed its own work");
+    }
+
+    #[test]
+    fn crc_failures_do_not_quarantine_but_erasures_do() {
+        let mut mac = adaptive_mac(1);
+        // Many CRC failures: noisy but alive — never quarantined.
+        for _ in 0..10 {
+            let _ = mac.record(1, RxObservation::CrcFailed { margin: 0.5 }).unwrap();
+        }
+        assert!(!mac.is_quarantined(1));
+        assert!(!mac.is_evicted(1));
+        // Erasure streak: quarantined at the configured threshold.
+        for _ in 0..AdaptiveConfig::default().quarantine_after {
+            let _ = mac.record(2, RxObservation::Erasure).unwrap();
+        }
+        assert!(mac.is_quarantined(2));
+        // A CRC failure during quarantine proves life: quarantine lifts.
+        let _ = mac.record(2, RxObservation::CrcFailed { margin: 0.3 }).unwrap();
+        assert!(!mac.is_quarantined(2));
+    }
+
+    #[test]
+    fn backoff_delays_requeries() {
+        let cfg = AdaptiveConfig {
+            backoff_base_slots: 3,
+            ..AdaptiveConfig::default()
+        };
+        let mut mac = ResilientMac::new(
+            ChannelPlan::new(vec![15_000.0]).unwrap(),
+            MacPolicy::Adaptive(cfg),
+            1,
+        )
+        .unwrap();
+        mac.register(NodeEntry { addr: 1, channel: 0 }).unwrap();
+        assert_eq!(mac.next_slot(Command::Ping).len(), 1); // slot 1
+        let out = mac
+            .record(1, RxObservation::CrcFailed { margin: 0.9 })
+            .unwrap();
+        assert_eq!(out, TxOutcome::Retry);
+        // Failure in slot 1 with backoff 3: eligible again at slot 4, so
+        // slots 2 and 3 elapse idle.
+        assert!(mac.next_slot(Command::Ping).is_empty());
+        assert!(mac.next_slot(Command::Ping).is_empty());
+        assert_eq!(mac.next_slot(Command::Ping).len(), 1);
+    }
+
+    #[test]
+    fn rate_ladder_steps_down_under_poor_quality_and_recovers() {
+        let mut mac = adaptive_mac(64);
+        let top_bps = mac.rate_bps(1);
+        // Hammer the link until quality drops below the step-down gate.
+        for _ in 0..12 {
+            let _ = mac.record(1, RxObservation::CrcFailed { margin: 0.1 }).unwrap();
+        }
+        assert!(mac.quality(1) < 0.35);
+        assert!(mac.rate_bps(1) < top_bps, "stepped down the FM0 ladder");
+        // Sustained deliveries climb back up.
+        for _ in 0..64 {
+            let _ = mac.record(1, RxObservation::Delivered { margin: 1.0 }).unwrap();
+        }
+        assert_eq!(mac.rate_bps(1), top_bps, "recovered to full rate");
+    }
+
+    #[test]
+    fn resilient_mac_rejects_unregistered_and_bad_config() {
+        let mut mac = adaptive_mac(1);
+        assert!(mac.record(99, RxObservation::Erasure).is_err());
+        let bad = AdaptiveConfig {
+            ewma_alpha: 0.0,
+            ..AdaptiveConfig::default()
+        };
+        assert!(ResilientMac::new(
+            ChannelPlan::paper_two_channel(),
+            MacPolicy::Adaptive(bad),
+            1
+        )
+        .is_err());
     }
 
     #[test]

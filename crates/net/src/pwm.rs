@@ -79,13 +79,22 @@ pub fn encode(bits: &[bool], timing: &PwmTiming) -> Vec<Segment> {
 }
 
 /// Rasterise segments into a boolean keying waveform at `fs_hz`.
+///
+/// Sample counts come from *cumulative* edge times, not per-segment
+/// rounding: rounding each segment independently lets the error accumulate
+/// across a packet, drifting edges by several samples at `fs_hz`/timing
+/// combinations that don't divide evenly. Here every edge lands within one
+/// sample of its exact time no matter how long the packet is.
 pub fn rasterize(segments: &[Segment], fs_hz: f64) -> Vec<bool> {
     let total: f64 = segments.iter().map(|s| s.duration_s).sum();
-    let n = (total * fs_hz).ceil() as usize;
-    let mut out = Vec::with_capacity(n);
+    let mut out = Vec::with_capacity((total * fs_hz).ceil() as usize);
+    let mut t_edge_s = 0.0;
+    let mut start = 0usize;
     for seg in segments {
-        let count = (seg.duration_s * fs_hz).round() as usize;
-        out.extend(std::iter::repeat_n(seg.on, count));
+        t_edge_s += seg.duration_s;
+        let end = (t_edge_s * fs_hz).round() as usize;
+        out.extend(std::iter::repeat_n(seg.on, end.saturating_sub(start)));
+        start = end.max(start);
     }
     out
 }

@@ -1,0 +1,92 @@
+//! Property tests pinning `pwm::rasterize` to cumulative edge times: the
+//! per-segment rounding it replaced let error accumulate across a packet,
+//! so late edges drifted by several samples whenever `fs_hz` and the PWM
+//! timing didn't divide evenly.
+
+use pab_net::pwm::{rasterize, Segment};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Sample indices at which the rasterised waveform changes level, plus the
+/// implicit edge at the end of the vector.
+fn level_changes(wave: &[bool]) -> Vec<usize> {
+    let mut edges = Vec::new();
+    for i in 1..wave.len() {
+        if wave[i] != wave[i - 1] {
+            edges.push(i);
+        }
+    }
+    edges.push(wave.len());
+    edges
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every edge lands within 1 sample of its exact time, and the total
+    /// length is round(total·fs) ± 1, for arbitrary segment trains at
+    /// awkward sample rates.
+    #[test]
+    fn edges_stay_within_one_sample_of_exact_time(
+        durations_us in vec(37.0f64..977.0, 1..64),
+        fs_hz in 11_025.0f64..192_000.0,
+    ) {
+        // Alternate on/off so every segment boundary is a level change.
+        let segments: Vec<Segment> = durations_us
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| Segment { on: i % 2 == 0, duration_s: d * 1e-6 })
+            .collect();
+        let wave = rasterize(&segments, fs_hz);
+
+        let total_s: f64 = segments.iter().map(|s| s.duration_s).sum();
+        let expected_len = (total_s * fs_hz).round();
+        prop_assert!(
+            (wave.len() as f64 - expected_len).abs() <= 1.0,
+            "length {} vs round(total*fs) {}", wave.len(), expected_len
+        );
+
+        // Walk exact cumulative edge times and match them against the
+        // observed level changes. Zero-width raster segments (duration
+        // shorter than a sample) merge edges, so compare each *observed*
+        // edge against the nearest exact edge.
+        let mut exact = Vec::new();
+        let mut t = 0.0;
+        for seg in &segments {
+            t += seg.duration_s;
+            exact.push(t * fs_hz);
+        }
+        for &obs in &level_changes(&wave) {
+            let nearest = exact
+                .iter()
+                .map(|e| (obs as f64 - e).abs())
+                .fold(f64::INFINITY, f64::min);
+            prop_assert!(
+                nearest <= 1.0,
+                "edge at sample {} is {:.3} samples from any exact edge time",
+                obs, nearest
+            );
+        }
+    }
+
+    /// The regression the fix closes: a long train of identical segments
+    /// whose duration doesn't divide the sample period must not drift —
+    /// the final edge stays within 1 sample of n·d·fs even after hundreds
+    /// of segments.
+    #[test]
+    fn long_trains_do_not_accumulate_drift(
+        n_segments in 50usize..400,
+        duration_us in 100.0f64..500.0,
+    ) {
+        let fs_hz = 192_000.0;
+        let segments: Vec<Segment> = (0..n_segments)
+            .map(|i| Segment { on: i % 2 == 0, duration_s: duration_us * 1e-6 })
+            .collect();
+        let wave = rasterize(&segments, fs_hz);
+        let exact_end = n_segments as f64 * duration_us * 1e-6 * fs_hz;
+        prop_assert!(
+            (wave.len() as f64 - exact_end).abs() <= 1.0,
+            "end drifted to {} vs exact {:.2}", wave.len(), exact_end
+        );
+    }
+}

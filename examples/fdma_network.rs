@@ -63,9 +63,12 @@ fn main() {
     let mut fdma = ThroughputMeter::new();
     let packet_bits = 56u64; // ACK packet
     let slot_s = packet_bits as f64 / bitrate;
-    single.record(packet_bits, slot_s);
+    single
+        .record(packet_bits, slot_s)
+        .expect("slot duration is positive");
     let both_ok = report.crc_ok[0] && report.crc_ok[1];
-    fdma.record(if both_ok { 2 * packet_bits } else { packet_bits }, slot_s);
+    fdma.record(if both_ok { 2 * packet_bits } else { packet_bits }, slot_s)
+        .expect("slot duration is positive");
     println!(
         "network goodput: single-channel {:.0} bps -> two-channel FDMA {:.0} bps ({}x)",
         single.goodput_bps(),

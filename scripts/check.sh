@@ -11,6 +11,12 @@ cargo build --release
 echo "==> cargo test -q  (includes pab-lint enforcement)"
 cargo test -q
 
+echo "==> fault-resilience integration tests (tests/fault_resilience.rs)"
+cargo test -q -p pab-core --test fault_resilience
+
+echo "==> ext_fault_resilience --quick  (fault injection x MAC policy smoke)"
+cargo run --release -q -p pab-experiments --bin ext_fault_resilience -- --quick
+
 if cargo clippy --version >/dev/null 2>&1; then
     echo "==> cargo clippy --workspace --all-targets"
     cargo clippy --workspace --all-targets
