@@ -42,6 +42,7 @@ pub struct RectoPiezo {
     match_frequency_hz: f64,
     /// Fraction of incident amplitude lost in the backscatter process
     /// (heat/structural losses; §3.2 "the backscatter process is lossy").
+    // lint: unitless amplitude fraction in [0, 1]
     pub backscatter_efficiency: f64,
 }
 
@@ -73,7 +74,7 @@ impl RectoPiezo {
     pub fn rectifier_input_v(&self, pressure_pa: f64, freq_hz: f64) -> f64 {
         let voc = self
             .transducer
-            .receive_open_circuit_voltage(pressure_pa, freq_hz);
+            .receive_open_circuit_v(pressure_pa, freq_hz);
         let gain = self
             .matching
             .load_voltage_gain(
@@ -87,7 +88,7 @@ impl RectoPiezo {
 
     /// Rectified DC voltage into a DC load `dc_load_ohms` for an incident
     /// pressure amplitude at `freq_hz`. This is the quantity Fig. 3 plots.
-    pub fn rectified_voltage(&self, pressure_pa: f64, freq_hz: f64, dc_load_ohms: f64) -> f64 {
+    pub fn rectified_voltage_v(&self, pressure_pa: f64, freq_hz: f64, dc_load_ohms: f64) -> f64 {
         self.rectifier
             .dc_into_load_v(self.rectifier_input_v(pressure_pa, freq_hz), dc_load_ohms)
     }
@@ -99,7 +100,7 @@ impl RectoPiezo {
         freq_hz: f64,
         dc_load_ohms: f64,
     ) -> f64 {
-        let v = self.rectified_voltage(pressure_pa, freq_hz, dc_load_ohms);
+        let v = self.rectified_voltage_v(pressure_pa, freq_hz, dc_load_ohms);
         if dc_load_ohms <= 0.0 {
             0.0
         } else {
@@ -141,6 +142,7 @@ impl RectoPiezo {
     /// `|g_reflective − g_absorptive|`. This is the signal amplitude the
     /// hydrophone decodes; it shrinks off-resonance (footnote 6), which is
     /// what caps the usable bitrate in Fig. 8.
+    // lint: unitless amplitude difference of two linear gains, in [0, 2]
     pub fn modulation_depth(&self, freq_hz: f64) -> f64 {
         (self.backscatter_gain(SwitchState::Reflective, freq_hz)
             - self.backscatter_gain(SwitchState::Absorptive, freq_hz))
@@ -165,7 +167,7 @@ mod tests {
         let freqs: Vec<f64> = (110..=210).map(|k| k as f64 * 100.0).collect();
         let volts = freqs
             .iter()
-            .map(|&f| node.rectified_voltage(pressure_pa, f, 1_000_000.0))
+            .map(|&f| node.rectified_voltage_v(pressure_pa, f, 1_000_000.0))
             .collect();
         (freqs, volts)
     }
@@ -211,10 +213,10 @@ mod tests {
         let n18 = node_18k();
         let p = 960.0;
         assert!(
-            n15.rectified_voltage(p, 15_000.0, 1e6) > n18.rectified_voltage(p, 15_000.0, 1e6)
+            n15.rectified_voltage_v(p, 15_000.0, 1e6) > n18.rectified_voltage_v(p, 15_000.0, 1e6)
         );
         assert!(
-            n18.rectified_voltage(p, 18_000.0, 1e6) > n15.rectified_voltage(p, 18_000.0, 1e6)
+            n18.rectified_voltage_v(p, 18_000.0, 1e6) > n15.rectified_voltage_v(p, 18_000.0, 1e6)
         );
     }
 

@@ -35,7 +35,7 @@ pub fn parallel(a: Complex64, b: Complex64) -> Complex64 {
 
 /// Power (watts) delivered to load `z_load` by a source with open-circuit
 /// voltage amplitude `voc_volts` and impedance `z_source`.
-pub fn delivered_power(voc_volts: f64, z_source: Complex64, z_load: Complex64) -> f64 {
+pub fn delivered_power_w(voc_volts: f64, z_source: Complex64, z_load: Complex64) -> f64 {
     let total = z_source + z_load;
     if total.norm() == 0.0 {
         return 0.0;
@@ -46,7 +46,7 @@ pub fn delivered_power(voc_volts: f64, z_source: Complex64, z_load: Complex64) -
 
 /// Maximum available power from a source (delivered under conjugate
 /// match): `Voc² / (8 Rs)`.
-pub fn available_power(voc_volts: f64, z_source: Complex64) -> f64 {
+pub fn available_power_w(voc_volts: f64, z_source: Complex64) -> f64 {
     if z_source.re <= 0.0 {
         return 0.0;
     }
@@ -54,6 +54,7 @@ pub fn available_power(voc_volts: f64, z_source: Complex64) -> f64 {
 }
 
 /// Mismatch efficiency: delivered / available power, in `[0, 1]`.
+// lint: unitless power ratio delivered/available, in [0, 1]
 pub fn mismatch_efficiency(z_source: Complex64, z_load: Complex64) -> f64 {
     if z_source.re <= 0.0 || z_load.re <= 0.0 {
         return 0.0;
@@ -96,11 +97,11 @@ mod tests {
     }
 
     #[test]
-    fn conjugate_match_delivers_available_power() {
+    fn conjugate_match_delivers_available_power_w() {
         let zs = Complex64::new(700.0, 300.0);
         let voc_volts = 2.0;
-        let p_matched = delivered_power(voc_volts, zs, zs.conj());
-        assert!((p_matched - available_power(voc_volts, zs)).abs() / p_matched < 1e-9);
+        let p_matched = delivered_power_w(voc_volts, zs, zs.conj());
+        assert!((p_matched - available_power_w(voc_volts, zs)).abs() / p_matched < 1e-9);
         assert!((mismatch_efficiency(zs, zs.conj()) - 1.0).abs() < 1e-12);
     }
 
@@ -115,9 +116,9 @@ mod tests {
 
     #[test]
     fn degenerate_sources() {
-        assert_eq!(available_power(1.0, Complex64::new(0.0, 10.0)), 0.0);
+        assert_eq!(available_power_w(1.0, Complex64::new(0.0, 10.0)), 0.0);
         assert_eq!(
-            delivered_power(1.0, Complex64::new(1.0, 0.0), Complex64::new(-1.0, 0.0)),
+            delivered_power_w(1.0, Complex64::new(1.0, 0.0), Complex64::new(-1.0, 0.0)),
             0.0
         );
     }

@@ -25,8 +25,8 @@
 //!
 //! // A recto-piezo electrically matched at 15 kHz harvests best there.
 //! let fe = RectoPiezo::design(Transducer::pab_node(), 15_000.0).unwrap();
-//! let at_match = fe.rectified_voltage(1_000.0, 15_000.0, 1e6);
-//! let off_band = fe.rectified_voltage(1_000.0, 20_000.0, 1e6);
+//! let at_match = fe.rectified_voltage_v(1_000.0, 15_000.0, 1e6);
+//! let off_band = fe.rectified_voltage_v(1_000.0, 20_000.0, 1e6);
 //! assert!(at_match > 2.5);        // crosses the power-up threshold
 //! assert!(at_match > off_band);   // and is channel-selective
 //! ```

@@ -112,6 +112,7 @@ impl MatchingNetwork {
 
     /// Loaded quality factor of the section when designed for `z_source`
     /// into `r_load_ohms` (`√(R_load/R_s − 1)`).
+    // lint: unitless quality factor
     pub fn loaded_q(z_source: Complex64, r_load_ohms: f64) -> f64 {
         if z_source.re <= 0.0 || r_load_ohms <= z_source.re {
             return 0.0;
@@ -137,7 +138,7 @@ impl MatchingNetwork {
     }
 
     /// Power delivered into `r_load_ohms` for open-circuit amplitude `voc_volts`.
-    pub fn delivered_power(
+    pub fn delivered_power_w(
         &self,
         voc_volts: f64,
         z_source: Complex64,
@@ -159,18 +160,18 @@ impl MatchingNetwork {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::impedance::available_power;
+    use crate::impedance::available_power_w;
     use pab_piezo::Transducer;
 
     #[test]
-    fn design_achieves_available_power() {
+    fn design_achieves_available_power_w() {
         let t = Transducer::pab_node();
         let f0 = 15_000.0;
         let zs = t.electrical_impedance(f0);
         let r_load_ohms = 5_000.0;
         let m = MatchingNetwork::design(zs, f0, r_load_ohms).unwrap();
-        let delivered = m.delivered_power(1.0, zs, f0, r_load_ohms);
-        let avail = available_power(1.0, zs);
+        let delivered = m.delivered_power_w(1.0, zs, f0, r_load_ohms);
+        let avail = available_power_w(1.0, zs);
         assert!(
             (delivered - avail).abs() / avail < 1e-6,
             "delivered {delivered} vs available {avail}"
@@ -199,8 +200,8 @@ mod tests {
         let zs15 = t.electrical_impedance(f0);
         let r_load_ohms = 5_000.0;
         let m = MatchingNetwork::design(zs15, f0, r_load_ohms).unwrap();
-        let at_match = m.delivered_power(1.0, zs15, f0, r_load_ohms);
-        let off = m.delivered_power(
+        let at_match = m.delivered_power_w(1.0, zs15, f0, r_load_ohms);
+        let off = m.delivered_power_w(
             1.0,
             t.electrical_impedance(20_000.0),
             20_000.0,
@@ -241,8 +242,8 @@ mod tests {
         let m = MatchingNetwork::design(zs, 15_000.0, 5_000.0).unwrap();
         assert!(matches!(m.series, SeriesElement::Capacitor(_)));
         // And the match still works.
-        let p = m.delivered_power(1.0, zs, 15_000.0, 5_000.0);
-        assert!((p - available_power(1.0, zs)).abs() / p < 1e-6);
+        let p = m.delivered_power_w(1.0, zs, 15_000.0, 5_000.0);
+        assert!((p - available_power_w(1.0, zs)).abs() / p < 1e-6);
     }
 
     #[test]

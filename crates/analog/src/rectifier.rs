@@ -23,6 +23,7 @@ pub struct MultiStageRectifier {
     pub output_resistance_ohms: f64,
     /// Maximum AC→DC conversion efficiency (energy-conservation cap on the
     /// voltage-multiplier model).
+    // lint: unitless power ratio cap in (0, 1]
     pub max_efficiency: f64,
 }
 
@@ -96,6 +97,7 @@ impl MultiStageRectifier {
 
     /// AC-to-DC conversion efficiency at input amplitude `v_peak_v` into DC
     /// load `r_load_ohms`: output DC power / input AC power.
+    // lint: unitless output/input power ratio in [0, 1]
     pub fn efficiency(&self, v_peak_v: f64, r_load_ohms: f64) -> f64 {
         if v_peak_v <= 0.0 || r_load_ohms <= 0.0 {
             return 0.0;

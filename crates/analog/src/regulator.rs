@@ -54,7 +54,7 @@ impl Ldo {
 
     /// Output voltage for a given input: regulated when possible, tracking
     /// (input minus dropout, floored at 0) when not.
-    pub fn output_for(&self, vin_v: f64) -> f64 {
+    pub fn vout_v(&self, vin_v: f64) -> f64 {
         if self.in_regulation(vin_v) {
             self.output_v
         } else {
@@ -65,13 +65,13 @@ impl Ldo {
     /// Input current drawn from the storage capacitor when the load draws
     /// `i_load_a` at the output (LDO is a linear pass device: input current =
     /// load current + quiescent).
-    pub fn input_current(&self, i_load_a: f64) -> f64 {
+    pub fn input_current_a(&self, i_load_a: f64) -> f64 {
         i_load_a.max(0.0) + self.quiescent_a
     }
 
     /// Power dissipated inside the regulator at `vin_v` with load `i_load_a`.
     pub fn dissipation_w(&self, vin_v: f64, i_load_a: f64) -> f64 {
-        let vout = self.output_for(vin_v);
+        let vout = self.vout_v(vin_v);
         ((vin_v - vout) * i_load_a.max(0.0) + vin_v * self.quiescent_a).max(0.0)
     }
 }
@@ -84,23 +84,23 @@ mod tests {
     fn regulates_above_dropout() {
         let ldo = Ldo::lp5900_1v8();
         assert!(ldo.in_regulation(2.1));
-        assert_eq!(ldo.output_for(2.1), 1.8);
-        assert_eq!(ldo.output_for(3.3), 1.8);
+        assert_eq!(ldo.vout_v(2.1), 1.8);
+        assert_eq!(ldo.vout_v(3.3), 1.8);
     }
 
     #[test]
     fn tracks_below_dropout() {
         let ldo = Ldo::lp5900_1v8();
         assert!(!ldo.in_regulation(1.5));
-        assert!((ldo.output_for(1.5) - 1.4).abs() < 1e-12);
-        assert_eq!(ldo.output_for(0.05), 0.0);
+        assert!((ldo.vout_v(1.5) - 1.4).abs() < 1e-12);
+        assert_eq!(ldo.vout_v(0.05), 0.0);
     }
 
     #[test]
     fn input_current_adds_quiescent() {
         let ldo = Ldo::lp5900_1v8();
-        assert!((ldo.input_current(230e-6) - 255e-6).abs() < 1e-12);
-        assert!((ldo.input_current(-5.0) - 25e-6).abs() < 1e-18);
+        assert!((ldo.input_current_a(230e-6) - 255e-6).abs() < 1e-12);
+        assert!((ldo.input_current_a(-5.0) - 25e-6).abs() < 1e-18);
     }
 
     #[test]
@@ -109,7 +109,7 @@ mod tests {
         // should be within ~7% of 500 µW ballpark (paper's backscatter
         // figure). Total input power = Vin · (I_load + Iq).
         let ldo = Ldo::lp5900_1v8();
-        let p = 2.1 * ldo.input_current(230e-6);
+        let p = 2.1 * ldo.input_current_a(230e-6);
         assert!((p - 535e-6).abs() < 40e-6, "p={p}");
     }
 

@@ -2,7 +2,7 @@
 //! matching optimality must hold for arbitrary (plausible) components.
 
 use num_complex::Complex64;
-use pab_analog::impedance::{available_power, delivered_power};
+use pab_analog::impedance::{available_power_w, delivered_power_w};
 use pab_analog::{Ldo, MatchingNetwork, MultiStageRectifier, RectoPiezo, Supercap};
 use pab_piezo::{Transducer, TransducerBuilder};
 use proptest::prelude::*;
@@ -13,7 +13,7 @@ proptest! {
     /// The analytic L-match achieves the source's available power (the
     /// conjugate-match bound) whenever it is designable.
     #[test]
-    fn lmatch_achieves_available_power(
+    fn lmatch_achieves_available_power_w(
         rs in 1.0f64..4_000.0,
         xs in -5_000.0f64..5_000.0,
         r_load in 10.0f64..100_000.0,
@@ -22,8 +22,8 @@ proptest! {
         prop_assume!(rs < r_load);
         let zs = Complex64::new(rs, xs);
         let m = MatchingNetwork::design(zs, f, r_load).unwrap();
-        let got = m.delivered_power(1.0, zs, f, r_load);
-        let bound = available_power(1.0, zs);
+        let got = m.delivered_power_w(1.0, zs, f, r_load);
+        let bound = available_power_w(1.0, zs);
         prop_assert!(got <= bound * (1.0 + 1e-6));
         prop_assert!(got >= bound * (1.0 - 1e-6), "got {got} of {bound}");
     }
@@ -31,7 +31,7 @@ proptest! {
     /// No load ever extracts more than the available power (passivity of
     /// the matching analysis).
     #[test]
-    fn no_load_beats_available_power(
+    fn no_load_beats_available_power_w(
         rs in 1.0f64..4_000.0,
         xs in -5_000.0f64..5_000.0,
         r_load in 1.0f64..1e6,
@@ -44,11 +44,11 @@ proptest! {
             pab_analog::matching::SeriesElement::Inductor(l),
             c,
         ).unwrap();
-        let got = m.delivered_power(1.0, zs, f, r_load);
-        prop_assert!(got <= available_power(1.0, zs) * (1.0 + 1e-9));
+        let got = m.delivered_power_w(1.0, zs, f, r_load);
+        prop_assert!(got <= available_power_w(1.0, zs) * (1.0 + 1e-9));
         // Direct (unmatched) connection obeys the same bound.
-        let direct = delivered_power(1.0, zs, Complex64::new(r_load, 0.0));
-        prop_assert!(direct <= available_power(1.0, zs) * (1.0 + 1e-9));
+        let direct = delivered_power_w(1.0, zs, Complex64::new(r_load, 0.0));
+        prop_assert!(direct <= available_power_w(1.0, zs) * (1.0 + 1e-9));
     }
 
     /// Rectifier: output is monotone in drive, zero below the dead zone,
@@ -92,7 +92,7 @@ proptest! {
     #[test]
     fn ldo_output_bounded(vin in 0.0f64..12.0) {
         let ldo = Ldo::lp5900_1v8();
-        let vout = ldo.output_for(vin);
+        let vout = ldo.vout_v(vin);
         prop_assert!(vout <= ldo.output_v + 1e-12);
         prop_assert!(vout <= vin.max(0.0) + 1e-12);
         prop_assert!(vout >= 0.0);
@@ -104,9 +104,9 @@ proptest! {
     #[test]
     fn rectopiezo_prefers_its_match_band(f_match in 13_000.0f64..19_000.0) {
         let fe = RectoPiezo::design(Transducer::pab_node(), f_match).unwrap();
-        let near = fe.rectified_voltage(1_000.0, f_match, 1e6);
-        let far_lo = fe.rectified_voltage(1_000.0, 5_000.0, 1e6);
-        let far_hi = fe.rectified_voltage(1_000.0, 60_000.0, 1e6);
+        let near = fe.rectified_voltage_v(1_000.0, f_match, 1e6);
+        let far_lo = fe.rectified_voltage_v(1_000.0, 5_000.0, 1e6);
+        let far_hi = fe.rectified_voltage_v(1_000.0, 60_000.0, 1e6);
         prop_assert!(near > far_lo, "near {near} vs {far_lo}");
         prop_assert!(near > far_hi, "near {near} vs {far_hi}");
     }

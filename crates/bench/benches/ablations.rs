@@ -80,15 +80,15 @@ fn fm0_vs_manchester(c: &mut Criterion) {
 
 /// Matching network on vs off: harvested power at resonance.
 fn matching_on_off(c: &mut Criterion) {
-    use pab_analog::impedance::{delivered_power, resistor};
+    use pab_analog::impedance::{delivered_power_w, resistor};
     use pab_analog::MatchingNetwork;
     use pab_piezo::Transducer;
     let t = Transducer::pab_node();
     let zs = t.electrical_impedance(15_000.0);
     let m = MatchingNetwork::design(zs, 15_000.0, 20_000.0).unwrap();
     // Quality check: matching must beat a direct connection several-fold.
-    let matched = m.delivered_power(1.0, zs, 15_000.0, 20_000.0);
-    let direct = delivered_power(1.0, zs, resistor(20_000.0));
+    let matched = m.delivered_power_w(1.0, zs, 15_000.0, 20_000.0);
+    let direct = delivered_power_w(1.0, zs, resistor(20_000.0));
     assert!(
         matched > 2.0 * direct,
         "matching gain implausible: {matched} vs {direct}"

@@ -32,7 +32,7 @@ fn fig3_sweep(c: &mut Criterion) {
     c.bench_function("fig3_rectopiezo_sweep", |b| {
         b.iter(|| {
             (110..=210)
-                .map(|k| node.rectified_voltage(1_020.0, k as f64 * 100.0, 1e6))
+                .map(|k| node.rectified_voltage_v(1_020.0, k as f64 * 100.0, 1e6))
                 .sum::<f64>()
         })
     });

@@ -158,6 +158,7 @@ impl FaultSchedule {
     /// Multiplicative path gain at absolute time `t_s`: the product of
     /// every active fade's raised-cosine profile (1.0 when none is
     /// active).
+    // lint: unitless product of raised-cosine fade profiles, linear gain
     pub fn gain_at(&self, t_s: f64) -> f64 {
         let mut g = 1.0;
         for fade in &self.fades {
@@ -181,7 +182,7 @@ impl FaultSchedule {
     }
 
     /// Accumulated carrier/clock offset at absolute time `t_s`, Hz.
-    pub fn drift_hz_at(&self, t_s: f64) -> f64 {
+    pub fn drift_at_hz(&self, t_s: f64) -> f64 {
         match self.drift {
             Some(d) => (d.rate_hz_per_s * t_s).clamp(-d.max_abs_hz, d.max_abs_hz),
             None => 0.0,
@@ -236,7 +237,7 @@ mod tests {
         let f = FaultSchedule::default();
         assert!(f.is_quiet());
         assert_eq!(f.gain_at(1.0), 1.0);
-        assert_eq!(f.drift_hz_at(5.0), 0.0);
+        assert_eq!(f.drift_at_hz(5.0), 0.0);
         assert!(!f.node_down_during(0.0, 100.0));
         let mut s = vec![1.0, 2.0, 3.0];
         f.add_burst_noise(&mut s, 0.0, 1000.0);
@@ -338,8 +339,8 @@ mod tests {
                 max_abs_hz: 10.0,
             })
             .unwrap();
-        assert!((f.drift_hz_at(1.0) - 2.0).abs() < 1e-12);
-        assert!((f.drift_hz_at(100.0) - 10.0).abs() < 1e-12, "saturates");
+        assert!((f.drift_at_hz(1.0) - 2.0).abs() < 1e-12);
+        assert!((f.drift_at_hz(100.0) - 10.0).abs() < 1e-12, "saturates");
     }
 
     #[test]

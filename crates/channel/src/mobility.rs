@@ -44,12 +44,13 @@ impl MovingPath {
     }
 
     /// Range at time `t_s`, meters (floored at a near-field limit).
-    pub fn distance_at(&self, t_s: f64) -> f64 {
+    pub fn distance_at_m(&self, t_s: f64) -> f64 {
         (self.initial_distance_m + self.velocity_m_s * t_s)
             .max(crate::propagation::NEAR_FIELD_LIMIT_M)
     }
 
     /// The Doppler factor `1 − v/c` (received-rate compression ratio).
+    // lint: unitless rate-compression ratio 1 - v/c
     pub fn doppler_factor(&self) -> f64 {
         1.0 - self.velocity_m_s / self.sound_speed_m_s
     }
@@ -65,7 +66,7 @@ impl MovingPath {
     pub fn apply(&self, signal: &[f64], fs_hz: f64) -> Vec<f64> {
         let c = self.sound_speed_m_s;
         let n_out = signal.len()
-            + (self.distance_at(signal.len() as f64 / fs_hz) / c * fs_hz).ceil() as usize
+            + (self.distance_at_m(signal.len() as f64 / fs_hz) / c * fs_hz).ceil() as usize
             + 2;
         let mut out = vec![0.0; n_out];
         for (i, o) in out.iter_mut().enumerate() {
@@ -84,7 +85,7 @@ impl MovingPath {
                 continue;
             }
             let sample = signal[k] * (1.0 - frac) + signal[k + 1] * frac;
-            let d = self.distance_at(t_tx);
+            let d = self.distance_at_m(t_tx);
             *o = sample / d.max(crate::propagation::NEAR_FIELD_LIMIT_M);
         }
         out
@@ -147,7 +148,7 @@ mod tests {
         let p = MovingPath::new(1.0, -10.0, 1_500.0).unwrap();
         // After 1 s the node would be 9 m "past" the receiver; the model
         // clamps instead of inverting.
-        assert!(p.distance_at(10.0) >= crate::propagation::NEAR_FIELD_LIMIT_M);
+        assert!(p.distance_at_m(10.0) >= crate::propagation::NEAR_FIELD_LIMIT_M);
     }
 
     #[test]

@@ -73,6 +73,7 @@ impl NoiseEnvironment {
 }
 
 /// Draw one standard-normal sample (Box–Muller; avoids an extra dependency).
+// lint: unitless N(0,1) draw; caller applies the scale
 pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
     let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
     let u2: f64 = rng.gen_range(0.0..1.0);

@@ -17,22 +17,22 @@ use crate::ChannelError;
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Position {
     /// Along the long axis, meters.
-    pub x: f64,
+    pub x_m: f64,
     /// Across the tank, meters.
-    pub y: f64,
+    pub y_m: f64,
     /// Height above the bottom, meters.
-    pub z: f64,
+    pub z_m: f64,
 }
 
 impl Position {
     /// Convenience constructor.
     pub fn new(x_m: f64, y_m: f64, z_m: f64) -> Self {
-        Position { x: x_m, y: y_m, z: z_m }
+        Position { x_m, y_m, z_m }
     }
 
     /// Euclidean distance to another position.
-    pub fn distance_to(&self, other: &Position) -> f64 {
-        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2) + (self.z - other.z).powi(2))
+    pub fn distance_to_m(&self, other: &Position) -> f64 {
+        ((self.x_m - other.x_m).powi(2) + (self.y_m - other.y_m).powi(2) + (self.z_m - other.z_m).powi(2))
             .sqrt()
     }
 }
@@ -47,11 +47,14 @@ pub struct Pool {
     /// Water depth (z), meters.
     pub depth_m: f64,
     /// Amplitude reflection coefficient of the four side walls.
+    // lint: unitless amplitude reflection coefficient in [-1, 1]
     pub wall_reflection: f64,
     /// Amplitude reflection coefficient of the bottom.
+    // lint: unitless amplitude reflection coefficient in [-1, 1]
     pub bottom_reflection: f64,
     /// Amplitude reflection coefficient of the free surface (negative:
     /// pressure-release phase inversion).
+    // lint: unitless amplitude reflection coefficient in [-1, 1]
     pub surface_reflection: f64,
     /// Water column properties.
     pub water: WaterProperties,
@@ -93,9 +96,9 @@ impl Pool {
     /// Validate that a position lies inside the water volume.
     pub fn check_position(&self, p: &Position) -> Result<(), ChannelError> {
         let checks = [
-            ('x', p.x, self.length_m),
-            ('y', p.y, self.width_m),
-            ('z', p.z, self.depth_m),
+            ('x', p.x_m, self.length_m),
+            ('y', p.y_m, self.width_m),
+            ('z', p.z_m, self.depth_m),
         ];
         for (axis, value, max) in checks {
             if !(0.0..=max).contains(&value) || !value.is_finite() {
@@ -134,7 +137,7 @@ impl Pool {
                 if bounces_x as i64 > n {
                     continue;
                 }
-                let ix = (1 - 2 * px) as f64 * src.x + 2.0 * mx as f64 * self.length_m;
+                let ix = (1 - 2 * px) as f64 * src.x_m + 2.0 * mx as f64 * self.length_m;
                 for my in -n..=n {
                     for py in 0..=1i64 {
                         let bounces_y = (my - py).unsigned_abs() + my.unsigned_abs();
@@ -142,7 +145,7 @@ impl Pool {
                             continue;
                         }
                         let iy =
-                            (1 - 2 * py) as f64 * src.y + 2.0 * my as f64 * self.width_m;
+                            (1 - 2 * py) as f64 * src.y_m + 2.0 * my as f64 * self.width_m;
                         for mz in -n..=n {
                             for pz in 0..=1i64 {
                                 let bounce_bottom = (mz - pz).unsigned_abs();
@@ -152,11 +155,11 @@ impl Pool {
                                 if total as i64 > n {
                                     continue;
                                 }
-                                let iz = (1 - 2 * pz) as f64 * src.z
+                                let iz = (1 - 2 * pz) as f64 * src.z_m
                                     + 2.0 * mz as f64 * self.depth_m;
-                                let d = ((ix - rx.x).powi(2)
-                                    + (iy - rx.y).powi(2)
-                                    + (iz - rx.z).powi(2))
+                                let d = ((ix - rx.x_m).powi(2)
+                                    + (iy - rx.y_m).powi(2)
+                                    + (iz - rx.z_m).powi(2))
                                 .sqrt();
                                 let refl = self
                                     .wall_reflection
@@ -199,7 +202,7 @@ mod tests {
         let rx = Position::new(3.0, 1.5, 0.6);
         let ch = p.channel(&src, &rx, 0, 15_000.0).unwrap();
         assert_eq!(ch.taps().len(), 1);
-        let d = src.distance_to(&rx);
+        let d = src.distance_to_m(&rx);
         assert!((ch.direct().delay_s - d / p.water.sound_speed_m_s()).abs() < 1e-9);
     }
 
@@ -284,6 +287,6 @@ mod tests {
     fn position_distance() {
         let a = Position::new(0.0, 0.0, 0.0);
         let b = Position::new(3.0, 4.0, 0.0);
-        assert!((a.distance_to(&b) - 5.0).abs() < 1e-12);
+        assert!((a.distance_to_m(&b) - 5.0).abs() < 1e-12);
     }
 }

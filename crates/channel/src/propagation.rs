@@ -14,6 +14,7 @@ pub struct Tap {
     /// Propagation delay, seconds.
     pub delay_s: f64,
     /// Amplitude gain (negative for phase-inverting surface bounces).
+    // lint: unitless linear amplitude gain, signed for phase inversion
     pub gain: f64,
 }
 
@@ -65,6 +66,7 @@ impl MultipathChannel {
 
     /// Coherent sum of tap gains — the steady-state channel gain for a
     /// narrowband carrier at `freq_hz` (complex phasor magnitude).
+    // lint: unitless linear amplitude gain (phasor magnitude)
     pub fn coherent_gain_at(&self, freq_hz: f64) -> f64 {
         let w = std::f64::consts::TAU * freq_hz;
         let (mut re, mut im) = (0.0, 0.0);
@@ -76,6 +78,7 @@ impl MultipathChannel {
     }
 
     /// Sum of |gain| — an upper bound on constructive interference.
+    // lint: unitless linear amplitude gain bound
     pub fn total_energy_gain(&self) -> f64 {
         self.taps.iter().map(|t| t.gain * t.gain).sum::<f64>().sqrt()
     }

@@ -23,6 +23,7 @@ pub enum Spreading {
 
 impl Spreading {
     /// The spreading exponent `k` of this law.
+    // lint: unitless spreading-law exponent k
     pub fn exponent(self) -> f64 {
         match self {
             Spreading::Spherical => 2.0,

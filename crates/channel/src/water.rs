@@ -70,6 +70,7 @@ impl WaterProperties {
 
     /// Linear amplitude attenuation factor over `distance_m` at `freq_hz`
     /// due to absorption only (spreading handled separately).
+    // lint: unitless linear amplitude attenuation factor in (0, 1]
     pub fn absorption_amplitude_factor(&self, freq_hz: f64, distance_m: f64) -> f64 {
         let db = self.thorp_absorption_db_per_km(freq_hz) * distance_m / 1000.0;
         10f64.powf(-db / 20.0)

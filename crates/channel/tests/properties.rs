@@ -53,7 +53,7 @@ proptest! {
         let pool = Pool::pool_b();
         let ch = pool.channel(&a, &b, order, 15_000.0).unwrap();
         let direct = ch.direct();
-        let expected_delay = a.distance_to(&b) / pool.water.sound_speed_m_s();
+        let expected_delay = a.distance_to_m(&b) / pool.water.sound_speed_m_s();
         prop_assert!((direct.delay_s - expected_delay).abs() < 1e-9);
         let max_abs = ch.taps().iter().map(|t| t.gain.abs()).fold(0.0, f64::max);
         prop_assert!(direct.gain.abs() >= max_abs - 1e-12);

@@ -41,6 +41,7 @@ impl ActiveAcousticNode {
     }
 
     /// Duty cycle: fraction of time the node can afford to transmit.
+    // lint: unitless fraction of time in [0, 1]
     pub fn duty_cycle(&self) -> f64 {
         (self.harvest_power_w / self.tx_power_w).min(1.0)
     }
@@ -59,6 +60,7 @@ impl ActiveAcousticNode {
     }
 
     /// Bits per burst.
+    // lint: unitless bit count per energy burst
     pub fn bits_per_burst(&self) -> f64 {
         self.burst_energy_j / self.tx_power_w * self.tx_bitrate_bps
     }

@@ -23,6 +23,7 @@ use pab_dsp::stats::{mean, variance};
 #[derive(Debug, Clone, PartialEq)]
 pub struct AffineChannel {
     /// DC offset (un-modulated carrier + constant reflections).
+    // lint: unitless DC offset in normalized envelope amplitude
     pub offset: f64,
     /// Gain per transmit stream.
     pub gains: Vec<f64>,
@@ -47,6 +48,7 @@ pub fn solve_linear(a: &[Vec<f64>], b: &[f64]) -> Result<Vec<f64>, CoreError> {
     for col in 0..n {
         // Pivot.
         let (pivot, max) = (col..n)
+            // lint: allow(panic-path) r ranges over col..n and m has n rows
             .map(|r| (r, m[r][col].abs()))
             .max_by(|x, y| x.1.total_cmp(&y.1))
             // lint: allow(no-unwrap-in-lib) col < n, so the iterator is non-empty
@@ -143,6 +145,7 @@ pub fn zero_force_two(
 /// Condition number (2-norm, via singular values) of the 2×2 channel
 /// matrix — the paper's footnote 7 argues recto-piezos make this matrix
 /// better conditioned.
+// lint: unitless condition number (ratio of singular values)
 pub fn condition_number_2x2(ch: &[AffineChannel; 2]) -> f64 {
     let a = ch[0].gains[0];
     let b = ch[0].gains[1];
@@ -258,6 +261,7 @@ pub fn zero_force_two_complex(
 
 /// Condition number of the complex 2×2 channel matrix (singular values of
 /// the complex matrix).
+// lint: unitless condition number (ratio of singular values)
 pub fn condition_number_2x2_complex(ch: &[ComplexAffineChannel; 2]) -> f64 {
     let a = ch[0].gains[0];
     let b = ch[0].gains[1];
@@ -297,6 +301,7 @@ pub fn solve_linear_complex(
         .collect();
     for col in 0..n {
         let (pivot, max) = (col..n)
+            // lint: allow(panic-path) r ranges over col..n and m has n rows
             .map(|r| (r, m[r][col].norm()))
             .max_by(|x, y| x.1.total_cmp(&y.1))
             // lint: allow(no-unwrap-in-lib) col < n, so the iterator is non-empty
@@ -367,6 +372,7 @@ pub fn zero_force_n_complex(
 /// Condition number of an `n×n` complex channel matrix (ratio of largest
 /// to smallest singular value, computed by power iteration on `A^H A` —
 /// adequate for the small matrices here).
+// lint: unitless condition number (ratio of singular values)
 pub fn condition_number_n(ch: &[ComplexAffineChannel]) -> f64 {
     use num_complex::Complex64;
     let n = ch.len();
@@ -452,6 +458,7 @@ pub fn aligned_sinr_db(
             (0usize, (-lag) as usize) // lint: allow(lossy-cast) lag < 0 in this branch
         };
         let m = n - lag.unsigned_abs() as usize; // lint: allow(lossy-cast) lossless widening on 64-bit
+        // lint: allow(panic-path) e_off/t_off + m <= n: m = n - |lag| by construction
         let s = sinr_db(&estimate[e_off..e_off + m], &smooth[t_off..t_off + m]);
         if s > best {
             best = s;

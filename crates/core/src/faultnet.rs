@@ -63,6 +63,7 @@ pub struct FaultNetConfig {
     /// Ambient noise.
     pub noise: NoiseEnvironment,
     /// Extra multiplier on ambient noise sigma.
+    // lint: unitless multiplier on ambient noise sigma
     pub noise_scale: f64,
     /// Base RNG seed; per-node link seeds derive from it.
     pub seed: u64,
@@ -126,6 +127,7 @@ pub struct NodeOutcome {
     /// The FM0 rate the node ended the run at, bps.
     pub final_rate_bps: f64,
     /// Final link-quality estimate in [0, 1].
+    // lint: unitless link-quality estimate in [0, 1]
     pub quality: f64,
 }
 
@@ -145,6 +147,7 @@ pub struct FaultNetReport {
     pub dropped_total: u64,
     /// Packet delivery ratio: delivered / (delivered + dropped), 1.0 when
     /// nothing was attempted.
+    // lint: unitless packet delivery ratio in [0, 1]
     pub pdr: f64,
     /// Delivered packet bits per simulated second.
     pub goodput_bps: f64,

@@ -39,6 +39,7 @@ pub struct LinkConfig {
     pub noise: NoiseEnvironment,
     /// Extra multiplier on the ambient noise sigma (lets experiments sweep
     /// SNR without changing the environment model).
+    // lint: unitless multiplier on ambient noise sigma
     pub noise_scale: f64,
     /// RNG seed (noise realisation).
     pub seed: u64,
@@ -87,6 +88,7 @@ pub struct LinkReport {
     /// The decoded packet (when CRC passed).
     pub packet: Option<UplinkPacket>,
     /// Bit error rate against the expected packet bits.
+    // lint: unitless bit error rate in [0, 1]
     pub ber: f64,
     /// Receiver-estimated SNR of the backscatter modulation, dB.
     pub snr_db: f64,
@@ -97,6 +99,7 @@ pub struct LinkReport {
     pub preamble_found: bool,
     /// Peak preamble correlation in [0, 1] (0.0 on erasure) — the margin
     /// the MAC's link-quality estimator consumes.
+    // lint: unitless normalized correlation in [0, 1]
     pub preamble_corr: f64,
     /// Whether the node powered up.
     pub node_powered_up: bool,
@@ -309,7 +312,7 @@ impl LinkSimulator {
         let query = DownlinkQuery { dest, command };
         let cw_tail = self.response_window_s(payload_len);
 
-        let drift_hz = faults.drift_hz_at(t_start_s);
+        let drift_hz = faults.drift_at_hz(t_start_s);
         let saved_cfo_hz = self.projector.cfo_hz;
         self.projector.cfo_hz += drift_hz;
         let wave = self

@@ -59,6 +59,7 @@ pub struct MultiNodeConfig {
     /// Ambient noise.
     pub noise: NoiseEnvironment,
     /// Noise sigma multiplier.
+    // lint: unitless multiplier on ambient noise sigma
     pub noise_scale: f64,
     /// RNG seed.
     pub seed: u64,
@@ -113,6 +114,7 @@ pub struct MultiNodeReport {
     /// Whether each node's concurrent packet decoded with a valid CRC.
     pub crc_ok: Vec<bool>,
     /// Condition number of the N×N channel matrix.
+    // lint: unitless condition number (ratio of singular values)
     pub condition_number: f64,
     /// The estimated channels (band-major).
     pub channels: Vec<ComplexAffineChannel>,

@@ -49,6 +49,7 @@ pub struct ConcurrentConfig {
     /// Ambient noise.
     pub noise: NoiseEnvironment,
     /// Noise sigma multiplier.
+    // lint: unitless multiplier on ambient noise sigma
     pub noise_scale: f64,
     /// RNG seed.
     pub seed: u64,
@@ -87,6 +88,7 @@ pub struct ConcurrentReport {
     /// Whether each node's concurrent packet decoded with a valid CRC.
     pub crc_ok: [bool; 2],
     /// Condition number of the estimated channel matrix.
+    // lint: unitless condition number (ratio of singular values)
     pub condition_number: f64,
     /// Estimated complex affine channels (band-major).
     pub channels: [ComplexAffineChannel; 2],

@@ -65,6 +65,7 @@ pub struct PabNode {
     /// envelope swing (the detector is AC-coupled before the trigger, so
     /// a constant out-of-band carrier raises the DC floor without
     /// masking the PWM edges).
+    // lint: unitless hysteresis relative to the envelope midpoint
     pub schmitt_hysteresis_rel: f64,
     /// AC-coupling (DC-blocker) corner frequency, Hz.
     pub ac_coupling_hz: f64,
@@ -402,7 +403,7 @@ impl PabNode {
             .samples
             .iter()
             .fold(0.0f64, |m, &x| m.max(x.abs()));
-        let rectified_v = fe.rectified_voltage(peak, component.carrier_hz, 1e6);
+        let rectified_v = fe.rectified_voltage_v(peak, component.carrier_hz, 1e6);
         Ok(NodeOutput {
             powered_up: rectified_v >= self.powerup_threshold_v,
             rectified_v,

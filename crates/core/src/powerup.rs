@@ -47,7 +47,7 @@ pub fn rectified_voltage_at(
     max_reflections: usize,
 ) -> Result<f64, CoreError> {
     let amp = carrier_amplitude_at(pool, src, dst, drive_voltage_v, carrier_hz, max_reflections)?;
-    Ok(frontend.rectified_voltage(amp, carrier_hz, 1e6))
+    Ok(frontend.rectified_voltage_v(amp, carrier_hz, 1e6))
 }
 
 /// Sweep positions along the pool's long axis and return the maximum
@@ -73,11 +73,11 @@ pub fn max_powerup_distance_m(
     let mut dead_span = 0.0f64;
     let mut d = 0.5;
     loop {
-        let x = projector_pos.x + d;
+        let x = projector_pos.x_m + d;
         if x > pool.length_m - 0.05 {
             break;
         }
-        let dst = Position::new(x, projector_pos.y, projector_pos.z);
+        let dst = Position::new(x, projector_pos.y_m, projector_pos.z_m);
         let v = rectified_voltage_at(
             pool,
             fe,
@@ -196,7 +196,7 @@ mod tests {
             let mut count = 0;
             let mut d = lo;
             while d < hi {
-                let dst = Position::new(proj.x + d, proj.y, proj.z);
+                let dst = Position::new(proj.x_m + d, proj.y_m, proj.z_m);
                 acc += rectified_voltage_at(&pool, fe, &proj, &dst, 140.0, 15_000.0, 3)
                     .unwrap();
                 count += 1;

@@ -58,6 +58,7 @@ pub struct Decoded {
     /// Peak normalized preamble correlation in [0, 1] — the detection
     /// margin the MAC's link-quality estimator feeds on. Always ≥ 0.3
     /// (the detection threshold) for a successfully decoded packet.
+    // lint: unitless normalized correlation in [0, 1]
     pub preamble_corr: f64,
     /// The demodulated envelope (diagnostics; the Fig. 2 waveform).
     pub envelope: Vec<f64>,
@@ -213,6 +214,7 @@ impl Receiver {
         let mut prev_cost = [0.0f64; 2];
         let mut first_bit = true;
         for k in 0..n_bits {
+            // lint: allow(panic-path) soft.len() == 2*n_bits, so 2k+1 < soft.len()
             let (a, b) = (soft[2 * k], soft[2 * k + 1]);
             let mut new_cost = [f64::MAX; 2];
             let mut new_back = [(0usize, false); 2];
@@ -244,6 +246,7 @@ impl Receiver {
         let mut s = if prev_cost[0] <= prev_cost[1] { 0 } else { 1 };
         let mut halves_rev: Vec<(bool, bool)> = Vec::with_capacity(n_bits);
         for k in (0..n_bits).rev() {
+            // lint: allow(panic-path) s is a Viterbi state in {0,1}; back[k] is [(usize,bool); 2]
             let (p, _same) = back[k][s];
             let first_half = p != 1;
             let second_half = s == 1;
@@ -336,7 +339,7 @@ impl Receiver {
                 best_run = (s0, trend_c.len());
             }
         }
-        let cfo = pab_dsp::correlate::estimate_cfo(&trend_c[best_run.0..best_run.1], fs2);
+        let cfo = pab_dsp::correlate::estimate_cfo_hz(&trend_c[best_run.0..best_run.1], fs2);
         let correct_cfo = cfo.abs() > 0.05;
         if correct_cfo {
             d = pab_dsp::mix::frequency_shift(&d, -cfo, fs2);
@@ -364,6 +367,7 @@ impl Receiver {
         let mut win_energy: f64 = d[..m].iter().map(|c| c.norm_sqr()).sum();
         for (i, &acc) in num.iter().enumerate() {
             if i > 0 {
+                // lint: allow(panic-path) num.len() == d.len()-m+1, so i+m-1 < d.len(); i > 0 checked
                 win_energy += d[i + m - 1].norm_sqr() - d[i - 1].norm_sqr();
             }
             let denom = win_energy.max(1e-30).sqrt() * t_energy;

@@ -69,7 +69,9 @@ pub fn normalized_cross_correlate(signal: &[f64], template: &[f64]) -> Vec<f64> 
     let mut win_energy: f64 = signal[..m].iter().map(|x| x * x).sum();
     for (i, v) in num.iter_mut().enumerate() {
         if i > 0 {
+            // lint: allow(panic-path) i > 0 checked on the previous line
             let leaving = signal[i - 1];
+            // lint: allow(panic-path) num.len() == n-m+1, so i+m-1 < n
             let entering = signal[i + m - 1];
             win_energy += entering * entering - leaving * leaving;
         }
@@ -156,7 +158,7 @@ pub fn argmax(x: &[f64]) -> Option<(usize, f64)> {
 /// segment of complex baseband: the mean phase increment per sample maps
 /// to a frequency. Returns Hz. The segment should contain only the
 /// preamble's carrier-on portion.
-pub fn estimate_cfo(baseband: &[Complex64], fs_hz: f64) -> f64 {
+pub fn estimate_cfo_hz(baseband: &[Complex64], fs_hz: f64) -> f64 {
     if baseband.len() < 2 {
         return 0.0;
     }
@@ -261,7 +263,7 @@ mod tests {
         let fs_hz = 48_000.0;
         // A 75 Hz residual spin on baseband.
         let bb = complex_tone(75.0, fs_hz, 0.3, 4800);
-        let cfo = estimate_cfo(&bb, fs_hz);
+        let cfo = estimate_cfo_hz(&bb, fs_hz);
         assert!((cfo - 75.0).abs() < 0.5, "cfo={cfo}");
     }
 
@@ -273,7 +275,7 @@ mod tests {
         // Remove the double-frequency image first.
         let lp = crate::iir::butter_lowpass(4, 2_000.0, fs_hz).unwrap();
         let bbf = lp.filtfilt_complex(&bb);
-        let cfo = estimate_cfo(&bbf[2_000..17_000], fs_hz);
+        let cfo = estimate_cfo_hz(&bbf[2_000..17_000], fs_hz);
         assert!((cfo - 50.0).abs() < 2.0, "cfo={cfo}");
     }
 }

@@ -48,8 +48,10 @@ pub fn rectified_envelope(
 #[derive(Debug, Clone, Copy)]
 pub struct SchmittTrigger {
     /// Rising threshold.
+    // lint: unitless threshold in the envelope's own amplitude units
     pub high_threshold: f64,
     /// Falling threshold (must be < high_threshold).
+    // lint: unitless threshold in the envelope's own amplitude units
     pub low_threshold: f64,
 }
 
@@ -100,11 +102,11 @@ pub struct Edge {
 /// Extract all edges from a boolean level sequence.
 pub fn edges(levels: &[bool]) -> Vec<Edge> {
     let mut out = Vec::new();
-    for i in 1..levels.len() {
-        if levels[i] != levels[i - 1] {
+    for (i, pair) in levels.windows(2).enumerate() {
+        if pair[1] != pair[0] {
             out.push(Edge {
-                sample: i,
-                rising: levels[i],
+                sample: i + 1,
+                rising: pair[1],
             });
         }
     }

@@ -51,6 +51,7 @@ pub(crate) fn correlate_valid(signal: &[Complex64], kernel: &[Complex64]) -> Vec
     let kernel_fft = with_thread_cache(|cache| {
         let mut h = vec![Complex64::new(0.0, 0.0); b];
         for (k, &t) in kernel.iter().enumerate() {
+            // lint: allow(panic-path) kernel.len() == m, so m-1-k >= 0 and < b
             h[m - 1 - k] = t;
         }
         cache.fft_in_place(&mut h);
@@ -64,6 +65,7 @@ pub(crate) fn correlate_valid(signal: &[Complex64], kernel: &[Complex64]) -> Vec
         with_thread_cache(|cache| {
             cache.with_scratch(b, |cache, buf| {
                 let take = (n - start).min(b);
+                // lint: allow(panic-path) take = (n-start).min(b) bounds both slices
                 buf[..take].copy_from_slice(&signal[start..start + take]);
                 cache.fft_in_place(buf);
                 for (x, y) in buf.iter_mut().zip(&kernel_fft) {
@@ -72,6 +74,7 @@ pub(crate) fn correlate_valid(signal: &[Complex64], kernel: &[Complex64]) -> Vec
                 cache.inverse(b).process(buf);
                 let emit = step.min(out_len - start);
                 // Only the emitted samples need the 1/B inverse scaling.
+                // lint: allow(panic-path) b >= m-1+step and emit <= step, so the slice end is in bounds
                 out.extend(buf[m - 1..m - 1 + emit].iter().map(|c| c * scale));
             });
         });

@@ -77,6 +77,7 @@ pub struct Peak {
     /// Peak frequency in Hz (bin center).
     pub frequency_hz: f64,
     /// Peak amplitude in the same units as the input spectrum.
+    // lint: unitless spectrum amplitude in the input's own units
     pub amplitude: f64,
 }
 

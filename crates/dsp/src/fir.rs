@@ -123,6 +123,7 @@ impl Fir {
             let mut acc = 0.0;
             let kmax = m.min(i + 1);
             for k in 0..kmax {
+                // lint: allow(panic-path) k < kmax = m.min(i+1), so i-k >= 0
                 acc += self.taps[k] * x[i - k];
             }
             *yi = acc;
@@ -145,6 +146,7 @@ impl Fir {
             let mut acc = num_complex::Complex64::new(0.0, 0.0);
             let kmax = m.min(i + 1);
             for k in 0..kmax {
+                // lint: allow(panic-path) k < kmax = m.min(i+1), so i-k >= 0
                 acc += x[i - k] * self.taps[k];
             }
             *yi = acc;
@@ -153,6 +155,7 @@ impl Fir {
     }
 
     /// Magnitude response at `freq_hz`.
+    // lint: unitless linear magnitude response
     pub fn magnitude_at(&self, freq_hz: f64, fs_hz: f64) -> f64 {
         let w = 2.0 * PI * freq_hz / fs_hz;
         let (mut re, mut im) = (0.0, 0.0);
@@ -197,6 +200,7 @@ pub fn moving_average(x: &[f64], len: usize) -> Vec<f64> {
     for i in 0..x.len() {
         acc += x[i];
         if i >= len {
+            // lint: allow(panic-path) i >= len checked on the previous line
             acc -= x[i - len];
         }
         y[i] = acc / len.min(i + 1) as f64;

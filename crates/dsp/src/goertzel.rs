@@ -61,6 +61,7 @@ pub fn goertzel(signal: &[f64], freq_hz: f64, fs_hz: f64) -> Complex64 {
 
 /// Amplitude of the sinusoidal component at `freq_hz` (a unit sine reads 1.0,
 /// assuming an integer number of periods fits the block).
+// lint: unitless amplitude in the input's own units
 pub fn tone_amplitude(signal: &[f64], freq_hz: f64, fs_hz: f64) -> f64 {
     if signal.is_empty() {
         return 0.0;
@@ -69,6 +70,7 @@ pub fn tone_amplitude(signal: &[f64], freq_hz: f64, fs_hz: f64) -> f64 {
 }
 
 /// Mean power of the component at `freq_hz` (unit sine reads 0.5).
+// lint: unitless power in the input's own units squared
 pub fn tone_power(signal: &[f64], freq_hz: f64, fs_hz: f64) -> f64 {
     let a = tone_amplitude(signal, freq_hz, fs_hz);
     a * a / 2.0

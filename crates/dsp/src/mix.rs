@@ -76,6 +76,7 @@ impl Nco {
     }
 
     /// Produce the next real sample (sine convention).
+    // lint: unitless oscillator sample in [-1, 1]
     pub fn next_sample(&mut self) -> f64 {
         let s = self.phase.sin();
         self.phase = (self.phase + self.phase_inc) % TAU;
@@ -104,7 +105,7 @@ impl Nco {
     }
 
     /// Current oscillator phase in radians, `[0, 2π)`.
-    pub fn phase(&self) -> f64 {
+    pub fn phase_rad(&self) -> f64 {
         self.phase
     }
 }

@@ -30,8 +30,8 @@ pub fn fractional_delay(x: &[f64], delay_samples: f64) -> Result<Vec<f64>, DspEr
             continue;
         }
         let j = i - int;
-        let a = x[j];
-        let b = if j >= 1 { x[j - 1] } else { 0.0 };
+        let a = x.get(j).copied().unwrap_or(0.0);
+        let b = j.checked_sub(1).and_then(|k| x.get(k)).copied().unwrap_or(0.0);
         y[i] = a * (1.0 - frac) + b * frac;
     }
     Ok(y)
@@ -54,12 +54,13 @@ pub fn add_delayed_scaled(
         // Contribution of src[j] lands at dst[j + int] (weight 1-frac) and
         // dst[j + int + 1] (weight frac).
         let i0 = j + int;
-        if i0 < dst.len() {
-            dst[i0] += gain * s * (1.0 - frac);
+        if let Some(d) = dst.get_mut(i0) {
+            *d += gain * s * (1.0 - frac);
         }
-        let i1 = i0 + 1;
-        if frac > 0.0 && i1 < dst.len() {
-            dst[i1] += gain * s * frac;
+        if frac > 0.0 {
+            if let Some(d) = dst.get_mut(i0 + 1) {
+                *d += gain * s * frac;
+            }
         }
     }
 }

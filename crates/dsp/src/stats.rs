@@ -2,6 +2,7 @@
 //! the experiment harnesses (SNR/SINR computation per §6.1 of the paper).
 
 /// Arithmetic mean; 0.0 for an empty slice.
+// lint: unitless mean in the input's own units
 pub fn mean(x: &[f64]) -> f64 {
     if x.is_empty() {
         0.0
@@ -11,6 +12,7 @@ pub fn mean(x: &[f64]) -> f64 {
 }
 
 /// Population variance; 0.0 for an empty slice.
+// lint: unitless variance in the input's own units squared
 pub fn variance(x: &[f64]) -> f64 {
     if x.is_empty() {
         return 0.0;
@@ -20,11 +22,13 @@ pub fn variance(x: &[f64]) -> f64 {
 }
 
 /// Standard deviation.
+// lint: unitless deviation in the input's own units
 pub fn std_dev(x: &[f64]) -> f64 {
     variance(x).sqrt()
 }
 
 /// Root-mean-square value.
+// lint: unitless RMS in the input's own units
 pub fn rms(x: &[f64]) -> f64 {
     if x.is_empty() {
         return 0.0;
@@ -33,6 +37,7 @@ pub fn rms(x: &[f64]) -> f64 {
 }
 
 /// Mean power (mean of squares).
+// lint: unitless power in the input's own units squared
 pub fn power(x: &[f64]) -> f64 {
     if x.is_empty() {
         return 0.0;
@@ -83,7 +88,7 @@ pub fn snr_db(
 ///
 /// `received` and `reference` must have the same length; `reference` is the
 /// unit-amplitude transmitted waveform.
-pub fn snr_db_from_reference(received: &[f64], reference: &[f64]) -> f64 {
+pub fn snr_from_reference_db(received: &[f64], reference: &[f64]) -> f64 {
     assert_eq!(received.len(), reference.len(), "length mismatch");
     let ref_power = power(reference);
     if ref_power == 0.0 || received.is_empty() {
@@ -180,7 +185,7 @@ mod tests {
                         * rng.sample::<f64, _>(rand_distr_standard_normal())
             })
             .collect();
-        let est = snr_db_from_reference(&received, &reference);
+        let est = snr_from_reference_db(&received, &reference);
         let expected = snr_db(h * h * 0.5, noise_sigma * noise_sigma);
         assert!((est - expected).abs() < 0.5, "est={est} expected={expected}");
     }

@@ -19,6 +19,7 @@ impl Window {
     /// Evaluate the window at sample `n` of `len` (symmetric convention).
     ///
     /// Returns 1.0 everywhere for `len < 2` to avoid division by zero.
+    // lint: unitless window coefficient in [0, 1]
     pub fn coefficient(self, n: usize, len: usize) -> f64 {
         if len < 2 {
             return 1.0;
@@ -41,6 +42,7 @@ impl Window {
 
     /// Coherent gain of the window (mean of its coefficients), used to
     /// normalise spectral amplitudes.
+    // lint: unitless normalized window gain in (0, 1]
     pub fn coherent_gain(self, len: usize) -> f64 {
         if len == 0 {
             return 1.0;

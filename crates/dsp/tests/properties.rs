@@ -132,7 +132,7 @@ proptest! {
         let received: Vec<f64> = reference.iter().enumerate()
             .map(|(i, &s)| h * s + 0.01 * ((i * 2654435761) % 1000) as f64 / 1000.0 - 0.005)
             .collect();
-        let snr = stats::snr_db_from_reference(&received, &reference);
+        let snr = stats::snr_from_reference_db(&received, &reference);
         // Noise is fixed relative to the *unscaled* dither, so SNR grows
         // with h; just require finiteness and monotone sanity at extremes.
         prop_assert!(snr.is_finite());

@@ -46,11 +46,11 @@ fn main() {
     let freqs: Vec<f64> = (110..=210).map(|k| k as f64 * 100.0).collect();
     let v15: Vec<f64> = freqs
         .iter()
-        .map(|&f| node15.rectified_voltage(PRESSURE_PA, f, LOAD_OHMS))
+        .map(|&f| node15.rectified_voltage_v(PRESSURE_PA, f, LOAD_OHMS))
         .collect();
     let v18: Vec<f64> = freqs
         .iter()
-        .map(|&f| node18.rectified_voltage(PRESSURE_PA, f, LOAD_OHMS))
+        .map(|&f| node18.rectified_voltage_v(PRESSURE_PA, f, LOAD_OHMS))
         .collect();
 
     println!(

@@ -1,0 +1,30 @@
+// path: crates/dsp/src/fixture_clean.rs
+//! Known-good code: unit-suffixed declarations, checked indexing,
+//! bounded retries, live waivers only.
+
+/// Carrier frequency used by the fixture.
+pub const CARRIER_HZ: f64 = 18_500.0;
+
+/// A correctly suffixed public struct.
+pub struct Tone {
+    /// Frequency, Hz.
+    pub freq_hz: f64,
+    /// Amplitude.
+    // lint: unitless normalized amplitude in [0, 1]
+    pub amplitude: f64,
+}
+
+/// A correctly suffixed public function.
+pub fn period_s(freq_hz: f64) -> Option<f64> {
+    if freq_hz > 0.0 {
+        Some(1.0 / freq_hz)
+    } else {
+        None
+    }
+}
+
+/// Sum with iterator access only — no direct indexing.
+// lint: unitless sum of squares in the input's own units
+pub fn energy(samples: &[f64]) -> f64 {
+    samples.iter().map(|x| x * x).sum()
+}

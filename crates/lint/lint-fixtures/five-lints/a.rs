@@ -1,0 +1,31 @@
+// path: crates/dsp/src/fixture_legacy.rs
+//! The five PR 1 lints still fire on the token-derived line channels.
+
+use std::time::Instant;
+
+/// `no-unwrap-in-lib`: unwrap in library code.
+fn first(x: &[f64]) -> f64 {
+    *x.first().unwrap()
+}
+
+/// `unit-suffix`: public f64 parameter with no unit suffix.
+pub fn scale_by(x: &mut [f64], factor_thing: f64) {
+    for v in x.iter_mut() {
+        *v *= factor_thing;
+    }
+}
+
+/// `no-wallclock-no-threadrng`: wall-clock time in library code.
+pub fn stamp() -> Instant {
+    Instant::now()
+}
+
+/// `lossy-cast`: unbounded f64 -> usize cast in a dsp crate.
+pub fn to_index(x: f64) -> usize {
+    x as usize
+}
+
+/// `no-unbounded-retry`: a retry loop with no budget in its header.
+pub fn spin(mut retry_send: impl FnMut() -> bool) {
+    while !retry_send() {}
+}

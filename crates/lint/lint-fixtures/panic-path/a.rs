@@ -1,0 +1,49 @@
+// path: crates/dsp/src/fir.rs
+//! Known-bad hot-path code: this fixture pretends to be a PANIC_SCOPE
+//! file (`crates/dsp/src/fir.rs`), so loop indexing rules apply.
+
+/// Arithmetic indexing inside a demod loop — flagged.
+fn backward_sum(x: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for i in 0..x.len() {
+        if i > 0 {
+            acc += x[i - 1];
+        }
+    }
+    acc
+}
+
+/// A foreign cursor indexing inside a loop — flagged.
+fn cursor_walk(x: &[f64], hops: &[usize]) -> f64 {
+    let mut acc = 0.0;
+    let mut cursor = 0usize;
+    for &h in hops {
+        cursor = h;
+        acc += x[cursor];
+    }
+    acc
+}
+
+/// The same accesses guarded — clean.
+fn guarded(x: &[f64], hops: &[usize]) -> f64 {
+    let mut acc = 0.0;
+    for &h in hops {
+        acc += x.get(h).copied().unwrap_or(0.0);
+    }
+    acc
+}
+
+/// Indexing by the for-loop variable itself — clean.
+fn forward_sum(x: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for i in 0..x.len() {
+        acc += x[i];
+    }
+    acc
+}
+
+/// unwrap-adjacent calls are flagged anywhere in LIB_SCOPE, loops or
+/// not: `unwrap_err` panics on the *success* path.
+pub fn take_error(r: Result<f64, String>) -> String {
+    r.unwrap_err()
+}

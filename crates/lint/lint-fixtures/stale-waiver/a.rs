@@ -1,0 +1,23 @@
+// path: crates/core/src/fixture_waivers.rs
+//! Waiver lifecycle: one live waiver (fine), one orphaned waiver (the
+//! code it excused is gone), and one waiver naming an unknown lint.
+
+/// A live waiver: the unwrap is still there, the waiver still earns
+/// its keep.
+pub fn live(x: Option<u8>) -> u8 {
+    // lint: allow(no-unwrap-in-lib) fixture: invariant documented here
+    x.unwrap()
+}
+
+/// An orphaned waiver: a refactor replaced the unwrap with a default,
+/// but the waiver was left behind.
+pub fn orphaned(x: Option<u8>) -> u8 {
+    // lint: allow(no-unwrap-in-lib) fixture: the unwrap below is long gone
+    x.unwrap_or(0)
+}
+
+/// A typo'd lint name never matched anything.
+pub fn misspelled(x: Option<u8>) -> u8 {
+    // lint: allow(no-unwraps) fixture: should be no-unwrap-in-lib
+    x.unwrap_or_default()
+}

@@ -1,0 +1,7 @@
+// path: crates/dsp/src/fixture_callee.rs
+//! The callee crate: a symbol timer that thinks in seconds.
+
+/// Clamp the inter-symbol gap; `gap_s` is seconds.
+pub fn clamped_gap_s(gap_s: f64) -> f64 {
+    gap_s.max(0.0)
+}

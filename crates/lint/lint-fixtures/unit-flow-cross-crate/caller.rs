@@ -1,0 +1,20 @@
+// path: crates/core/src/fixture_caller.rs
+//! The caller crate: holds its gap in milliseconds and forgets to
+//! convert — the seeded cross-crate suffix mismatch.
+
+/// MAC timing knobs.
+pub struct MacTiming {
+    /// Inter-symbol gap, milliseconds.
+    pub gap_ms: f64,
+}
+
+/// Pushes the configured gap into the symbol timer. BUG: `gap_ms` is
+/// milliseconds but `clamped_gap_s` declares seconds.
+pub fn apply_s(t: &MacTiming) -> f64 {
+    clamped_gap_s(t.gap_ms)
+}
+
+/// A correct caller for contrast: same units on both sides.
+pub fn apply_converted_s(gap_s: f64) -> f64 {
+    clamped_gap_s(gap_s)
+}

@@ -1,0 +1,21 @@
+// path: crates/channel/src/fixture_decls.rs
+//! Known-bad declarations: unsuffixed public f64 field, const, and
+//! bare-f64 return.
+
+/// A calibration constant with no unit in its name.
+pub const CAL_FACTOR: f64 = 1.25;
+
+/// Sensor reading with a bare f64 field.
+pub struct Reading {
+    /// The measured level (of what? in what?).
+    pub level: f64,
+    /// Private fields are not checked.
+    raw: f64,
+    /// Non-f64 fields are not checked.
+    pub count: u32,
+}
+
+/// Returns bare f64 with no unit in the fn name.
+pub fn smoothed(r: &Reading) -> f64 {
+    r.level * 0.5 + r.raw * 0.5 * f64::from(r.count)
+}

@@ -11,12 +11,23 @@
 //! | `no-wallclock-no-threadrng` | no `SystemTime::now` / `Instant::now` / `thread_rng` / `from_entropy` in library code |
 //! | `lossy-cast` | `as f32` / `as usize` narrowing casts in `dsp`/`core` must be visibly bounded or waivered |
 //! | `no-unbounded-retry` | `while`/`loop` headers that retry/resend/backoff must reference a budget, limit or timeout |
+//! | `unit-flow` | unit suffixes must agree where values flow: call-site arguments vs declared parameters, and public `f64` fields / consts / return types must be unit-named |
+//! | `panic-path` | demod hot paths: no unwrap-adjacent calls, no unchecked-arithmetic or foreign-cursor slice indexing inside loops |
+//! | `stale-waiver` | a waiver that no longer suppresses a violation is itself a violation |
 //!
-//! The linter is deliberately line/token-based (comment- and
-//! string-aware, `#[cfg(test)]`-aware) and has **zero dependencies**,
-//! so it can never be the reason the workspace fails to build. It runs
-//! as an ordinary test (`crates/lint/tests/enforce.rs`), so plain
-//! `cargo test -q` enforces it.
+//! The linter is built on a small zero-dependency Rust tokenizer
+//! ([`token`]) that understands strings, raw strings, nested block
+//! comments, char literals vs lifetimes and raw identifiers. The five
+//! original lints stay line-based — [`scan`] derives the per-line
+//! code/comment channels from the token stream, so verdicts are
+//! byte-identical to the pre-tokenizer linter (locked by
+//! `tests/legacy_equiv.rs`) — while the newer passes ([`flow`],
+//! [`panic_path`], [`waiver`]) walk tokens and the signature index
+//! ([`sig`]) directly. Zero dependencies means it can never be the
+//! reason the workspace fails to build. It runs as an ordinary test
+//! (`crates/lint/tests/enforce.rs`), so plain `cargo test -q` enforces
+//! it; `cargo run -p pab-lint -- --json` emits the same findings as
+//! machine-readable JSON for CI.
 //!
 //! ## Waivers
 //!
@@ -30,11 +41,19 @@
 //! The `unit-suffix` lint also accepts `// lint: unitless <why>` next to
 //! a genuinely dimensionless parameter.
 
+pub mod flow;
 pub mod lints;
+pub mod panic_path;
 pub mod scan;
+pub mod sig;
+pub mod token;
+pub mod waiver;
 
 pub use lints::{Violation, CAST_SCOPE, LIB_SCOPE, UNIT_SCOPE, UNIT_SUFFIXES};
-pub use scan::{scan_str, Line, ScannedFile};
+pub use panic_path::PANIC_SCOPE;
+pub use scan::{parse_str, scan_str, Line, ParsedFile, ScannedFile};
+pub use sig::{FileSigs, SigIndex};
+pub use waiver::KNOWN_LINTS;
 
 use std::fs;
 use std::io;
@@ -83,26 +102,86 @@ pub fn scan_file(root: &Path, rel: &str) -> io::Result<ScannedFile> {
     Ok(scan_str(rel, &text))
 }
 
+/// Parse one workspace-relative file from disk (tokens + line channels).
+pub fn parse_file(root: &Path, rel: &str) -> io::Result<ParsedFile> {
+    let text = fs::read_to_string(root.join(rel))?;
+    Ok(parse_str(rel, &text))
+}
+
+/// The raw (pre-waiver) violations of every lint on one file, under the
+/// same scope gating as enforcement. This is what the stale-waiver audit
+/// compares waiver sites against: a waiver is live iff a raw violation
+/// of its lint sits at the line it covers.
+fn raw_violations(pf: &ParsedFile, sigs: &FileSigs, index: &SigIndex) -> Vec<Violation> {
+    let file = &pf.scanned;
+    let crate_name = file.crate_name.as_str();
+    let mut raw = Vec::new();
+    raw.extend(lints::no_unwrap_in_lib_raw(file));
+    raw.extend(lints::no_wallclock_no_threadrng_raw(file));
+    raw.extend(lints::no_unbounded_retry_raw(file));
+    if lints::UNIT_SCOPE.contains(&crate_name) {
+        raw.extend(lints::unit_suffix_raw(file));
+    }
+    if lints::CAST_SCOPE.contains(&crate_name) {
+        raw.extend(lints::lossy_cast_raw(file));
+    }
+    raw.extend(flow::unit_flow_raw(
+        pf,
+        sigs,
+        index,
+        lints::UNIT_SCOPE.contains(&crate_name),
+    ));
+    raw.extend(panic_path::panic_path_raw(pf));
+    raw
+}
+
 /// Run every lint over its scope in the workspace rooted at `root`.
 /// Returns all unwaivered violations, sorted by file then line.
+///
+/// Two passes: first every `LIB_SCOPE` file is tokenized and its
+/// signatures indexed (so call-site unit-flow sees cross-crate
+/// declarations), then each file is linted against the global index.
 pub fn run_workspace(root: &Path) -> io::Result<Vec<Violation>> {
-    let mut violations = Vec::new();
-
+    let mut parsed = Vec::new();
     for rel in lib_sources(root, lints::LIB_SCOPE)? {
-        let file = scan_file(root, &rel)?;
-        violations.extend(lints::no_unwrap_in_lib(&file));
-        violations.extend(lints::no_wallclock_no_threadrng(&file));
-        violations.extend(lints::no_unbounded_retry(&file));
-        if lints::UNIT_SCOPE.contains(&file.crate_name.as_str()) {
-            violations.extend(lints::unit_suffix(&file));
+        parsed.push(parse_file(root, &rel)?);
+    }
+    Ok(run_parsed(&parsed))
+}
+
+/// [`run_workspace`] on already-parsed files — also the entry point the
+/// fixture tests use to lint an in-memory corpus.
+pub fn run_parsed(parsed: &[ParsedFile]) -> Vec<Violation> {
+    let sigs: Vec<FileSigs> = parsed.iter().map(sig::index_file).collect();
+    let index = SigIndex::build(&sigs);
+
+    let mut violations = Vec::new();
+    for (pf, fsigs) in parsed.iter().zip(&sigs) {
+        let file = &pf.scanned;
+        let crate_name = file.crate_name.as_str();
+        violations.extend(lints::no_unwrap_in_lib(file));
+        violations.extend(lints::no_wallclock_no_threadrng(file));
+        violations.extend(lints::no_unbounded_retry(file));
+        if lints::UNIT_SCOPE.contains(&crate_name) {
+            violations.extend(lints::unit_suffix(file));
         }
-        if lints::CAST_SCOPE.contains(&file.crate_name.as_str()) {
-            violations.extend(lints::lossy_cast(&file));
+        if lints::CAST_SCOPE.contains(&crate_name) {
+            violations.extend(lints::lossy_cast(file));
         }
+        violations.extend(flow::unit_flow(
+            pf,
+            fsigs,
+            &index,
+            lints::UNIT_SCOPE.contains(&crate_name),
+        ));
+        violations.extend(panic_path::panic_path(pf));
+
+        let raw = raw_violations(pf, fsigs, &index);
+        violations.extend(waiver::stale_waivers(file, &raw));
     }
 
     violations.sort_by(|a, b| a.file.cmp(&b.file).then(a.line.cmp(&b.line)));
-    Ok(violations)
+    violations
 }
 
 /// Render violations as a machine-readable report: one `file:line:
@@ -124,6 +203,53 @@ pub fn render_report(violations: &[Violation]) -> String {
          For dimensionless f64 parameters: // lint: unitless <why>\n\
          See README.md 'Static analysis & invariants' for the conventions.\n",
     );
+    s
+}
+
+/// Minimal JSON string escaping: quotes, backslashes and control
+/// characters. Everything else (including UTF-8) passes through, which
+/// JSON permits.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render violations as machine-readable JSON for CI:
+/// `{"tool":"pab-lint","count":N,"violations":[{file,line,lint,message},...]}`.
+/// Hand-rolled — the crate is dependency-free by design.
+pub fn render_json(violations: &[Violation]) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = write!(s, "{{\"tool\":\"pab-lint\",\"count\":{}", violations.len());
+    s.push_str(",\"violations\":[");
+    for (i, v) in violations.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "{{\"file\":\"{}\",\"line\":{},\"lint\":\"{}\",\"message\":\"{}\"}}",
+            json_escape(&v.file),
+            v.line,
+            json_escape(v.lint),
+            json_escape(&v.message)
+        );
+    }
+    s.push_str("]}\n");
     s
 }
 
@@ -157,5 +283,20 @@ mod tests {
         assert!(r.contains("lint: allow("));
         let empty = render_report(&[]);
         assert!(empty.contains("0 violations"));
+    }
+
+    #[test]
+    fn json_report_escapes_and_counts() {
+        let v = vec![Violation {
+            file: "crates/core/src/node.rs".into(),
+            line: 7,
+            lint: "unit-flow",
+            message: "`delay_ms` has a \"tab\there".into(),
+        }];
+        let j = render_json(&v);
+        assert!(j.starts_with("{\"tool\":\"pab-lint\",\"count\":1"));
+        assert!(j.contains("\\\"tab\\t"));
+        assert!(j.contains("\"line\":7"));
+        assert_eq!(render_json(&[]), "{\"tool\":\"pab-lint\",\"count\":0,\"violations\":[]}\n");
     }
 }

@@ -45,11 +45,21 @@ pub const UNIT_SUFFIXES: &[&str] = &[
     "_ohms", "_kohms", "_f", "_uf", "_nf", "_pf", "_h", "_mh", "_uh",
     // energy / temperature / angle
     "_j", "_mj", "_uj", "_c", "_k", "_rad", "_deg",
-    // rates and explicit dimensionless
-    "_bps", "_kbps", "_baud", "_bits", "_bytes", "_pct", "_frac", "_ratio",
+    // rates and explicit dimensionless (`_ppt`: parts per thousand, the
+    // oceanographic salinity unit)
+    "_bps", "_kbps", "_baud", "_bits", "_bytes", "_pct", "_ppt", "_frac", "_ratio",
     // spelled-out forms
     "_amps", "_watts", "_farads", "_henries", "_joules", "_meters", "_pascals",
     "_seconds", "_hertz",
+    // compound rates (PR 6): suffix matching is longest-first, so
+    // `rate_hz_per_s` canonicalizes to Hz/s (a drift-ramp slope), not
+    // to seconds, and `_db_per_m`/`_db_per_km` absorption slopes are
+    // dB-per-distance rather than bare distance.
+    "_hz_per_s", "_db_per_m", "_db_per_km",
+    // geometry / material / acoustic-impedance units (PR 6): area,
+    // volume, density and rayls, used by the piezo element geometry and
+    // the water model.
+    "_m2", "_m3", "_kg_m3", "_rayl",
 ];
 
 /// Parameter names that *are* a unit word outright (`volts: f64`,
@@ -87,14 +97,25 @@ impl std::fmt::Display for Violation {
 /// comment on the same line, or a comment-**only** line directly above
 /// (a trailing waiver on a line of code covers that line, not the next).
 /// Waiver syntax: `// lint: allow(<lint-name>) <reason>`; the
-/// `unit-suffix` lint also accepts the shorthand `// lint: unitless`.
-fn waived(file: &ScannedFile, idx: usize, lint: &str) -> bool {
+/// `unit-suffix` and `unit-flow` lints also accept the shorthand
+/// `// lint: unitless`.
+pub(crate) fn waived(file: &ScannedFile, idx: usize, lint: &str) -> bool {
     let marker = format!("lint: allow({lint})");
     let hit = |i: usize| {
         let c = &file.lines[i].comment;
-        c.contains(&marker) || (lint == "unit-suffix" && c.contains("lint: unitless"))
+        c.contains(&marker)
+            || ((lint == "unit-suffix" || lint == "unit-flow") && c.contains("lint: unitless"))
     };
     hit(idx) || (idx > 0 && file.lines[idx - 1].code.trim().is_empty() && hit(idx - 1))
+}
+
+/// Drop every violation whose line carries a matching waiver. All lints
+/// (line-level and token-level) share this single filtering step, so the
+/// stale-waiver audit can reason about raw-vs-filtered sets uniformly.
+pub fn filter_waived(file: &ScannedFile, raw: Vec<Violation>) -> Vec<Violation> {
+    raw.into_iter()
+        .filter(|v| !waived(file, v.line - 1, v.lint))
+        .collect()
 }
 
 /// `no-unwrap-in-lib`: `.unwrap()`, `.expect(...)`, `panic!`, `todo!`
@@ -103,6 +124,11 @@ fn waived(file: &ScannedFile, idx: usize, lint: &str) -> bool {
 /// `Result` or carry a waiver naming the invariant that makes the
 /// branch impossible.
 pub fn no_unwrap_in_lib(file: &ScannedFile) -> Vec<Violation> {
+    filter_waived(file, no_unwrap_in_lib_raw(file))
+}
+
+/// [`no_unwrap_in_lib`] before waiver filtering (stale-waiver audit).
+pub fn no_unwrap_in_lib_raw(file: &ScannedFile) -> Vec<Violation> {
     const PATTERNS: &[(&str, &str)] = &[
         (".unwrap()", "`.unwrap()` in library code"),
         (".expect(", "`.expect(...)` in library code"),
@@ -116,7 +142,7 @@ pub fn no_unwrap_in_lib(file: &ScannedFile) -> Vec<Violation> {
             continue;
         }
         for (pat, what) in PATTERNS {
-            if line.code.contains(pat) && !waived(file, idx, "no-unwrap-in-lib") {
+            if line.code.contains(pat) {
                 out.push(Violation {
                     file: file.rel_path.clone(),
                     line: idx + 1,
@@ -137,6 +163,11 @@ pub fn no_unwrap_in_lib(file: &ScannedFile) -> Vec<Violation> {
 /// (`thread_rng`, `from_entropy`) are forbidden. Time comes from the
 /// simulation clock; randomness comes from a caller-seeded RNG.
 pub fn no_wallclock_no_threadrng(file: &ScannedFile) -> Vec<Violation> {
+    filter_waived(file, no_wallclock_no_threadrng_raw(file))
+}
+
+/// [`no_wallclock_no_threadrng`] before waiver filtering.
+pub fn no_wallclock_no_threadrng_raw(file: &ScannedFile) -> Vec<Violation> {
     const PATTERNS: &[(&str, &str)] = &[
         ("SystemTime::now", "wall-clock read (`SystemTime::now`)"),
         ("Instant::now", "wall-clock read (`Instant::now`)"),
@@ -149,7 +180,7 @@ pub fn no_wallclock_no_threadrng(file: &ScannedFile) -> Vec<Violation> {
             continue;
         }
         for (pat, what) in PATTERNS {
-            if line.code.contains(pat) && !waived(file, idx, "no-wallclock-no-threadrng") {
+            if line.code.contains(pat) {
                 out.push(Violation {
                     file: file.rel_path.clone(),
                     line: idx + 1,
@@ -174,6 +205,12 @@ pub fn no_wallclock_no_threadrng(file: &ScannedFile) -> Vec<Violation> {
 /// or rounds the value (`.clamp(`, `.min(`, `.max(`, `.floor()`,
 /// `.ceil()`, `.round()`) or carries a waiver.
 pub fn lossy_cast(file: &ScannedFile) -> Vec<Violation> {
+    filter_waived(file, lossy_cast_raw(file))
+}
+
+/// [`lossy_cast`] before waiver filtering (the visible-guard exemption
+/// is part of the rule itself, so it stays in the raw pass).
+pub fn lossy_cast_raw(file: &ScannedFile) -> Vec<Violation> {
     const GUARDS: &[&str] = &[".clamp(", ".min(", ".max(", ".floor()", ".ceil()", ".round()"];
     let mut out = Vec::new();
     for (idx, line) in file.lines.iter().enumerate() {
@@ -185,9 +222,6 @@ pub fn lossy_cast(file: &ScannedFile) -> Vec<Violation> {
                 continue;
             }
             if GUARDS.iter().any(|g| line.code.contains(g)) {
-                continue;
-            }
-            if waived(file, idx, "lossy-cast") {
                 continue;
             }
             out.push(Violation {
@@ -216,6 +250,11 @@ pub fn lossy_cast(file: &ScannedFile) -> Vec<Violation> {
 /// with the retry logic inside the body is out of scope (and `for` is
 /// the preferred idiom there anyway).
 pub fn no_unbounded_retry(file: &ScannedFile) -> Vec<Violation> {
+    filter_waived(file, no_unbounded_retry_raw(file))
+}
+
+/// [`no_unbounded_retry`] before waiver filtering.
+pub fn no_unbounded_retry_raw(file: &ScannedFile) -> Vec<Violation> {
     const RETRY_TOKENS: &[&str] = &[
         "retry", "retries", "retrans", "resend", "re_send", "reprobe", "re_probe", "requery",
         "re_query", "backoff",
@@ -240,9 +279,6 @@ pub fn no_unbounded_retry(file: &ScannedFile) -> Vec<Violation> {
         if BOUND_TOKENS.iter().any(|t| code.contains(t)) {
             continue;
         }
-        if waived(file, idx, "no-unbounded-retry") {
-            continue;
-        }
         out.push(Violation {
             file: file.rel_path.clone(),
             line: idx + 1,
@@ -261,6 +297,11 @@ pub fn no_unbounded_retry(file: &ScannedFile) -> Vec<Violation> {
 /// Dimensionless parameters use `_frac`/`_ratio` or a
 /// `// lint: unitless` waiver on the parameter's line.
 pub fn unit_suffix(file: &ScannedFile) -> Vec<Violation> {
+    filter_waived(file, unit_suffix_raw(file))
+}
+
+/// [`unit_suffix`] before waiver filtering.
+pub fn unit_suffix_raw(file: &ScannedFile) -> Vec<Violation> {
     let mut out = Vec::new();
     let mut idx = 0usize;
     while idx < file.lines.len() {
@@ -395,9 +436,6 @@ fn check_param(file: &ScannedFile, line_idx: usize, param: &str, out: &mut Vec<V
         return;
     }
     if UNIT_SUFFIXES.iter().any(|s| name.ends_with(s)) || UNIT_WORDS.contains(&name) {
-        return;
-    }
-    if waived(file, line_idx, "unit-suffix") {
         return;
     }
     out.push(Violation {

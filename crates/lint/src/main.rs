@@ -1,0 +1,46 @@
+//! Standalone `pab-lint` binary for CI and local runs.
+//!
+//! Usage: `cargo run -p pab-lint [-- --json]`
+//!
+//! Exit codes: 0 clean, 1 violations found, 2 usage or I/O error. With
+//! `--json` the findings stream to stdout as a single JSON object
+//! (`render_json`); otherwise the human report (`render_report`).
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--help" | "-h" => {
+                println!("usage: pab-lint [--json]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("pab-lint: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = pab_lint::workspace_root();
+    match pab_lint::run_workspace(&root) {
+        Ok(violations) => {
+            if json {
+                print!("{}", pab_lint::render_json(&violations));
+            } else {
+                print!("{}", pab_lint::render_report(&violations));
+            }
+            if violations.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("pab-lint: failed to scan workspace: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,4 +1,4 @@
-//! Comment/string-aware line scanner.
+//! Comment/string-aware line scanner, built on the token stream.
 //!
 //! Turns Rust source into per-line records where string-literal and
 //! comment contents are blanked out of the `code` channel (so lint
@@ -7,6 +7,14 @@
 //! Additionally marks every line belonging to a `#[cfg(test)]` item or a
 //! `#[test]` function, because the domain lints only police production
 //! library code.
+//!
+//! Since PR 6 the channels are *derived* from [`crate::token`]'s
+//! tokenizer rather than re-lexed by hand: [`scan_str`] tokenizes once
+//! and blanks the span of every string/char/comment token, so the line
+//! lints and the token-level analyses (`sig`, `flow`, `panic_path`)
+//! can never disagree about what is code and what is not.
+
+use crate::token::{tokenize, Tok, TokKind};
 
 /// One scanned source line.
 #[derive(Debug, Clone)]
@@ -30,193 +38,174 @@ pub struct ScannedFile {
     pub lines: Vec<Line>,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq)]
-enum Mode {
-    Code,
-    LineComment,
-    BlockComment(u32),
-    Str,
-    RawStr(u32),
+/// A scanned file together with its (comment-free) token stream, for
+/// the token-level analyses. The `scanned` channels and the tokens come
+/// from one tokenizer run, so they can never drift apart.
+#[derive(Debug, Clone)]
+pub struct ParsedFile {
+    pub scanned: ScannedFile,
+    /// Code tokens only — comments are dropped (their text lives in the
+    /// per-line `comment` channel of `scanned`).
+    pub toks: Vec<Tok>,
+}
+
+impl ParsedFile {
+    /// True when the token at `tok_idx` lies on a `#[cfg(test)]` line.
+    pub fn tok_in_test(&self, tok: &Tok) -> bool {
+        self.scanned
+            .lines
+            .get(tok.line)
+            .is_some_and(|l| l.in_test)
+    }
 }
 
 /// Scan source text. `rel_path` should be workspace-relative; the crate
 /// name is derived from a leading `crates/<name>/` component when present.
 pub fn scan_str(rel_path: &str, text: &str) -> ScannedFile {
+    parse_str(rel_path, text).scanned
+}
+
+/// Scan source text and keep the token stream for signature/call-site
+/// analyses.
+pub fn parse_str(rel_path: &str, text: &str) -> ParsedFile {
     let crate_name = rel_path
         .strip_prefix("crates/")
         .and_then(|rest| rest.split('/').next())
         .unwrap_or("")
         .to_string();
 
-    let mut lines: Vec<Line> = Vec::new();
-    let mut mode = Mode::Code;
+    let toks = tokenize(text);
 
-    for raw in text.lines() {
-        let mut code = String::with_capacity(raw.len());
-        let mut comment = String::new();
-        let chars: Vec<char> = raw.chars().collect();
-        let mut i = 0usize;
-
-        // A line comment never spans lines.
-        if mode == Mode::LineComment {
-            mode = Mode::Code;
+    // Byte ranges of each line (excluding the newline terminator),
+    // matching `str::lines()` (a trailing `\r` is excluded too).
+    let mut line_ranges: Vec<(usize, usize)> = Vec::new();
+    let mut pos = 0usize;
+    for raw in text.split('\n') {
+        let mut end = pos + raw.len();
+        if raw.ends_with('\r') {
+            end -= 1;
         }
+        line_ranges.push((pos, end));
+        pos += raw.len() + 1;
+    }
+    // `split('\n')` yields one final empty piece for trailing-newline
+    // texts; `str::lines()` does not. Drop it to match.
+    if text.ends_with('\n') {
+        line_ranges.pop();
+    }
 
-        while i < chars.len() {
-            let c = chars[i];
-            let next = chars.get(i + 1).copied();
-            match mode {
-                Mode::Code => match c {
-                    '/' if next == Some('/') => {
-                        comment.push_str(&raw[byte_offset(&chars, i)..]);
-                        mode = Mode::LineComment;
-                        break;
-                    }
-                    '/' if next == Some('*') => {
-                        mode = Mode::BlockComment(1);
-                        code.push(' ');
-                        code.push(' ');
-                        i += 2;
-                        continue;
-                    }
-                    '"' => {
-                        mode = Mode::Str;
-                        code.push('"');
-                    }
-                    'r' if next == Some('"') || next == Some('#') => {
-                        // Possible raw string r"..." / r#"..."#.
-                        if let Some(hashes) = raw_string_open(&chars, i) {
-                            mode = Mode::RawStr(hashes);
-                            code.push('r');
-                            for _ in 0..hashes {
-                                code.push('#');
-                            }
-                            code.push('"');
-                            i += 1 + hashes as usize + 1;
-                            continue;
-                        }
-                        code.push(c);
-                    }
-                    '\'' => {
-                        // Char literal vs lifetime: a char literal closes
-                        // with a quote one or two (escaped) chars later.
-                        if next == Some('\\') {
-                            // Escaped char literal: skip to closing quote.
-                            code.push('\'');
-                            let mut j = i + 2;
-                            while j < chars.len() && chars[j] != '\'' {
-                                code.push(' ');
-                                j += 1;
-                            }
-                            code.push('\'');
-                            i = j + 1;
-                            continue;
-                        } else if chars.get(i + 2) == Some(&'\'') {
-                            code.push('\'');
-                            code.push(' ');
-                            code.push('\'');
-                            i += 3;
-                            continue;
-                        }
-                        // Lifetime: keep as-is.
-                        code.push(c);
-                    }
-                    _ => code.push(c),
-                },
-                Mode::LineComment => unreachable!("handled above"),
-                Mode::BlockComment(depth) => {
-                    if c == '*' && next == Some('/') {
-                        if depth == 1 {
-                            mode = Mode::Code;
-                        } else {
-                            mode = Mode::BlockComment(depth - 1);
-                        }
-                        comment.push(' ');
-                        code.push(' ');
-                        code.push(' ');
-                        i += 2;
-                        continue;
-                    }
-                    if c == '/' && next == Some('*') {
-                        mode = Mode::BlockComment(depth + 1);
-                        code.push(' ');
-                        code.push(' ');
-                        i += 2;
-                        continue;
-                    }
-                    comment.push(c);
-                    code.push(' ');
-                }
-                Mode::Str => match c {
-                    '\\' => {
-                        code.push(' ');
-                        code.push(' ');
-                        i += 2;
-                        continue;
-                    }
-                    '"' => {
-                        mode = Mode::Code;
-                        code.push('"');
-                    }
-                    _ => code.push(' '),
-                },
-                Mode::RawStr(hashes) => {
-                    if c == '"' && raw_string_close(&chars, i, hashes) {
-                        mode = Mode::Code;
-                        code.push('"');
-                        for _ in 0..hashes {
-                            code.push('#');
-                        }
-                        i += 1 + hashes as usize;
-                        continue;
-                    }
-                    code.push(' ');
+    let src = text.as_bytes();
+    let mut code_lines: Vec<Vec<u8>> = line_ranges
+        .iter()
+        .map(|&(s, e)| src[s..e].to_vec())
+        .collect();
+    let mut comments: Vec<String> = vec![String::new(); line_ranges.len()];
+
+    // First line whose range could overlap byte offset `lo`.
+    let first_line_at = |lo: usize| line_ranges.partition_point(|&(_, le)| le < lo);
+
+    // Blank `[lo, hi)` (absolute byte offsets) out of the code channel.
+    let blank = |code_lines: &mut Vec<Vec<u8>>, lo: usize, hi: usize| {
+        for li in first_line_at(lo)..line_ranges.len() {
+            let (ls, le) = line_ranges[li];
+            if ls >= hi {
+                break;
+            }
+            let s = lo.max(ls);
+            let e = hi.min(le);
+            if s < e {
+                for b in &mut code_lines[li][s - ls..e - ls] {
+                    *b = b' ';
                 }
             }
-            i += 1;
         }
+    };
 
-        // An unterminated ordinary string at end-of-line: Rust allows a
-        // trailing backslash continuation; stay in Str mode in that case.
-        lines.push(Line {
-            code,
+    for t in &toks {
+        match t.kind {
+            TokKind::Str | TokKind::Char | TokKind::RawStr => {
+                // Keep the delimiters, blank the interior.
+                let (head, tail) = literal_delims(t);
+                let lo = t.start + head;
+                let hi = t.end.saturating_sub(tail).max(lo);
+                blank(&mut code_lines, lo, hi);
+            }
+            TokKind::LineComment | TokKind::BlockComment => {
+                blank(&mut code_lines, t.start, t.end);
+                // Route each line's slice of the comment into that
+                // line's comment channel.
+                for li in first_line_at(t.start)..line_ranges.len() {
+                    let (ls, le) = line_ranges[li];
+                    if ls >= t.end {
+                        break;
+                    }
+                    let s = t.start.max(ls);
+                    let e = t.end.min(le);
+                    if s < e {
+                        comments[li]
+                            .push_str(&String::from_utf8_lossy(&src[s..e]));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let mut lines: Vec<Line> = code_lines
+        .into_iter()
+        .zip(comments)
+        .map(|(code, comment)| Line {
+            code: String::from_utf8_lossy(&code).into_owned(),
             comment,
             in_test: false,
-        });
-    }
+        })
+        .collect();
 
     mark_test_regions(&mut lines);
 
-    ScannedFile {
-        rel_path: rel_path.to_string(),
-        crate_name,
-        lines,
+    ParsedFile {
+        scanned: ScannedFile {
+            rel_path: rel_path.to_string(),
+            crate_name,
+            lines,
+        },
+        toks: toks
+            .into_iter()
+            .filter(|t| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+            .collect(),
     }
 }
 
-fn byte_offset(chars: &[char], idx: usize) -> usize {
-    chars[..idx].iter().map(|c| c.len_utf8()).sum()
-}
-
-/// Returns `Some(hash_count)` when `chars[start..]` opens a raw string
-/// (`r"`, `r#"`, `r##"`, ...).
-fn raw_string_open(chars: &[char], start: usize) -> Option<u32> {
-    let mut j = start + 1;
-    let mut hashes = 0u32;
-    while chars.get(j) == Some(&'#') {
-        hashes += 1;
-        j += 1;
+/// Byte lengths of the opening and closing delimiters of a literal
+/// token (closing length is 0 when the literal is unterminated).
+fn literal_delims(t: &Tok) -> (usize, usize) {
+    match t.kind {
+        TokKind::Str => {
+            let closed = t.text.len() >= 2 && t.text.ends_with('"');
+            (1, usize::from(closed))
+        }
+        TokKind::Char => {
+            let closed = t.text.len() >= 2 && t.text.ends_with('\'');
+            (1, usize::from(closed))
+        }
+        TokKind::RawStr => {
+            let hashes = t
+                .text
+                .bytes()
+                .skip(1)
+                .take_while(|&b| b == b'#')
+                .count();
+            let head = 1 + hashes + 1; // r##"
+            let close = "\"".to_string() + &"#".repeat(hashes);
+            let tail = if t.text.len() >= head + close.len() && t.text.ends_with(&close) {
+                close.len()
+            } else {
+                0
+            };
+            (head.min(t.text.len()), tail)
+        }
+        _ => (0, 0),
     }
-    if chars.get(j) == Some(&'"') {
-        Some(hashes)
-    } else {
-        None
-    }
-}
-
-/// True when the `"` at `idx` is followed by `hashes` `#` characters.
-fn raw_string_close(chars: &[char], idx: usize, hashes: u32) -> bool {
-    (1..=hashes as usize).all(|k| chars.get(idx + k) == Some(&'#'))
 }
 
 /// Mark every line belonging to a `#[cfg(test)]` item or `#[test]` fn.
@@ -284,6 +273,7 @@ mod tests {
         let f = scan_str("crates/x/src/lib.rs", src);
         assert!(f.lines[0].code.contains('a') && f.lines[0].code.contains('b'));
         assert!(!f.lines[2].code.contains("unwrap"));
+        assert!(f.lines[2].comment.contains("unwrap"));
         assert!(f.lines[3].code.contains('c'));
     }
 
@@ -307,6 +297,14 @@ mod tests {
     }
 
     #[test]
+    fn multiline_string_blanked_across_lines() {
+        let src = "let s = \"first\nsecond .unwrap()\nthird\"; done()";
+        let f = scan_str("crates/x/src/lib.rs", src);
+        assert!(!f.lines[1].code.contains("unwrap"));
+        assert!(f.lines[2].code.contains("done()"));
+    }
+
+    #[test]
     fn cfg_test_region_is_marked() {
         let src = "pub fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\npub fn lib2() {}";
         let f = scan_str("crates/x/src/lib.rs", src);
@@ -321,5 +319,25 @@ mod tests {
     fn crate_name_derivation() {
         assert_eq!(scan_str("crates/dsp/src/fft.rs", "").crate_name, "dsp");
         assert_eq!(scan_str("examples/quickstart.rs", "").crate_name, "");
+    }
+
+    #[test]
+    fn parse_str_drops_comment_tokens_but_keeps_channels() {
+        let f = parse_str("crates/x/src/lib.rs", "let a = 1; // trailing\n/* b */ let c = 2;");
+        assert!(f.toks.iter().all(|t| !matches!(
+            t.kind,
+            crate::token::TokKind::LineComment | crate::token::TokKind::BlockComment
+        )));
+        assert!(f.scanned.lines[0].comment.contains("trailing"));
+        assert!(f.scanned.lines[1].comment.contains('b'));
+        assert!(f.scanned.lines[1].code.contains("let c"));
+    }
+
+    #[test]
+    fn windows_line_endings_do_not_shift_columns() {
+        let f = scan_str("crates/x/src/lib.rs", "let a = 1;\r\nlet b = \"x\";\r\n");
+        assert_eq!(f.lines.len(), 2);
+        assert!(f.lines[1].code.contains("let b"));
+        assert!(!f.lines[1].code.contains('x'));
     }
 }

@@ -1,0 +1,498 @@
+//! Zero-dependency Rust tokenizer.
+//!
+//! Produces a flat token stream with byte spans and line numbers from
+//! raw source text. It understands exactly as much of the lexical
+//! grammar as the domain lints need to be *sound*: line and (nested)
+//! block comments, ordinary and raw string literals, char literals vs
+//! lifetimes, raw identifiers (`r#ident`), numeric literals (including
+//! `0..n` vs `0.5` disambiguation and `1.max(2)` method calls), and
+//! single-character punctuation. Everything the parser layers
+//! (`scan`, `sig`, the token-level lints) consume is derived from this
+//! stream, so string/comment contents can never trigger a lint.
+//!
+//! The tokenizer never fails: unterminated literals simply extend to
+//! end-of-input, which is the most conservative interpretation for a
+//! linter (nothing after them is scanned as code).
+
+/// Token classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `x`, `f64`, ...).
+    Ident,
+    /// Raw identifier `r#ident` (text keeps the `r#` prefix).
+    RawIdent,
+    /// Lifetime such as `'a` or `'static` (text keeps the quote).
+    Lifetime,
+    /// Integer literal (`42`, `0xFF`, `1_000u32`).
+    Int,
+    /// Float literal (`1.5`, `2.`, `1e-3`, `1.5f64`).
+    Float,
+    /// Ordinary string literal, including the quotes.
+    Str,
+    /// Raw string literal `r"..."` / `r#"..."#`, including delimiters.
+    RawStr,
+    /// Char literal `'x'` / `'\n'`, including the quotes.
+    Char,
+    /// Line comment (text includes the `//`).
+    LineComment,
+    /// Block comment (text includes the `/*` and `*/`; may span lines).
+    BlockComment,
+    /// Single punctuation character (`.`, `(`, `<`, `-`, ...).
+    Punct,
+}
+
+/// One token with its source span.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    /// Verbatim source text of the token.
+    pub text: String,
+    /// 0-based line the token *starts* on.
+    pub line: usize,
+    /// Byte offset of the first byte of the token.
+    pub start: usize,
+    /// Byte offset one past the last byte of the token.
+    pub end: usize,
+}
+
+impl Tok {
+    /// True when the token is an identifier (raw or plain) with the
+    /// given normalized name (`r#type` matches `"type"`).
+    pub fn is_ident(&self, name: &str) -> bool {
+        match self.kind {
+            TokKind::Ident => self.text == name,
+            TokKind::RawIdent => self.text.strip_prefix("r#") == Some(name),
+            _ => false,
+        }
+    }
+
+    /// Identifier name with any `r#` prefix stripped; `None` for
+    /// non-identifier tokens.
+    pub fn ident(&self) -> Option<&str> {
+        match self.kind {
+            TokKind::Ident => Some(&self.text),
+            TokKind::RawIdent => self.text.strip_prefix("r#"),
+            _ => None,
+        }
+    }
+
+    /// True for a punctuation token of exactly this character.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Tokenize source text. Whitespace is dropped; comments are kept as
+/// tokens so callers can build comment channels and find waivers.
+pub fn tokenize(src: &str) -> Vec<Tok> {
+    let bytes: Vec<char> = src.chars().collect();
+    // Parallel byte offsets: offs[i] is the byte offset of chars[i].
+    let mut offs = Vec::with_capacity(bytes.len() + 1);
+    let mut acc = 0usize;
+    for c in &bytes {
+        offs.push(acc);
+        acc += c.len_utf8();
+    }
+    offs.push(acc);
+
+    let mut toks = Vec::new();
+    let mut line = 0usize;
+    let mut i = 0usize;
+
+    let count_newlines = |s: &str| s.chars().filter(|&c| c == '\n').count();
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        let next = bytes.get(i + 1).copied();
+
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+
+        // Comments.
+        if c == '/' && next == Some('/') {
+            let mut j = i;
+            while j < bytes.len() && bytes[j] != '\n' {
+                j += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::LineComment,
+                text: src[offs[i]..offs[j]].to_string(),
+                line,
+                start: offs[i],
+                end: offs[j],
+            });
+            i = j;
+            continue;
+        }
+        if c == '/' && next == Some('*') {
+            let mut depth = 1u32;
+            let mut j = i + 2;
+            while j < bytes.len() && depth > 0 {
+                if bytes[j] == '/' && bytes.get(j + 1) == Some(&'*') {
+                    depth += 1;
+                    j += 2;
+                } else if bytes[j] == '*' && bytes.get(j + 1) == Some(&'/') {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    j += 1;
+                }
+            }
+            let text = src[offs[i]..offs[j]].to_string();
+            toks.push(Tok {
+                kind: TokKind::BlockComment,
+                text: text.clone(),
+                line,
+                start: offs[i],
+                end: offs[j],
+            });
+            line += count_newlines(&text);
+            i = j;
+            continue;
+        }
+
+        // Raw strings and raw identifiers: r"..." / r#"..."# / r#ident.
+        if c == 'r' && (next == Some('"') || next == Some('#')) {
+            let mut j = i + 1;
+            let mut hashes = 0usize;
+            while bytes.get(j) == Some(&'#') {
+                hashes += 1;
+                j += 1;
+            }
+            if bytes.get(j) == Some(&'"') {
+                // Raw string: scan for `"` followed by `hashes` hashes.
+                j += 1;
+                'raw: while j < bytes.len() {
+                    if bytes[j] == '"' && (1..=hashes).all(|k| bytes.get(j + k) == Some(&'#')) {
+                        j += 1 + hashes;
+                        break 'raw;
+                    }
+                    j += 1;
+                }
+                let text = src[offs[i]..offs[j]].to_string();
+                toks.push(Tok {
+                    kind: TokKind::RawStr,
+                    text: text.clone(),
+                    line,
+                    start: offs[i],
+                    end: offs[j],
+                });
+                line += count_newlines(&text);
+                i = j;
+                continue;
+            }
+            if hashes == 1 && bytes.get(j).copied().is_some_and(is_ident_start) {
+                // Raw identifier r#ident.
+                let mut k = j;
+                while k < bytes.len() && is_ident_continue(bytes[k]) {
+                    k += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::RawIdent,
+                    text: src[offs[i]..offs[k]].to_string(),
+                    line,
+                    start: offs[i],
+                    end: offs[k],
+                });
+                i = k;
+                continue;
+            }
+            // Fall through: a bare `r` identifier handled below.
+        }
+
+        // Identifiers / keywords.
+        if is_ident_start(c) {
+            let mut j = i;
+            while j < bytes.len() && is_ident_continue(bytes[j]) {
+                j += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Ident,
+                text: src[offs[i]..offs[j]].to_string(),
+                line,
+                start: offs[i],
+                end: offs[j],
+            });
+            i = j;
+            continue;
+        }
+
+        // Numbers.
+        if c.is_ascii_digit() {
+            let mut j = i + 1;
+            let mut kind = TokKind::Int;
+            if c == '0' && matches!(bytes.get(j), Some('x' | 'X' | 'o' | 'O' | 'b' | 'B')) {
+                j += 1;
+                while j < bytes.len() && (bytes[j].is_ascii_hexdigit() || bytes[j] == '_') {
+                    j += 1;
+                }
+            } else {
+                while j < bytes.len() && (bytes[j].is_ascii_digit() || bytes[j] == '_') {
+                    j += 1;
+                }
+                // A `.` continues the number only when not `..` (range)
+                // and not a method call like `1.max(2)`.
+                if bytes.get(j) == Some(&'.')
+                    && bytes.get(j + 1) != Some(&'.')
+                    && !bytes.get(j + 1).copied().is_some_and(is_ident_start)
+                {
+                    kind = TokKind::Float;
+                    j += 1;
+                    while j < bytes.len() && (bytes[j].is_ascii_digit() || bytes[j] == '_') {
+                        j += 1;
+                    }
+                }
+                if matches!(bytes.get(j), Some('e' | 'E')) {
+                    let mut k = j + 1;
+                    if matches!(bytes.get(k), Some('+' | '-')) {
+                        k += 1;
+                    }
+                    if bytes.get(k).copied().is_some_and(|d| d.is_ascii_digit()) {
+                        kind = TokKind::Float;
+                        j = k;
+                        while j < bytes.len() && (bytes[j].is_ascii_digit() || bytes[j] == '_') {
+                            j += 1;
+                        }
+                    }
+                }
+            }
+            // Type suffix (`u32`, `f64`) folds into the literal.
+            if bytes.get(j).copied().is_some_and(is_ident_start) {
+                if matches!(bytes.get(j), Some('f')) {
+                    kind = TokKind::Float;
+                }
+                while j < bytes.len() && is_ident_continue(bytes[j]) {
+                    j += 1;
+                }
+            }
+            toks.push(Tok {
+                kind,
+                text: src[offs[i]..offs[j]].to_string(),
+                line,
+                start: offs[i],
+                end: offs[j],
+            });
+            i = j;
+            continue;
+        }
+
+        // Strings.
+        if c == '"' {
+            let mut j = i + 1;
+            while j < bytes.len() {
+                match bytes[j] {
+                    '\\' => j += 2,
+                    '"' => {
+                        j += 1;
+                        break;
+                    }
+                    _ => j += 1,
+                }
+            }
+            let j = j.min(bytes.len());
+            let text = src[offs[i]..offs[j]].to_string();
+            toks.push(Tok {
+                kind: TokKind::Str,
+                text: text.clone(),
+                line,
+                start: offs[i],
+                end: offs[j],
+            });
+            line += count_newlines(&text);
+            i = j;
+            continue;
+        }
+
+        // Char literal vs lifetime.
+        if c == '\'' {
+            if next == Some('\\') {
+                // Escaped char literal: scan to the closing quote.
+                let mut j = i + 2;
+                while j < bytes.len() && bytes[j] != '\'' {
+                    j += 1;
+                }
+                let j = (j + 1).min(bytes.len());
+                toks.push(Tok {
+                    kind: TokKind::Char,
+                    text: src[offs[i]..offs[j]].to_string(),
+                    line,
+                    start: offs[i],
+                    end: offs[j],
+                });
+                i = j;
+                continue;
+            }
+            if bytes.get(i + 2) == Some(&'\'') && next.is_some() {
+                // Plain char literal 'x' (including '}' and '{').
+                toks.push(Tok {
+                    kind: TokKind::Char,
+                    text: src[offs[i]..offs[i + 3]].to_string(),
+                    line,
+                    start: offs[i],
+                    end: offs[i + 3],
+                });
+                i += 3;
+                continue;
+            }
+            if next.is_some_and(is_ident_start) {
+                // Lifetime 'a / 'static.
+                let mut j = i + 1;
+                while j < bytes.len() && is_ident_continue(bytes[j]) {
+                    j += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Lifetime,
+                    text: src[offs[i]..offs[j]].to_string(),
+                    line,
+                    start: offs[i],
+                    end: offs[j],
+                });
+                i = j;
+                continue;
+            }
+            // Stray quote: emit as punct and move on.
+        }
+
+        // Everything else: one punctuation character.
+        toks.push(Tok {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line,
+            start: offs[i],
+            end: offs[i + 1],
+        });
+        i += 1;
+    }
+
+    toks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        tokenize(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_keywords_and_puncts() {
+        let t = kinds("pub fn f(x: f64) -> f64 {}");
+        assert_eq!(t[0], (TokKind::Ident, "pub".into()));
+        assert_eq!(t[1], (TokKind::Ident, "fn".into()));
+        assert!(t.iter().any(|(k, s)| *k == TokKind::Punct && s == ">"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = r##"let s = r#"has "quotes" and .unwrap()"#; done()"##;
+        let t = tokenize(src);
+        let raw = t.iter().find(|t| t.kind == TokKind::RawStr).unwrap();
+        assert!(raw.text.contains(".unwrap()"));
+        assert!(t.iter().any(|t| t.is_ident("done")));
+        // No Ident token for anything inside the raw string.
+        assert!(!t.iter().any(|t| t.is_ident("unwrap")));
+    }
+
+    #[test]
+    fn raw_string_spanning_lines_tracks_line_numbers() {
+        let src = "let s = r\"line one\nline two\";\nlet t = 1;";
+        let t = tokenize(src);
+        let after = t.iter().find(|t| t.is_ident("t")).unwrap();
+        assert_eq!(after.line, 2);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "a /* one /* two */ still */ b";
+        let t = tokenize(src);
+        let idents: Vec<_> = t.iter().filter_map(|t| t.ident()).collect();
+        assert_eq!(idents, ["a", "b"]);
+        assert_eq!(t.iter().filter(|t| t.kind == TokKind::BlockComment).count(), 1);
+    }
+
+    #[test]
+    fn char_literal_vs_lifetime() {
+        let src = "fn f<'a>(x: &'a str) { let c = '}'; let d = '\\n'; let e: &'static str; }";
+        let t = tokenize(src);
+        let lifetimes: Vec<_> = t
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifetimes, ["'a", "'a", "'static"]);
+        let chars: Vec<_> = t
+            .iter()
+            .filter(|t| t.kind == TokKind::Char)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(chars, ["'}'", "'\\n'"]);
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let t = tokenize("let r#type = r#fn + other;");
+        let raws: Vec<_> = t.iter().filter(|t| t.kind == TokKind::RawIdent).collect();
+        assert_eq!(raws.len(), 2);
+        assert!(raws[0].is_ident("type"));
+        assert_eq!(raws[0].ident(), Some("type"));
+        assert!(t.iter().any(|t| t.is_ident("other")));
+    }
+
+    #[test]
+    fn numeric_literals_ranges_and_method_calls() {
+        let t = kinds("0..n; 1.5; 2.; 1e-3; 0xFF_u32; 1.max(2); 3f64");
+        let floats: Vec<_> = t
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Float)
+            .map(|(_, s)| s.as_str())
+            .collect();
+        assert_eq!(floats, ["1.5", "2.", "1e-3", "3f64"]);
+        // `0..n` keeps 0 as Int and two dot puncts.
+        assert_eq!(t[0], (TokKind::Int, "0".into()));
+        assert_eq!(t[1], (TokKind::Punct, ".".into()));
+        assert_eq!(t[2], (TokKind::Punct, ".".into()));
+        // `1.max(2)` is Int, dot, ident.
+        let pos = t.iter().position(|(_, s)| s == "max").unwrap();
+        assert_eq!(t[pos - 1], (TokKind::Punct, ".".into()));
+        assert_eq!(t[pos - 2], (TokKind::Int, "1".into()));
+    }
+
+    #[test]
+    fn string_escapes_do_not_terminate_early() {
+        let t = tokenize(r#"let s = "a\"b"; after()"#);
+        let s = t.iter().find(|t| t.kind == TokKind::Str).unwrap();
+        assert_eq!(s.text, r#""a\"b""#);
+        assert!(t.iter().any(|t| t.is_ident("after")));
+    }
+
+    #[test]
+    fn line_numbers_are_zero_based_start_lines() {
+        let t = tokenize("a\nb\n/* c\nc2 */ d");
+        assert_eq!(t.iter().find(|t| t.is_ident("a")).unwrap().line, 0);
+        assert_eq!(t.iter().find(|t| t.is_ident("b")).unwrap().line, 1);
+        assert_eq!(t.iter().find(|t| t.is_ident("d")).unwrap().line, 3);
+    }
+
+    #[test]
+    fn unterminated_string_swallows_rest() {
+        let t = tokenize("let s = \"never closed .unwrap()");
+        assert!(!t.iter().any(|t| t.is_ident("unwrap")));
+        assert_eq!(t.last().unwrap().kind, TokKind::Str);
+    }
+}

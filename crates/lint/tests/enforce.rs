@@ -3,7 +3,7 @@
 //! lint without a waiver. The failure message is the machine-readable
 //! report: `file:line: [lint] message` per finding plus waiver help.
 
-use pab_lint::{render_report, run_workspace, scan_str, workspace_root};
+use pab_lint::{parse_str, render_report, run_parsed, run_workspace, scan_str, workspace_root};
 
 #[test]
 fn workspace_has_no_unwaivered_violations() {
@@ -62,6 +62,43 @@ fn linter_detects_a_fresh_unbounded_retry() {
     assert!(pab_lint::lints::no_unbounded_retry(&good).is_empty());
 }
 
+/// Self-check: an injected cross-file unit mismatch is caught by the
+/// call-site unit-flow pass running over the same pipeline enforcement
+/// uses.
+#[test]
+fn linter_detects_a_fresh_unit_mismatch() {
+    let callee = parse_str(
+        "crates/dsp/src/injected_callee.rs",
+        "pub fn set_gap(gap_s: f64) {}",
+    );
+    let caller = parse_str(
+        "crates/core/src/injected_caller.rs",
+        "pub fn go(gap_ms: f64) { set_gap(gap_ms) }",
+    );
+    let v = run_parsed(&[callee, caller]);
+    assert!(
+        v.iter().any(|v| v.lint == "unit-flow" && v.message.contains("gap_ms")),
+        "injected ms-into-s mismatch must be caught: {v:?}"
+    );
+}
+
+/// Self-check: an injected hot-path index and a stale waiver are both
+/// caught end to end.
+#[test]
+fn linter_detects_fresh_panic_path_and_stale_waiver() {
+    let hot = parse_str(
+        "crates/dsp/src/goertzel.rs",
+        "fn f(x: &[f64]) { for i in 0..8 { let _ = x[i + 1]; } }",
+    );
+    let orphan = parse_str(
+        "crates/core/src/injected.rs",
+        "// lint: allow(no-unwrap-in-lib) nothing left to excuse\nfn g() {}",
+    );
+    let v = run_parsed(&[hot, orphan]);
+    assert!(v.iter().any(|v| v.lint == "panic-path"), "{v:?}");
+    assert!(v.iter().any(|v| v.lint == "stale-waiver"), "{v:?}");
+}
+
 /// Every scoped crate must exist on disk — guards against the scope
 /// lists silently drifting from the workspace layout.
 #[test]
@@ -75,6 +112,12 @@ fn lint_scopes_match_workspace_layout() {
         assert!(
             root.join("crates").join(name).join("src").is_dir(),
             "lint scope names missing crate: {name}"
+        );
+    }
+    for rel in pab_lint::PANIC_SCOPE {
+        assert!(
+            root.join(rel).is_file(),
+            "PANIC_SCOPE names missing file: {rel}"
         );
     }
 }

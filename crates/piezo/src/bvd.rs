@@ -9,13 +9,13 @@ use std::f64::consts::TAU;
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BvdModel {
     /// Static (clamped) capacitance, farads.
-    pub c0: f64,
+    pub c0_farads: f64,
     /// Motional resistance, ohms (mechanical + radiation loss).
-    pub r1: f64,
+    pub r1_ohms: f64,
     /// Motional inductance, henries (moving mass).
-    pub l1: f64,
+    pub l1_henries: f64,
     /// Motional capacitance, farads (mechanical compliance).
-    pub c1: f64,
+    pub c1_farads: f64,
 }
 
 impl BvdModel {
@@ -37,10 +37,10 @@ impl BvdModel {
             }
         }
         Ok(BvdModel {
-            c0: c0_farads,
-            r1: r1_ohms,
-            l1: l1_henries,
-            c1: c1_farads,
+            c0_farads,
+            r1_ohms,
+            l1_henries,
+            c1_farads,
         })
     }
 
@@ -78,7 +78,7 @@ impl BvdModel {
     /// Impedance of the motional (series R-L-C) branch at `freq_hz`.
     pub fn motional_impedance(&self, freq_hz: f64) -> Complex64 {
         let w = TAU * freq_hz;
-        Complex64::new(self.r1, w * self.l1 - 1.0 / (w * self.c1))
+        Complex64::new(self.r1_ohms, w * self.l1_henries - 1.0 / (w * self.c1_farads))
     }
 
     /// Total electrical impedance seen at the terminals at `freq_hz`
@@ -86,31 +86,33 @@ impl BvdModel {
     pub fn impedance(&self, freq_hz: f64) -> Complex64 {
         let w = TAU * freq_hz;
         let z_mot = self.motional_impedance(freq_hz);
-        let z_c0 = Complex64::new(0.0, -1.0 / (w * self.c0));
+        let z_c0 = Complex64::new(0.0, -1.0 / (w * self.c0_farads));
         z_mot * z_c0 / (z_mot + z_c0)
     }
 
     /// Series (mechanical) resonance frequency, where the motional branch
     /// is purely resistive: `fs = 1 / (2π √(L1 C1))`.
     pub fn series_resonance_hz(&self) -> f64 {
-        1.0 / (TAU * (self.l1 * self.c1).sqrt())
+        1.0 / (TAU * (self.l1_henries * self.c1_farads).sqrt())
     }
 
     /// Parallel (anti-)resonance frequency:
     /// `fp = fs √(1 + C1/C0)`.
     pub fn parallel_resonance_hz(&self) -> f64 {
-        self.series_resonance_hz() * (1.0 + self.c1 / self.c0).sqrt()
+        self.series_resonance_hz() * (1.0 + self.c1_farads / self.c0_farads).sqrt()
     }
 
     /// Mechanical quality factor `Q = ωs L1 / R1`.
+    // lint: unitless mechanical quality factor
     pub fn q_factor(&self) -> f64 {
-        TAU * self.series_resonance_hz() * self.l1 / self.r1
+        TAU * self.series_resonance_hz() * self.l1_henries / self.r1_ohms
     }
 
     /// Effective electromechanical coupling implied by the element values:
     /// `k² = C1 / (C0 + C1)`.
+    // lint: unitless electromechanical coupling coefficient in (0, 1)
     pub fn coupling_k_eff(&self) -> f64 {
-        (self.c1 / (self.c0 + self.c1)).sqrt()
+        (self.c1_farads / (self.c0_farads + self.c1_farads)).sqrt()
     }
 
     /// -3 dB mechanical bandwidth around series resonance, `fs / Q`.
@@ -122,11 +124,12 @@ impl BvdModel {
     /// `|Y_mot(f)| / |Y_mot(fs)| = R1 / |Z_mot(f)|`, a Lorentzian equal to
     /// 1 at resonance. This is the "geometric resonance acts as a bandpass
     /// filter" factor of the paper's footnote 5.
+    // lint: unitless normalized Lorentzian response, 1 at resonance
     pub fn mechanical_response(&self, freq_hz: f64) -> f64 {
         if !(freq_hz > 0.0) {
             return 0.0;
         }
-        self.r1 / self.motional_impedance(freq_hz).norm()
+        self.r1_ohms / self.motional_impedance(freq_hz).norm()
     }
 }
 
@@ -150,7 +153,7 @@ mod tests {
     fn parallel_resonance_above_series() {
         let m = steminc_like();
         assert!(m.parallel_resonance_hz() > m.series_resonance_hz());
-        let expected = 16_500.0 * (1.0 + m.c1 / m.c0).sqrt();
+        let expected = 16_500.0 * (1.0 + m.c1_farads / m.c0_farads).sqrt();
         assert!((m.parallel_resonance_hz() - expected).abs() < 1.0);
     }
 
@@ -174,7 +177,7 @@ mod tests {
         // ... and far above, like C0.
         let z_hi = m.impedance(200_000.0);
         let w = TAU * 200_000.0;
-        assert!((z_hi.im + 1.0 / (w * m.c0)).abs() / (1.0 / (w * m.c0)) < 0.05);
+        assert!((z_hi.im + 1.0 / (w * m.c0_farads)).abs() / (1.0 / (w * m.c0_farads)) < 0.05);
     }
 
     #[test]

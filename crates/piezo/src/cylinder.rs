@@ -94,6 +94,7 @@ impl CylinderGeometry {
 }
 
 /// Frequency pulling factor from water loading + polyurethane potting.
+// lint: unitless frequency pulling factor, close to 1
 pub const DEFAULT_WATER_LOADING: f64 = 0.97;
 
 #[cfg(test)]

@@ -86,11 +86,11 @@ proptest! {
     #[test]
     fn two_port_is_linear(t in arb_transducer(), scale in 0.001f64..1000.0) {
         let f = t.resonance_hz();
-        let p1 = t.transmit_pressure_pa_at_1m(1.0, f);
-        let p2 = t.transmit_pressure_pa_at_1m(scale, f);
+        let p1 = t.transmit_pressure_at_1m_pa(1.0, f);
+        let p2 = t.transmit_pressure_at_1m_pa(scale, f);
         prop_assert!((p2 - scale * p1).abs() < 1e-9 * p2.abs().max(1.0));
-        let v1 = t.receive_open_circuit_voltage(1.0, f);
-        let v2 = t.receive_open_circuit_voltage(scale, f);
+        let v1 = t.receive_open_circuit_v(1.0, f);
+        let v2 = t.receive_open_circuit_v(scale, f);
         prop_assert!((v2 - scale * v1).abs() < 1e-9 * v2.abs().max(1.0));
     }
 }

@@ -46,7 +46,7 @@ fn main() {
                 if d > range {
                     return Checkpoint::OutOfRange;
                 }
-                let dst = Position::new(proj.x + d, proj.y, proj.z);
+                let dst = Position::new(proj.x_m + d, proj.y_m, proj.z_m);
                 let amp = carrier_amplitude_at(&pool, &proj, &dst, drive, 15_000.0, 4)
                     .expect("amplitude");
                 Checkpoint::ColdStart(cold_start_time_s(fe, amp, 15_000.0, 2.5))

@@ -11,6 +11,21 @@ cargo build --release
 echo "==> cargo test -q  (includes pab-lint enforcement)"
 cargo test -q
 
+# Standalone linter pass: same findings the enforce test gates on, but
+# emitted as JSON so CI (and editors) can consume them. Written to
+# target/pab-lint.json; a non-empty findings set fails the gate here
+# with the human-readable report.
+echo "==> pab-lint --json  (domain linter, machine-readable findings)"
+mkdir -p target
+if cargo run --release -q -p pab-lint --bin pab-lint -- --json > target/pab-lint.json; then
+    echo "    0 violations (target/pab-lint.json)"
+else
+    status=$?
+    cat target/pab-lint.json
+    cargo run --release -q -p pab-lint --bin pab-lint || true
+    exit "$status"
+fi
+
 echo "==> fault-resilience integration tests (tests/fault_resilience.rs)"
 cargo test -q -p pab-core --test fault_resilience
 

@@ -20,14 +20,14 @@ fn claim_rectopiezo_fdma_bands() {
     let n18 = RectoPiezo::design(Transducer::pab_node(), 18_000.0).unwrap();
     let p = 1_020.0;
     // Each node exceeds the power-up threshold on its own channel...
-    assert!(n15.rectified_voltage(p, 15_000.0, 1e6) > 2.5);
-    assert!(n18.rectified_voltage(p, 18_000.0, 1e6) > 2.5);
+    assert!(n15.rectified_voltage_v(p, 15_000.0, 1e6) > 2.5);
+    assert!(n18.rectified_voltage_v(p, 18_000.0, 1e6) > 2.5);
     // ...and each node's own channel beats the other's there.
     assert!(
-        n15.rectified_voltage(p, 15_000.0, 1e6) > n18.rectified_voltage(p, 15_000.0, 1e6)
+        n15.rectified_voltage_v(p, 15_000.0, 1e6) > n18.rectified_voltage_v(p, 15_000.0, 1e6)
     );
     assert!(
-        n18.rectified_voltage(p, 18_000.0, 1e6) > n15.rectified_voltage(p, 18_000.0, 1e6)
+        n18.rectified_voltage_v(p, 18_000.0, 1e6) > n15.rectified_voltage_v(p, 18_000.0, 1e6)
     );
 }
 
