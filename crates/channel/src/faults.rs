@@ -84,6 +84,16 @@ pub struct DriftRamp {
     pub max_abs_hz: f64,
 }
 
+impl DriftRamp {
+    /// Accumulated oscillator offset at absolute time `t_s`, Hz, clamped
+    /// to the saturation bound. Standalone so callers outside a
+    /// [`FaultSchedule`] (e.g. the mobility model composing drift with
+    /// Doppler) share the exact same ramp arithmetic.
+    pub fn offset_at_hz(&self, t_s: f64) -> f64 {
+        (self.rate_hz_per_s * t_s).clamp(-self.max_abs_hz, self.max_abs_hz)
+    }
+}
+
 /// A composable, seeded schedule of link impairments. An empty schedule
 /// (the [`Default`]) is a perfectly healthy link.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -184,9 +194,35 @@ impl FaultSchedule {
     /// Accumulated carrier/clock offset at absolute time `t_s`, Hz.
     pub fn drift_at_hz(&self, t_s: f64) -> f64 {
         match self.drift {
-            Some(d) => (d.rate_hz_per_s * t_s).clamp(-d.max_abs_hz, d.max_abs_hz),
+            Some(d) => d.offset_at_hz(t_s),
             None => 0.0,
         }
+    }
+
+    /// Whether any burst window covers part of `[start_s, end_s)`.
+    pub fn burst_active_during(&self, start_s: f64, end_s: f64) -> bool {
+        self.bursts
+            .iter()
+            .any(|b| b.rms_pa > 0.0 && start_s < b.start_s + b.duration_s && end_s > b.start_s)
+    }
+
+    /// Whether any fade window covers part of `[start_s, end_s)`.
+    pub fn fade_active_during(&self, start_s: f64, end_s: f64) -> bool {
+        self.fades
+            .iter()
+            .any(|f| f.floor_ratio < 1.0 && start_s < f.start_s + f.duration_s && end_s > f.start_s)
+    }
+
+    /// Whether a non-zero drift offset has accumulated anywhere in
+    /// `[start_s, end_s)`. The ramp is monotone in |offset|, so checking
+    /// the later edge suffices.
+    pub fn drift_active_during(&self, _start_s: f64, end_s: f64) -> bool {
+        self.drift_at_hz(end_s).abs() > 0.0
+    }
+
+    /// The configured drift ramp, if any.
+    pub fn drift(&self) -> Option<DriftRamp> {
+        self.drift
     }
 
     /// Add every scheduled burst's noise into `samples`, a window of the
@@ -341,6 +377,70 @@ mod tests {
             .unwrap();
         assert!((f.drift_at_hz(1.0) - 2.0).abs() < 1e-12);
         assert!((f.drift_at_hz(100.0) - 10.0).abs() < 1e-12, "saturates");
+    }
+
+    #[test]
+    fn activity_accessors_report_window_overlap() {
+        let f = FaultSchedule::new(7)
+            .with_burst(BroadbandBurst {
+                start_s: 1.0,
+                duration_s: 0.5,
+                rms_pa: 0.3,
+            })
+            .unwrap()
+            .with_fade(PathFade {
+                start_s: 4.0,
+                duration_s: 2.0,
+                floor_ratio: 0.5,
+            })
+            .unwrap()
+            .with_drift(DriftRamp {
+                rate_hz_per_s: 1.0,
+                max_abs_hz: 5.0,
+            })
+            .unwrap();
+        assert!(f.burst_active_during(0.9, 1.1));
+        assert!(!f.burst_active_during(2.0, 3.0));
+        assert!(f.fade_active_during(5.9, 6.5));
+        assert!(!f.fade_active_during(0.0, 4.0), "edge-exclusive");
+        assert!(f.drift_active_during(0.0, 0.1));
+        assert!(!FaultSchedule::default().drift_active_during(0.0, 100.0));
+        assert_eq!(
+            f.drift(),
+            Some(DriftRamp {
+                rate_hz_per_s: 1.0,
+                max_abs_hz: 5.0
+            })
+        );
+        // A zero-RMS burst and a unity-floor fade are no-ops and must not
+        // report as active windows.
+        let noop = FaultSchedule::new(0)
+            .with_burst(BroadbandBurst {
+                start_s: 0.0,
+                duration_s: 1.0,
+                rms_pa: 0.0,
+            })
+            .unwrap()
+            .with_fade(PathFade {
+                start_s: 0.0,
+                duration_s: 1.0,
+                floor_ratio: 1.0,
+            })
+            .unwrap();
+        assert!(!noop.burst_active_during(0.0, 1.0));
+        assert!(!noop.fade_active_during(0.0, 1.0));
+    }
+
+    #[test]
+    fn drift_ramp_offset_matches_schedule() {
+        let ramp = DriftRamp {
+            rate_hz_per_s: -3.0,
+            max_abs_hz: 7.5,
+        };
+        assert!((ramp.offset_at_hz(1.0) + 3.0).abs() < 1e-12);
+        assert!((ramp.offset_at_hz(100.0) + 7.5).abs() < 1e-12, "saturates");
+        let f = FaultSchedule::new(0).with_drift(ramp).unwrap();
+        assert_eq!(f.drift_at_hz(2.0), ramp.offset_at_hz(2.0));
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! spreading loss. [`MovingPath`] applies exactly that, sample by sample,
 //! with linear interpolation.
 
+use crate::faults::DriftRamp;
 use crate::ChannelError;
 
 /// A single direct path to/from a node moving radially at constant speed.
@@ -59,6 +60,27 @@ impl MovingPath {
     /// `freq_hz`.
     pub fn observed_frequency_hz(&self, freq_hz: f64) -> f64 {
         freq_hz * self.doppler_factor()
+    }
+
+    /// Carrier frequency observed at the receiver when the transmitter's
+    /// oscillator also drifts: the oscillator emits `freq_hz` plus the
+    /// ramp's accumulated offset at emission time `t_s`, and *that* tone
+    /// rides the moving path — so drift and Doppler compose
+    /// multiplicatively, `(f₀ + Δf(t)) · (1 − v/c)`, not additively.
+    pub fn observed_frequency_with_drift_hz(
+        &self,
+        freq_hz: f64,
+        drift: &DriftRamp,
+        t_s: f64,
+    ) -> f64 {
+        (freq_hz + drift.offset_at_hz(t_s)) * self.doppler_factor()
+    }
+
+    /// Total carrier frequency offset (CFO) seen by a receiver tuned to
+    /// `freq_hz`, Hz — the composed drift-plus-Doppler error the carrier
+    /// recovery loop must absorb.
+    pub fn cfo_with_drift_hz(&self, freq_hz: f64, drift: &DriftRamp, t_s: f64) -> f64 {
+        self.observed_frequency_with_drift_hz(freq_hz, drift, t_s) - freq_hz
     }
 
     /// Propagate a sampled waveform along the moving path: per-sample
@@ -149,6 +171,38 @@ mod tests {
         // After 1 s the node would be 9 m "past" the receiver; the model
         // clamps instead of inverting.
         assert!(p.distance_at_m(10.0) >= crate::propagation::NEAR_FIELD_LIMIT_M);
+    }
+
+    #[test]
+    fn drift_and_doppler_compose_multiplicatively() {
+        // Regression pin: a 15 kHz carrier from an oscillator that has
+        // drifted +5 Hz (0.5 Hz/s for 10 s), on a node receding at 2 m/s
+        // in 1500 m/s water. The drifted tone (15005 Hz) is what rides
+        // the Doppler compression:
+        //   CFO = (15000 + 5)·(1 − 2/1500) − 15000 = −15.00666... Hz
+        let p = MovingPath::new(5.0, 2.0, 1_500.0).unwrap();
+        let drift = DriftRamp {
+            rate_hz_per_s: 0.5,
+            max_abs_hz: 20.0,
+        };
+        let cfo = p.cfo_with_drift_hz(15_000.0, &drift, 10.0);
+        assert!((cfo - (-15.006666666666666)).abs() < 1e-9, "cfo {cfo}");
+        // The additive shortcut (f0·factor + Δf) is wrong by Δf·v/c —
+        // small, but the whole point of composing properly.
+        let additive = p.observed_frequency_hz(15_000.0) + drift.offset_at_hz(10.0);
+        let composed = p.observed_frequency_with_drift_hz(15_000.0, &drift, 10.0);
+        assert!((additive - composed - 5.0 * 2.0 / 1_500.0).abs() < 1e-9);
+        // Saturation carries through: far past the ramp bound the offset
+        // pins at max_abs_hz.
+        let cfo_late = p.cfo_with_drift_hz(15_000.0, &drift, 1e4);
+        assert!((cfo_late - ((15_000.0 + 20.0) * p.doppler_factor() - 15_000.0)).abs() < 1e-9);
+        // Zero drift degenerates to the plain Doppler CFO.
+        let none = DriftRamp {
+            rate_hz_per_s: 0.0,
+            max_abs_hz: 0.0,
+        };
+        let plain = p.observed_frequency_hz(15_000.0) - 15_000.0;
+        assert!((p.cfo_with_drift_hz(15_000.0, &none, 10.0) - plain).abs() < 1e-12);
     }
 
     #[test]

@@ -19,6 +19,7 @@ use pab_net::mac::{
     ChannelPlan, MacPolicy, NodeEntry, ResilientMac, RxObservation, ThroughputMeter,
 };
 use pab_net::packet::{Command, UplinkPacket};
+use pab_telemetry::{Event, FaultKind, Recorder};
 use std::collections::BTreeMap;
 
 /// One node in the fault-injected network.
@@ -243,6 +244,23 @@ impl FaultNetSimulator {
     /// Run the inventory round to completion or `max_slots`, whichever
     /// comes first, and report.
     pub fn run(&mut self) -> Result<FaultNetReport, CoreError> {
+        self.run_with_recorder(None)
+    }
+
+    /// Like [`run`](Self::run), but narrating the round into an optional
+    /// telemetry recorder: slot boundaries, per-node fault-window
+    /// entry/exit transitions, harvested-energy samples, the receiver's
+    /// aggregate verdict counters, and every MAC decision (via
+    /// [`ResilientMac::record_traced`]). The recorder does not perturb the
+    /// simulation: a traced run and an untraced same-seed run produce the
+    /// same [`FaultNetReport`] bit for bit.
+    pub fn run_with_recorder(
+        &mut self,
+        mut tel: Option<&mut Recorder>,
+    ) -> Result<FaultNetReport, CoreError> {
+        // Per-node fault-window activity from the previous slot, keyed by
+        // (node, kind index): transitions emit FaultEnter/FaultExit.
+        let mut fault_state: BTreeMap<u8, [bool; 4]> = BTreeMap::new();
         let mut meter = ThroughputMeter::new();
         let mut digest = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis
         // Nominal slot length while every eligible node backs off: no
@@ -252,9 +270,23 @@ impl FaultNetSimulator {
 
         while !self.mac.is_complete() && self.mac.slots_used() < self.cfg.max_slots {
             let queries = self.mac.next_slot(self.cfg.command);
+            let slot = self.mac.slots_used();
+            if let Some(t) = tel.as_deref_mut() {
+                t.begin_slot(slot, self.t_now_s);
+                t.record(Event::SlotStart {
+                    queries: u32::try_from(queries.len()).unwrap_or(u32::MAX),
+                });
+            }
             if queries.is_empty() {
                 self.t_now_s += nominal_slot_s;
                 meter.record(0, nominal_slot_s).map_err(CoreError::Net)?;
+                if let Some(t) = tel.as_deref_mut() {
+                    t.record(Event::SlotEnd {
+                        duration_s: nominal_slot_s,
+                        bits: 0,
+                    });
+                    t.advance_clock(self.t_now_s);
+                }
                 continue;
             }
             let mut slot_s = 0.0f64;
@@ -271,10 +303,46 @@ impl FaultNetSimulator {
                     .ok_or(CoreError::InvalidConfig("missing fault schedule"))?;
                 // Actuate the rate ladder: command the node's divider.
                 sim.set_bitrate_target(self.mac.rate_bps(addr))?;
-                let report =
-                    sim.run_query_to_faulted(addr, q.query.command, schedule, self.t_now_s)?;
+                let report = sim.run_query_to_faulted_traced(
+                    addr,
+                    q.query.command,
+                    schedule,
+                    self.t_now_s,
+                    tel.as_deref_mut(),
+                )?;
                 let exchange_s = report.received.len() as f64 / self.cfg.fs_hz;
                 slot_s = slot_s.max(exchange_s);
+
+                if let Some(t) = tel.as_deref_mut() {
+                    let window = (self.t_now_s, self.t_now_s + exchange_s);
+                    let active = [
+                        schedule.burst_active_during(window.0, window.1),
+                        schedule.fade_active_during(window.0, window.1),
+                        schedule.node_down_during(window.0, window.1),
+                        schedule.drift_active_during(window.0, window.1),
+                    ];
+                    let prev = fault_state.entry(addr).or_default();
+                    const KINDS: [FaultKind; 4] = [
+                        FaultKind::Burst,
+                        FaultKind::Fade,
+                        FaultKind::Dropout,
+                        FaultKind::Drift,
+                    ];
+                    for (k, kind) in KINDS.into_iter().enumerate() {
+                        match (prev[k], active[k]) {
+                            (false, true) => t.record(Event::FaultEnter { node: addr, kind }),
+                            (true, false) => t.record(Event::FaultExit { node: addr, kind }),
+                            _ => {}
+                        }
+                    }
+                    *prev = active;
+                    t.record(Event::EnergySample {
+                        node: addr,
+                        harvested_j: report.node_power_w * exchange_s,
+                        power_w: report.node_power_w,
+                        rectified_v: report.node_rectified_v,
+                    });
+                }
 
                 let obs = if report.preamble_found && report.crc_ok {
                     RxObservation::Delivered {
@@ -287,7 +355,27 @@ impl FaultNetSimulator {
                 } else {
                     RxObservation::Erasure
                 };
-                self.mac.record(addr, obs).map_err(CoreError::Net)?;
+                if report.preamble_found {
+                    if let Some(t) = tel.as_deref_mut() {
+                        if report.crc_ok {
+                            t.record(Event::Detection {
+                                node: addr,
+                                corr: report.preamble_corr,
+                                snr_db: report.snr_db,
+                            });
+                        } else {
+                            t.record(Event::CrcFail {
+                                node: addr,
+                                corr: report.preamble_corr,
+                            });
+                        }
+                    }
+                } else if let Some(t) = tel.as_deref_mut() {
+                    t.record(Event::Erasure { node: addr });
+                }
+                self.mac
+                    .record_traced(addr, obs, tel.as_deref_mut())
+                    .map_err(CoreError::Net)?;
 
                 if let Some(packet) = &report.packet {
                     slot_bits += UplinkPacket::bits_len(packet.payload.len()) as u64;
@@ -297,6 +385,13 @@ impl FaultNetSimulator {
             nominal_slot_s = nominal_slot_s.max(slot_s);
             self.t_now_s += slot_s;
             meter.record(slot_bits, slot_s).map_err(CoreError::Net)?;
+            if let Some(t) = tel.as_deref_mut() {
+                t.record(Event::SlotEnd {
+                    duration_s: slot_s,
+                    bits: slot_bits,
+                });
+                t.advance_clock(self.t_now_s);
+            }
         }
 
         let completed = self.mac.is_complete();
@@ -385,6 +480,67 @@ mod tests {
         assert!((report.pdr - 1.0).abs() < 1e-12);
         assert!(report.goodput_bps > 0.0);
         assert!(report.per_node.iter().all(|n| !n.evicted));
+    }
+
+    #[test]
+    fn traced_run_is_transparent_and_narrates_slots() {
+        let report_plain = FaultNetSimulator::new(small_cfg()).unwrap().run().unwrap();
+        let mut tel = Recorder::new(16_384);
+        let report_traced = FaultNetSimulator::new(small_cfg())
+            .unwrap()
+            .run_with_recorder(Some(&mut tel))
+            .unwrap();
+        assert_eq!(
+            report_plain.bit_digest, report_traced.bit_digest,
+            "recording must not perturb the simulation"
+        );
+        assert_eq!(report_plain.slots_used, report_traced.slots_used);
+        let c = tel.counters();
+        assert_eq!(c.get("slot_start"), report_traced.slots_used);
+        assert_eq!(c.get("slot_end"), report_traced.slots_used);
+        assert_eq!(c.get("detection"), report_traced.delivered_total);
+        assert_eq!(c.get("rx.detections"), report_traced.delivered_total);
+        assert!(c.get("energy_sample") >= report_traced.delivered_total);
+        assert_eq!(tel.clock_regressions(), 0, "sim time must be monotonic");
+        // Events carry increasing slot stamps.
+        let slots: Vec<u64> = tel.events().map(|e| e.slot).collect();
+        assert!(slots.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn traced_run_reports_fault_windows_on_dead_node() {
+        // Node 2 permanently browned out: expect FaultEnter{Dropout} once,
+        // never an exit, and the MAC narration ending in its eviction.
+        let mut cfg = small_cfg();
+        cfg.nodes[1].faults = FaultSchedule::new(5)
+            .with_dropout(pab_channel::DropoutWindow {
+                start_s: 0.0,
+                duration_s: f64::INFINITY,
+            })
+            .unwrap();
+        cfg.max_slots = 120;
+        let mut tel = Recorder::new(16_384);
+        let report = FaultNetSimulator::new(cfg)
+            .unwrap()
+            .run_with_recorder(Some(&mut tel))
+            .unwrap();
+        assert!(report.completed, "{report:?}");
+        assert!(report.per_node[1].evicted);
+        let enters: Vec<_> = tel
+            .events()
+            .filter(|e| matches!(e.event, Event::FaultEnter { node: 2, kind: FaultKind::Dropout }))
+            .collect();
+        assert_eq!(enters.len(), 1, "one dropout entry for the dead node");
+        assert!(!tel
+            .events()
+            .any(|e| matches!(e.event, Event::FaultExit { node: 2, .. })));
+        assert_eq!(tel.counters().get("eviction"), 1);
+        assert!(tel.counters().get("erasure") >= 1);
+        assert_eq!(
+            tel.counters().get("erasure"),
+            tel.counters().get("rx.erasures"),
+            "simulator and receiver must agree on erasure counts"
+        );
     }
 
     #[test]

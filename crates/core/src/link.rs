@@ -304,6 +304,22 @@ impl LinkSimulator {
         faults: &pab_channel::FaultSchedule,
         t_start_s: f64,
     ) -> Result<LinkReport, CoreError> {
+        self.run_query_to_faulted_traced(dest, command, faults, t_start_s, None)
+    }
+
+    /// Like [`run_query_to_faulted`](Self::run_query_to_faulted), but
+    /// sinking the receiver's aggregate verdict (detection / CRC-fail /
+    /// erasure counters, correlation and SNR histograms) into an optional
+    /// telemetry recorder via
+    /// [`Receiver::decode_uplink_traced`](crate::receiver::Receiver::decode_uplink_traced).
+    pub fn run_query_to_faulted_traced(
+        &mut self,
+        dest: u8,
+        command: Command,
+        faults: &pab_channel::FaultSchedule,
+        t_start_s: f64,
+        tel: Option<&mut pab_telemetry::Recorder>,
+    ) -> Result<LinkReport, CoreError> {
         let fs_hz = self.cfg.fs_hz;
         let payload_len = match command {
             Command::ReadSensor(_) => 4,
@@ -380,9 +396,9 @@ impl LinkSimulator {
 
         let recorded = self.receiver.record(&y);
         let bitrate = self.bitrate_bps();
-        let decoded = self
-            .receiver
-            .decode_uplink(&recorded, self.cfg.carrier_hz, bitrate);
+        let decoded =
+            self.receiver
+                .decode_uplink_traced(&recorded, self.cfg.carrier_hz, bitrate, tel);
         Ok(self.build_report(command, node_out, decoded, bitrate, recorded))
     }
 

@@ -401,6 +401,37 @@ impl Receiver {
         Ok(decoded)
     }
 
+    /// Like [`decode_uplink`](Self::decode_uplink), but folding the
+    /// verdict into an optional telemetry recorder: the counters
+    /// `rx.detections` / `rx.crc_fails` / `rx.erasures` and histograms
+    /// over preamble correlation and SNR. The receiver does not know node
+    /// addresses, so it records only aggregates; per-node attribution is
+    /// the MAC's and the simulator's job.
+    pub fn decode_uplink_traced(
+        &self,
+        signal: &[f64],
+        carrier_hz: f64,
+        bitrate_bps: f64,
+        tel: Option<&mut pab_telemetry::Recorder>,
+    ) -> Result<Decoded, CoreError> {
+        let out = self.decode_uplink(signal, carrier_hz, bitrate_bps);
+        if let Some(t) = tel {
+            match &out {
+                Ok(d) => {
+                    if d.packet.is_ok() {
+                        t.inc("rx.detections");
+                    } else {
+                        t.inc("rx.crc_fails");
+                    }
+                    t.observe("rx.preamble_corr", 0.0, 1.0, 20, d.preamble_corr);
+                    t.observe("rx.snr_db", -10.0, 40.0, 25, d.snr_db);
+                }
+                Err(_) => t.inc("rx.erasures"),
+            }
+        }
+        out
+    }
+
     /// Decode a packet from an already-demodulated amplitude stream (the
     /// path used after MIMO zero-forcing, where the "envelope" is a
     /// separated stream estimate rather than a single band's magnitude).

@@ -10,7 +10,7 @@ use pab_experiments::{banner, write_csv};
 use pab_net::packet::{Command, SensorKind};
 use pab_sensors::WaterSample;
 
-fn main() {
+fn main() -> std::io::Result<()> {
     banner(
         "§6.5 — sensing applications over the acoustic link",
         "pH 7 via ADC/AFE; room temperature and ~1 bar via I2C MS5837, \
@@ -58,7 +58,8 @@ fn main() {
         "app_sensing.csv",
         "scenario,sensor,truth,decoded,error",
         &rows,
-    );
+    )?;
     println!();
     println!("csv: {}", path.display());
+    Ok(())
 }

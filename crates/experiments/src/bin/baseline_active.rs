@@ -9,7 +9,7 @@
 use pab_core::baseline::{compare, ActiveAcousticNode, BackscatterEnergyModel};
 use pab_experiments::{banner, write_csv};
 
-fn main() {
+fn main() -> std::io::Result<()> {
     banner(
         "§2 — backscatter vs carrier-generating baseline",
         "2-3 orders of magnitude advantage in energy/bit and throughput",
@@ -57,7 +57,8 @@ fn main() {
         "baseline_active.csv",
         "harvested_uw,energy_per_bit_ratio,throughput_ratio",
         &rows,
-    );
+    )?;
     println!();
     println!("csv: {}", path.display());
+    Ok(())
 }

@@ -19,10 +19,12 @@
 //! whole sweep is bit-reproducible. CSV: `results/ext_fault_resilience.csv`.
 
 use pab_channel::{BroadbandBurst, DropoutWindow, DriftRamp, FaultSchedule, PathFade};
-use pab_core::faultnet::{FaultNetConfig, FaultNetSimulator};
+use pab_core::faultnet::{FaultNetConfig, FaultNetReport, FaultNetSimulator};
 use pab_net::mac::{AdaptiveConfig, MacPolicy};
-use pab_experiments::sweep::{derive_seed, grid2, run};
-use pab_experiments::{banner, write_csv};
+use pab_experiments::sweep::{derive_seed, grid2, run, run_recorded};
+use pab_experiments::{banner, write_csv, write_text};
+use pab_telemetry::export::{events_csv, events_jsonl, summary_csv};
+use pab_telemetry::{Event, Recorder};
 
 /// Fault schedules for the two nodes at a given intensity step.
 ///
@@ -85,8 +87,78 @@ fn policy_for(name: &str) -> MacPolicy {
     }
 }
 
-fn main() {
+/// One sweep point: build the faulted network for `(intensity, policy)`
+/// and run a full inventory round, optionally narrating into `tel`.
+fn run_point(
+    idx: usize,
+    intensity: u32,
+    policy_name: &'static str,
+    per_node: u64,
+    max_slots: u64,
+    tel: Option<&mut Recorder>,
+) -> (u32, &'static str, FaultNetReport) {
+    let seed = derive_seed(7, idx as u64);
+    let (f1, f2) = schedules(intensity, seed);
+    let mut cfg = FaultNetConfig {
+        policy: policy_for(policy_name),
+        per_node_packets: per_node,
+        max_slots,
+        fs_hz: 96_000.0,
+        seed,
+        ..Default::default()
+    };
+    cfg.nodes[0].faults = f1;
+    cfg.nodes[1].faults = f2;
+    let report = FaultNetSimulator::new(cfg)
+        .expect("config is valid by construction")
+        .run_with_recorder(tel)
+        .expect("simulation error");
+    (intensity, policy_name, report)
+}
+
+/// Fig. 8-style rate-ladder report from one sweep point's trace: which
+/// FM0 rates the closed loop visited and what drove it down there.
+fn print_trace_report(points: &[(u32, &str)], recorders: &[Recorder]) {
+    println!();
+    println!("rate-ladder / recovery trace (from telemetry)");
+    println!(
+        "{:>9}  {:<12} {:>7} {:>9} {:>7} {:>10} {:>7} {:>12} {:>9}",
+        "intensity", "policy", "steps", "min_bps", "retries", "backoffs", "quaran", "evictions", "dropped"
+    );
+    for (rec, (intensity, policy)) in recorders.iter().zip(points) {
+        let count = |name: &str| rec.counters().get(name);
+        // The slowest rung the closed loop reached (paper Fig. 8: SNR
+        // drives the usable FM0 bitrate; faults push the ladder down).
+        let min_bps = rec
+            .events()
+            .filter_map(|te| match te.event {
+                Event::RateStep { rate_bps, .. } => Some(rate_bps),
+                _ => None,
+            })
+            .fold(f64::INFINITY, f64::min);
+        let min_bps = if min_bps.is_finite() {
+            format!("{min_bps:.0}")
+        } else {
+            "-".to_string()
+        };
+        println!(
+            "{:>9}  {:<12} {:>7} {:>9} {:>7} {:>10} {:>7} {:>12} {:>9}",
+            intensity,
+            policy,
+            count("rate_step"),
+            min_bps,
+            count("retry"),
+            count("backoff"),
+            count("quarantine"),
+            count("eviction"),
+            rec.events_dropped(),
+        );
+    }
+}
+
+fn main() -> std::io::Result<()> {
     let quick = std::env::args().any(|a| a == "--quick");
+    let trace = std::env::args().any(|a| a == "--trace");
     banner(
         "extension — fault injection × MAC policy",
         "who survives a silent node: no-retry vs fixed-retry vs adaptive \
@@ -95,32 +167,34 @@ fn main() {
     if quick {
         println!("(--quick: reduced per-node packet target and slot cap)\n");
     }
+    if trace {
+        println!("(--trace: narrating every slot into results/fault_trace.csv)\n");
+    }
 
     let intensities: Vec<u32> = vec![0, 1, 2, 3];
-    let policies: Vec<&str> = vec!["no-retry", "fixed-retry", "adaptive"];
+    let policies: Vec<&'static str> = vec!["no-retry", "fixed-retry", "adaptive"];
     let points = grid2(&intensities, &policies);
     let per_node = if quick { 1 } else { 2 };
     let max_slots = if quick { 30 } else { 60 };
 
-    let results = run(points, |idx, (intensity, policy_name)| {
-        let seed = derive_seed(7, idx as u64);
-        let (f1, f2) = schedules(intensity, seed);
-        let mut cfg = FaultNetConfig {
-            policy: policy_for(policy_name),
-            per_node_packets: per_node,
-            max_slots,
-            fs_hz: 96_000.0,
-            seed,
-            ..Default::default()
-        };
-        cfg.nodes[0].faults = f1;
-        cfg.nodes[1].faults = f2;
-        let report = FaultNetSimulator::new(cfg)
-            .expect("config is valid by construction")
-            .run()
-            .expect("simulation error");
-        (intensity, policy_name, report)
-    });
+    // Traced and untraced sweeps produce bit-identical reports (the
+    // recorder is an observer, not a participant); `--trace` just keeps
+    // the per-point recorders for export.
+    let (results, recorders) = if trace {
+        let (results, recorders) = run_recorded(
+            points.clone(),
+            pab_telemetry::DEFAULT_CAPACITY,
+            |idx, (intensity, policy_name), rec| {
+                run_point(idx, intensity, policy_name, per_node, max_slots, Some(rec))
+            },
+        );
+        (results, Some(recorders))
+    } else {
+        let results = run(points.clone(), |idx, (intensity, policy_name)| {
+            run_point(idx, intensity, policy_name, per_node, max_slots, None)
+        });
+        (results, None)
+    };
 
     let mut rows = Vec::new();
     println!(
@@ -174,6 +248,19 @@ fn main() {
         "ext_fault_resilience.csv",
         "intensity,policy,pdr,goodput_bps,slots_used,completed,evicted,delivered,dropped,elapsed_s",
         &rows,
-    );
+    )?;
     println!("\ncsv: {}", path.display());
+
+    if let Some(recorders) = recorders {
+        print_trace_report(&points, &recorders);
+        let refs: Vec<&Recorder> = recorders.iter().collect();
+        let trace_path = write_text("fault_trace.csv", &events_csv(&refs))?;
+        let jsonl_path = write_text("fault_trace.jsonl", &events_jsonl(&refs))?;
+        let summary_path = write_text("fault_trace_summary.csv", &summary_csv(&refs))?;
+        println!("\ntrace: {}", trace_path.display());
+        println!("trace: {}", jsonl_path.display());
+        println!("trace: {}", summary_path.display());
+        println!("plot:  python3 scripts/plot_trace.py {}", trace_path.display());
+    }
+    Ok(())
 }

@@ -51,7 +51,7 @@ fn open_water_link(range_m: f64, wind_m_s: f64, battery: bool) -> LinkConfig {
     }
 }
 
-fn main() {
+fn main() -> std::io::Result<()> {
     banner(
         "§8 extensions — battery assist, tunability, open water",
         "future-work directions the paper sketches, exercised end to end",
@@ -98,7 +98,7 @@ fn main() {
         "ext_battery_assist.csv",
         "range_m,battery_free,battery_assisted",
         &rows,
-    );
+    )?;
     println!();
 
     // ── 2. Over-the-air resonance retuning ───────────────────────────
@@ -141,7 +141,7 @@ fn main() {
         rows.push(format!("{wind},{:.2},{}", r.snr_db, r.crc_ok));
         println!("{wind:>12} {:>10.1} {:>8}", r.snr_db, r.crc_ok);
     }
-    write_csv("ext_open_water.csv", "wind_m_s,snr_db,crc_ok", &rows);
+    write_csv("ext_open_water.csv", "wind_m_s,snr_db,crc_ok", &rows)?;
     println!();
 
     // ── Reference: harvest-limited range in the same water ───────────
@@ -158,4 +158,5 @@ fn main() {
     )
     .expect("sweep");
     println!("battery-free power-up range in open water at 350 V: {d:.1} m");
+    Ok(())
 }

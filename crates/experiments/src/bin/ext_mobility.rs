@@ -12,6 +12,7 @@
 
 use pab_channel::mobility::MovingPath;
 use pab_channel::noise::add_awgn;
+use pab_channel::DriftRamp;
 use pab_core::receiver::Receiver;
 use pab_experiments::{banner, write_csv};
 use pab_net::fm0;
@@ -48,7 +49,7 @@ fn packet_waveform(bitrate: f64, fs_hz: f64) -> (UplinkPacket, Vec<f64>) {
     (packet, w)
 }
 
-fn main() {
+fn main() -> std::io::Result<()> {
     banner(
         "§8 extension — mobility (Doppler) tolerance",
         "the coherent receiver absorbs the carrier Doppler; the symbol-\
@@ -59,9 +60,18 @@ fn main() {
     let (packet, w) = packet_waveform(bitrate, rx.fs_hz);
     let mut rng = ChaCha8Rng::seed_from_u64(3);
 
+    // A slowly warming node oscillator drifts while the platform moves;
+    // the two offsets compose multiplicatively (drift rides the carrier
+    // *before* the Doppler compression), not additively.
+    let drift = DriftRamp {
+        rate_hz_per_s: 0.5,
+        max_abs_hz: 20.0,
+    };
+    let drift_eval_s = 10.0;
+
     println!(
-        "{:>12} {:>14} {:>12} {:>10} {:>8}",
-        "speed (m/s)", "Doppler (Hz)", "clock slip", "SNR (dB)", "decoded"
+        "{:>12} {:>14} {:>12} {:>10} {:>8} {:>16}",
+        "speed (m/s)", "Doppler (Hz)", "clock slip", "SNR (dB)", "decoded", "cfo+drift (Hz)"
     );
     let mut rows = Vec::new();
     for &v in &[0.0, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 40.0] {
@@ -69,6 +79,9 @@ fn main() {
         let mut y = path.apply(&w, rx.fs_hz);
         add_awgn(&mut y, 2e-3, &mut rng);
         let doppler = 15_000.0 - path.observed_frequency_hz(15_000.0);
+        // What the receiver's CFO estimator faces 10 s into the pass if
+        // the node oscillator is also ramping at 0.5 Hz/s (capped 20 Hz).
+        let composed_cfo = path.cfo_with_drift_hz(15_000.0, &drift, drift_eval_s);
         // Fractional symbol-clock slip over the whole packet.
         let packet_bits = packet.to_bits().unwrap().len() as f64;
         let slip_bits = packet_bits * (v / 1_500.0);
@@ -76,16 +89,19 @@ fn main() {
             Ok(d) => (d.snr_db, d.packet.map(|p| p == packet).unwrap_or(false)),
             Err(_) => (f64::NEG_INFINITY, false),
         };
-        rows.push(format!("{v},{doppler:.1},{slip_bits:.3},{snr:.2},{ok}"));
+        rows.push(format!(
+            "{v},{doppler:.1},{slip_bits:.3},{snr:.2},{ok},{composed_cfo:.3}"
+        ));
         println!(
-            "{v:>12} {doppler:>14.1} {slip_bits:>10.3}b {snr:>10.1} {ok:>8}"
+            "{v:>12} {doppler:>14.1} {slip_bits:>10.3}b {snr:>10.1} {ok:>8} {composed_cfo:>16.3}"
         );
     }
     let path = write_csv(
         "ext_mobility.csv",
-        "speed_m_s,doppler_hz,clock_slip_bits,snr_db,decoded",
+        "speed_m_s,doppler_hz,clock_slip_bits,snr_db,decoded,composed_cfo_hz",
         &rows,
-    );
+    )?;
     println!();
     println!("csv: {}", path.display());
+    Ok(())
 }

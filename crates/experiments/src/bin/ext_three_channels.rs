@@ -71,7 +71,7 @@ fn run_and_print(label: &str, cfg: MultiNodeConfig, rows: &mut Vec<String>) {
     println!();
 }
 
-fn main() {
+fn main() -> std::io::Result<()> {
     banner(
         "§8 extension — three-channel FDMA and matrix conditioning",
         "N-way collisions decode when the channel matrix is well \
@@ -107,6 +107,7 @@ fn main() {
         "ext_three_channels.csv",
         "case,stream,sinr_before_db,sinr_after_db,crc_ok",
         &rows,
-    );
+    )?;
     println!("csv: {}", path.display());
+    Ok(())
 }

@@ -12,7 +12,7 @@ use pab_experiments::{banner, sweep, write_csv};
 
 const BASE_SEED: u64 = 10;
 
-fn main() {
+fn main() -> std::io::Result<()> {
     banner(
         "Fig. 10 — SINR before/after projection at 8 locations",
         "before projection < 3 dB in interference-heavy placements; \
@@ -95,9 +95,10 @@ fn main() {
         "fig10_concurrent.csv",
         "location,before1_db,before2_db,after1_db,after2_db,crc1,crc2,condition_number",
         &rows,
-    );
+    )?;
     println!();
     println!("worst-stream SINR improved by projection at {improved}/{measured} locations");
     println!("worst-stream SINR > 3 dB after projection at {after_above_3}/{measured} locations");
     println!("csv: {}", path.display());
+    Ok(())
 }

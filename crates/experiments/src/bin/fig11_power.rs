@@ -67,7 +67,7 @@ fn measure_idle_power() -> f64 {
     mcu.services.power_meter().average_power_w()
 }
 
-fn main() {
+fn main() -> std::io::Result<()> {
     banner(
         "Fig. 11 — power consumption vs backscatter bitrate",
         "idle 124 µW; ~500 µW while backscattering at 100 bps – 3 kbps",
@@ -84,7 +84,8 @@ fn main() {
         rows.push(format!("{actual:.1},{:.3}", p * 1e6));
         println!("{actual:>12.1} {:>14.1}", p * 1e6);
     }
-    let path = write_csv("fig11_power.csv", "bitrate_bps,power_uw", &rows);
+    let path = write_csv("fig11_power.csv", "bitrate_bps,power_uw", &rows)?;
     println!();
     println!("csv: {}", path.display());
+    Ok(())
 }

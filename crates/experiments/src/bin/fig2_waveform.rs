@@ -9,7 +9,7 @@ use pab_core::link::{LinkConfig, LinkSimulator};
 use pab_dsp::stats;
 use pab_experiments::{banner, write_csv, write_wav};
 
-fn main() {
+fn main() -> std::io::Result<()> {
     banner(
         "Fig. 2 — demodulated backscatter waveform",
         "jump to constant amplitude when the projector starts (t=2.2 s); \
@@ -36,7 +36,7 @@ fn main() {
             println!("{t:>8.2} {v:>12.5}");
         }
     }
-    let path = write_csv("fig2_waveform.csv", "time_s,envelope_v", &rows);
+    let path = write_csv("fig2_waveform.csv", "time_s,envelope_v", &rows)?;
 
     // Quantify the three regimes.
     let silent = stats::mean(&env[..(2.0 * fs_hz) as usize]);
@@ -52,8 +52,9 @@ fn main() {
     // The envelope is at the simulation rate; decimate to an audio-class
     // rate so the WAV is small and listenable.
     let audio: Vec<f64> = env.iter().step_by(4).copied().collect();
-    let wav = write_wav("fig2_envelope.wav", &audio, (fs_hz / 4.0) as u32);
+    let wav = write_wav("fig2_envelope.wav", &audio, (fs_hz / 4.0) as u32)?;
     println!();
     println!("csv: {}", path.display());
     println!("wav: {} (the demodulated envelope, audible)", wav.display());
+    Ok(())
 }

@@ -33,7 +33,7 @@ fn band_above_threshold(freqs: &[f64], volts: &[f64]) -> Option<(f64, f64)> {
     }
 }
 
-fn main() {
+fn main() -> std::io::Result<()> {
     banner(
         "Fig. 3 — recto-piezo rectified voltage vs frequency",
         "15 kHz- and 18 kHz-matched nodes peak near their match frequency \
@@ -64,7 +64,7 @@ fn main() {
             println!("{:>10.1} {a:>14.3} {b:>14.3}", f / 1000.0);
         }
     }
-    let path = write_csv("fig3_rectopiezo.csv", "freq_hz,v15_node,v18_node", &rows);
+    let path = write_csv("fig3_rectopiezo.csv", "freq_hz,v15_node,v18_node", &rows)?;
 
     let peak = |v: &[f64]| {
         v.iter()
@@ -107,4 +107,5 @@ fn main() {
     );
     println!();
     println!("csv: {}", path.display());
+    Ok(())
 }

@@ -91,7 +91,7 @@ fn run_cell(index: usize, bitrate: f64, sigma: f64) -> ([u64; BINS], [u64; BINS]
     (errors, total)
 }
 
-fn main() {
+fn main() -> std::io::Result<()> {
     banner(
         "Fig. 7 — BER vs SNR",
         "decodable from ~2 dB; BER ~1e-5 above ~11 dB (packet-size floor)",
@@ -125,7 +125,8 @@ fn main() {
         rows.push(format!("{b},{},{ber:.2e}", total[b]));
         println!("{b:>8} {:>12} {ber:>10.2e}", total[b]);
     }
-    let path = write_csv("fig7_ber_snr.csv", "snr_db,total_bits,ber", &rows);
+    let path = write_csv("fig7_ber_snr.csv", "snr_db,total_bits,ber", &rows)?;
     println!();
     println!("csv: {}", path.display());
+    Ok(())
 }

@@ -16,7 +16,7 @@ use pab_net::packet::Command;
 
 const BASE_SEED: u64 = 8;
 
-fn main() {
+fn main() -> std::io::Result<()> {
     banner(
         "Fig. 8 — SNR vs backscatter bitrate",
         "SNR declines with bitrate; sharp drop past ~3 kbps",
@@ -69,7 +69,8 @@ fn main() {
         "fig8_snr_bitrate.csv",
         "target_bps,actual_bps,snr_db_mean,snr_db_std,decoded_of_3",
         &rows,
-    );
+    )?;
     println!();
     println!("csv: {}", path.display());
+    Ok(())
 }

@@ -10,7 +10,7 @@ use pab_core::node::PabNode;
 use pab_core::powerup::max_powerup_distance_m;
 use pab_experiments::{banner, sweep, write_csv};
 
-fn main() {
+fn main() -> std::io::Result<()> {
     banner(
         "Fig. 9 — max power-up distance vs transmit voltage",
         "distance grows with voltage; Pool B (corridor) outranges Pool A",
@@ -57,7 +57,7 @@ fn main() {
         "fig9_range.csv",
         "drive_voltage_v,pool_a_max_distance_m,pool_b_max_distance_m",
         &rows,
-    );
+    )?;
     println!();
     println!(
         "pool limits: A usable ≈ {:.1} m, B usable ≈ {:.1} m",
@@ -65,4 +65,5 @@ fn main() {
         pool_b.length_m - 0.3
     );
     println!("csv: {}", path.display());
+    Ok(())
 }

@@ -76,6 +76,50 @@ where
         .collect()
 }
 
+/// Run a sweep where every point also narrates into its own telemetry
+/// recorder. `f(index, point, &mut recorder)` gets a fresh recorder
+/// pre-tagged with `run_id = index` and `capacity` ring slots; the
+/// returned recorders come back **in point order** alongside the results,
+/// so exporting them (`pab_telemetry::export::events_csv` et al.) yields
+/// byte-identical files whether the sweep ran parallel or serial — the
+/// same order-stability argument as [`run`], extended to the traces.
+pub fn run_recorded<P, R, F>(
+    points: Vec<P>,
+    capacity: usize,
+    f: F,
+) -> (Vec<R>, Vec<pab_telemetry::Recorder>)
+where
+    P: Send,
+    R: Send,
+    F: Fn(usize, P, &mut pab_telemetry::Recorder) -> R + Sync,
+{
+    let pairs = run(points, |i, p| {
+        let mut rec = pab_telemetry::Recorder::new(capacity).with_run_id(i as u64);
+        let out = f(i, p, &mut rec);
+        (out, rec)
+    });
+    pairs.into_iter().unzip()
+}
+
+/// Serial reference for [`run_recorded`], kept callable so the
+/// parallel/serial byte-identity of exported traces stays asserted in
+/// tests.
+pub fn run_recorded_serial<P, R, F>(
+    points: Vec<P>,
+    capacity: usize,
+    f: F,
+) -> (Vec<R>, Vec<pab_telemetry::Recorder>)
+where
+    F: Fn(usize, P, &mut pab_telemetry::Recorder) -> R,
+{
+    let pairs = run_serial(points, |i, p| {
+        let mut rec = pab_telemetry::Recorder::new(capacity).with_run_id(i as u64);
+        let out = f(i, p, &mut rec);
+        (out, rec)
+    });
+    pairs.into_iter().unzip()
+}
+
 /// Cartesian product helper: the grid `[a × b]` flattened in row-major
 /// order, so point index = `ia * b.len() + ib` — stable and documented,
 /// because derived seeds hang off these indices.
@@ -132,6 +176,51 @@ mod tests {
         assert_eq!(derive_seed(42, 0), derive_seed(42, 0));
         assert_ne!(derive_seed(42, 0), derive_seed(43, 0));
         assert_ne!(derive_seed(42, 0), derive_seed(42, 1));
+    }
+
+    #[test]
+    fn recorded_sweep_exports_are_byte_identical_parallel_vs_serial() {
+        // The telemetry determinism contract end to end: a recorded sweep
+        // must export the same CSV/JSONL bytes no matter how many threads
+        // ran it. Each point narrates events derived from its own seed.
+        use pab_telemetry::export::{events_csv, events_jsonl, summary_csv};
+        use pab_telemetry::{Event, Recorder};
+
+        let points: Vec<u64> = (0..24).collect();
+        let f = |i: usize, _p: u64, rec: &mut Recorder| {
+            let mut rng = ChaCha8Rng::seed_from_u64(derive_seed(99, i as u64));
+            for slot in 0..8u64 {
+                rec.begin_slot(slot, slot as f64 * 0.5);
+                rec.record(Event::SlotStart { queries: 1 });
+                let corr: f64 = rng.gen_range(0.0..1.0);
+                let snr_db: f64 = rng.gen_range(-5.0..30.0);
+                rec.record(Event::Detection {
+                    node: (i % 4) as u8,
+                    corr,
+                    snr_db,
+                });
+                rec.observe("snr_db", -10.0, 40.0, 25, snr_db);
+                rec.inc("detections");
+                rec.record(Event::SlotEnd {
+                    duration_s: 0.5,
+                    bits: 64,
+                });
+            }
+            i as u64
+        };
+        let (out_par, rec_par) = run_recorded(points.clone(), 64, f);
+        let (out_ser, rec_ser) = run_recorded_serial(points, 64, f);
+        assert_eq!(out_par, out_ser);
+
+        let par_refs: Vec<&Recorder> = rec_par.iter().collect();
+        let ser_refs: Vec<&Recorder> = rec_ser.iter().collect();
+        assert_eq!(events_csv(&par_refs), events_csv(&ser_refs));
+        assert_eq!(events_jsonl(&par_refs), events_jsonl(&ser_refs));
+        assert_eq!(summary_csv(&par_refs), summary_csv(&ser_refs));
+        // And recorders arrive in point order, pre-tagged with run ids.
+        for (i, rec) in rec_par.iter().enumerate() {
+            assert_eq!(rec.run_id(), i as u64);
+        }
     }
 
     #[test]

@@ -484,6 +484,15 @@ mod tests {
         assert_eq!(canonical_unit("absorption_db_per_m"), Some("dB/m"));
         assert_eq!(canonical_unit("gain"), None);
         assert_eq!(canonical_unit("volts"), Some("V"));
+        // Energy/power shorthands pinned for the telemetry vocabulary:
+        // `harvested_j` is joules (not some bare `j`), `power_w` watts,
+        // and the spelled-out aliases collapse to the same canon.
+        assert_eq!(canonical_unit("harvested_j"), Some("J"));
+        assert_eq!(canonical_unit("power_w"), Some("W"));
+        assert_eq!(canonical_unit("energy_joules"), Some("J"));
+        assert_eq!(canonical_unit("drain_watts"), Some("W"));
+        assert_eq!(canonical_unit("energy_mj"), Some("mJ"));
+        assert_eq!(canonical_unit("sleep_uw"), Some("uW"));
     }
 
     #[test]

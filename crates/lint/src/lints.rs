@@ -11,17 +11,20 @@ use crate::scan::ScannedFile;
 /// no ambient wall-clock or entropy. (`experiments` and `bench` are
 /// binary/bench harnesses and exempt by design.)
 pub const LIB_SCOPE: &[&str] = &[
-    "analog", "channel", "core", "dsp", "lint", "mcu", "net", "piezo", "sensors",
+    "analog", "channel", "core", "dsp", "lint", "mcu", "net", "piezo", "sensors", "telemetry",
 ];
 
 /// Crates whose public `f64` parameters must carry a unit suffix.
-pub const UNIT_SCOPE: &[&str] = &["analog", "channel", "core", "dsp", "piezo"];
+/// `telemetry` is in scope because its whole point is labelled
+/// observability: an event field or histogram bound without a unit is a
+/// trace nobody can interpret later.
+pub const UNIT_SCOPE: &[&str] = &["analog", "channel", "core", "dsp", "piezo", "telemetry"];
 
 /// Crates where narrowing `as` casts must be bounded or waivered.
 /// `mcu` is in scope because its register/timer emulation narrows to the
 /// MSP430's `u32`/`u16`/`i16` widths constantly — exactly where a silent
 /// truncation becomes a firmware-fidelity bug.
-pub const CAST_SCOPE: &[&str] = &["core", "dsp", "mcu"];
+pub const CAST_SCOPE: &[&str] = &["core", "dsp", "mcu", "telemetry"];
 
 /// Unit suffixes accepted on public `f64` parameters. The long forms
 /// from the convention doc plus the SI shorthand the codebase already

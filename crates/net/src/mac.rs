@@ -11,6 +11,7 @@
 
 use crate::packet::{Command, DownlinkQuery};
 use crate::NetError;
+use pab_telemetry::{Event, Recorder};
 use std::collections::BTreeMap;
 
 /// The FDMA channel plan: one acoustic frequency per channel.
@@ -364,6 +365,13 @@ impl InventoryRound {
 // closed-loop) from a per-node link-quality EWMA.
 // ---------------------------------------------------------------------------
 
+/// Ladder rung as the u32 the telemetry event carries. Ladders are a
+/// handful of rungs long, so saturation is unreachable in practice but
+/// still total.
+fn level_u32(ladder: &RateLadder) -> u32 {
+    u32::try_from(ladder.level()).unwrap_or(u32::MAX)
+}
+
 /// What the physical layer observed in response to one scheduled query.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum RxObservation {
@@ -681,6 +689,21 @@ impl ResilientMac {
 
     /// Record the physical-layer observation for one scheduled query.
     pub fn record(&mut self, addr: u8, obs: RxObservation) -> Result<TxOutcome, NetError> {
+        self.record_traced(addr, obs, None)
+    }
+
+    /// Like [`record`](Self::record), but narrating every MAC decision —
+    /// retry consumption, backoff windows, quarantine entry/re-probes,
+    /// eviction, and rate-ladder movement — into an optional telemetry
+    /// recorder. The observation itself (detection vs erasure) is the
+    /// physical layer's story and is recorded by the simulator that owns
+    /// the link; the MAC records only what it *decided*.
+    pub fn record_traced(
+        &mut self,
+        addr: u8,
+        obs: RxObservation,
+        mut tel: Option<&mut Recorder>,
+    ) -> Result<TxOutcome, NetError> {
         // Copy the adaptive tunables out first so `st` can borrow mutably.
         let adaptive = match &self.policy {
             MacPolicy::Adaptive(cfg) => Some(cfg.clone()),
@@ -707,6 +730,12 @@ impl ResilientMac {
                 TxOutcome::Delivered
             } else if st.retries_used < max_retries {
                 st.retries_used += 1;
+                if let Some(t) = tel.as_deref_mut() {
+                    t.record(Event::Retry {
+                        node: addr,
+                        retries_used: st.retries_used,
+                    });
+                }
                 TxOutcome::Retry
             } else {
                 st.dropped += 1;
@@ -727,7 +756,15 @@ impl ResilientMac {
                 st.next_eligible_slot = slot;
                 if st.consec_deliveries >= cfg.step_up_after {
                     st.consec_deliveries = 0;
-                    st.ladder.step_up();
+                    if st.ladder.step_up() {
+                        if let Some(t) = tel.as_deref_mut() {
+                            t.record(Event::RateStep {
+                                node: addr,
+                                rate_bps: st.ladder.current_bps(),
+                                level: level_u32(&st.ladder),
+                            });
+                        }
+                    }
                 }
                 Ok(TxOutcome::Delivered)
             }
@@ -738,7 +775,7 @@ impl ResilientMac {
                 st.probes_failed = 0;
                 st.consec_erasures = 0;
                 st.consec_deliveries = 0;
-                Ok(Self::fail_with_backoff(st, &cfg, slot))
+                Ok(Self::fail_with_backoff(st, &cfg, slot, addr, tel))
             }
             RxObservation::Erasure => {
                 st.consec_deliveries = 0;
@@ -749,33 +786,68 @@ impl ResilientMac {
                     if st.probes_failed >= cfg.max_probes {
                         st.evicted = true;
                         st.dropped += 1;
+                        if let Some(t) = tel.as_deref_mut() {
+                            t.record(Event::Eviction { node: addr });
+                        }
                         return Ok(TxOutcome::Dropped);
                     }
                     let wait = cfg
                         .quarantine_slots
                         .saturating_mul(1u64 << st.probes_failed.min(16));
                     st.next_eligible_slot = slot.saturating_add(wait);
+                    if let Some(t) = tel.as_deref_mut() {
+                        t.record(Event::Quarantine {
+                            node: addr,
+                            until_slot: st.next_eligible_slot,
+                            probes_failed: st.probes_failed,
+                        });
+                    }
                     return Ok(TxOutcome::Retry);
                 }
                 if st.consec_erasures >= cfg.quarantine_after {
                     st.quarantined = true;
                     st.probes_failed = 0;
                     st.next_eligible_slot = slot.saturating_add(cfg.quarantine_slots);
-                    if st.quality.quality() < cfg.step_down_below {
-                        st.ladder.step_down();
+                    if st.quality.quality() < cfg.step_down_below && st.ladder.step_down() {
+                        if let Some(t) = tel.as_deref_mut() {
+                            t.record(Event::RateStep {
+                                node: addr,
+                                rate_bps: st.ladder.current_bps(),
+                                level: level_u32(&st.ladder),
+                            });
+                        }
+                    }
+                    if let Some(t) = tel.as_deref_mut() {
+                        t.record(Event::Quarantine {
+                            node: addr,
+                            until_slot: st.next_eligible_slot,
+                            probes_failed: 0,
+                        });
                     }
                     return Ok(TxOutcome::Retry);
                 }
-                Ok(Self::fail_with_backoff(st, &cfg, slot))
+                Ok(Self::fail_with_backoff(st, &cfg, slot, addr, tel))
             }
         }
     }
 
     /// Shared failure path: consume the retry budget with exponential
     /// backoff, stepping the rate ladder down when quality is poor.
-    fn fail_with_backoff(st: &mut NodeMacState, cfg: &AdaptiveConfig, slot: u64) -> TxOutcome {
-        if st.quality.quality() < cfg.step_down_below {
-            st.ladder.step_down();
+    fn fail_with_backoff(
+        st: &mut NodeMacState,
+        cfg: &AdaptiveConfig,
+        slot: u64,
+        addr: u8,
+        mut tel: Option<&mut Recorder>,
+    ) -> TxOutcome {
+        if st.quality.quality() < cfg.step_down_below && st.ladder.step_down() {
+            if let Some(t) = tel.as_deref_mut() {
+                t.record(Event::RateStep {
+                    node: addr,
+                    rate_bps: st.ladder.current_bps(),
+                    level: level_u32(&st.ladder),
+                });
+            }
         }
         if st.retries_used < cfg.retry_budget {
             st.retries_used += 1;
@@ -785,6 +857,16 @@ impl ResilientMac {
                 .saturating_mul(1u64 << (st.consec_failures - 1).min(16))
                 .min(cfg.backoff_cap_slots);
             st.next_eligible_slot = slot.saturating_add(backoff);
+            if let Some(t) = tel.as_deref_mut() {
+                t.record(Event::Retry {
+                    node: addr,
+                    retries_used: st.retries_used,
+                });
+                t.record(Event::Backoff {
+                    node: addr,
+                    until_slot: st.next_eligible_slot,
+                });
+            }
             TxOutcome::Retry
         } else {
             st.dropped += 1;
@@ -1274,5 +1356,71 @@ mod tests {
         two.register(NodeEntry { addr: 2, channel: 1 }).unwrap();
         assert_eq!(one.next_slot(Command::Ping).len(), 1);
         assert_eq!(two.next_slot(Command::Ping).len(), 2);
+    }
+
+    #[test]
+    fn traced_record_narrates_mac_decisions() {
+        use pab_telemetry::{Event, Recorder};
+        let mut tel = Recorder::new(1024);
+        let cfg = AdaptiveConfig::default();
+        let max_probes = cfg.max_probes;
+        let mut mac = ResilientMac::new(
+            ChannelPlan::new(vec![15_000.0]).unwrap(),
+            MacPolicy::Adaptive(cfg),
+            1,
+        )
+        .unwrap();
+        mac.register(NodeEntry { addr: 7, channel: 0 }).unwrap();
+        // Erase until quarantine, then fail every re-probe to eviction.
+        let mut guard = 0;
+        while !mac.is_evicted(7) {
+            guard += 1;
+            assert!(guard < 64, "eviction never happened");
+            let _ = mac
+                .record_traced(7, RxObservation::Erasure, Some(&mut tel))
+                .unwrap();
+        }
+        let c = tel.counters();
+        assert_eq!(
+            c.get("quarantine"),
+            u64::from(max_probes),
+            "one quarantine entry plus one event per non-final re-probe"
+        );
+        assert_eq!(c.get("eviction"), 1);
+        assert!(c.get("retry") >= 1, "pre-quarantine failures consumed retries");
+        assert_eq!(c.get("backoff"), c.get("retry"), "every retry set a backoff window");
+        let evicted = tel
+            .events()
+            .find(|e| matches!(e.event, Event::Eviction { .. }))
+            .unwrap();
+        assert_eq!(evicted.event.node(), Some(7));
+    }
+
+    #[test]
+    fn traced_record_reports_rate_steps_only_on_change() {
+        use pab_telemetry::Recorder;
+        let mut tel = Recorder::new(1024);
+        let mut mac = adaptive_mac(64);
+        // Hammer quality below the gate: the ladder has 5 rungs, so at most
+        // 4 rate_step events can ever fire downward no matter how many
+        // failures accrue.
+        for _ in 0..32 {
+            let _ = mac
+                .record_traced(1, RxObservation::CrcFailed { margin: 0.0 }, Some(&mut tel))
+                .unwrap();
+        }
+        let down_steps = tel.counters().get("rate_step");
+        assert!(
+            (1..=4).contains(&down_steps),
+            "steps only on actual rung change, got {down_steps}"
+        );
+        // Recover: sustained deliveries step back up, again only on change.
+        for _ in 0..64 {
+            let _ = mac
+                .record_traced(1, RxObservation::Delivered { margin: 1.0 }, Some(&mut tel))
+                .unwrap();
+        }
+        let total_steps = tel.counters().get("rate_step");
+        assert_eq!(total_steps, down_steps * 2, "each down rung re-climbed exactly once");
     }
 }

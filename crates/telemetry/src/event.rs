@@ -1,0 +1,227 @@
+//! Typed trace events: everything the MAC, receiver and fault layer know
+//! per slot, as a `Copy` enum so recording never allocates.
+
+/// Which impairment class a fault-window transition refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A broadband noise burst window.
+    Burst,
+    /// A raised-cosine path fade window.
+    Fade,
+    /// A supercap brown-out (dropout) window.
+    Dropout,
+    /// A non-zero carrier/clock drift offset.
+    Drift,
+}
+
+impl FaultKind {
+    /// Stable lowercase name used in exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::Burst => "burst",
+            FaultKind::Fade => "fade",
+            FaultKind::Dropout => "dropout",
+            FaultKind::Drift => "drift",
+        }
+    }
+}
+
+/// One trace event. Variants mirror the per-slot state machine of the
+/// resilient MAC (`pab_net::mac::ResilientMac`), the receiver's detection
+/// verdicts, and the fault layer's windows; every payload is plain `Copy`
+/// data.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Event {
+    /// A slot opened with this many scheduled queries (0 = every eligible
+    /// node was backing off and the channel idled).
+    SlotStart {
+        /// Queries scheduled into the slot.
+        queries: u32,
+    },
+    /// A slot closed.
+    SlotEnd {
+        /// Wall-of-simulation duration of the slot, seconds.
+        duration_s: f64,
+        /// Delivered payload bits within the slot.
+        bits: u64,
+    },
+    /// Preamble found and CRC passed for `node`.
+    Detection {
+        /// Node address.
+        node: u8,
+        /// Peak normalized preamble correlation in [0, 1].
+        corr: f64,
+        /// Receiver-estimated SNR, dB.
+        snr_db: f64,
+    },
+    /// Preamble found but the payload failed CRC (alive but noisy).
+    CrcFail {
+        /// Node address.
+        node: u8,
+        /// Peak normalized preamble correlation in [0, 1].
+        corr: f64,
+    },
+    /// No preamble in the response window (dead, browned out, or faded).
+    Erasure {
+        /// Node address.
+        node: u8,
+    },
+    /// The MAC consumed one retry from `node`'s budget.
+    Retry {
+        /// Node address.
+        node: u8,
+        /// Retries consumed so far for the in-flight packet.
+        retries_used: u32,
+    },
+    /// The MAC backed `node` off until `until_slot`.
+    Backoff {
+        /// Node address.
+        node: u8,
+        /// First slot the node is eligible again.
+        until_slot: u64,
+    },
+    /// The MAC quarantined `node` (erasure streak) until `until_slot`.
+    Quarantine {
+        /// Node address.
+        node: u8,
+        /// First slot the node will be re-probed.
+        until_slot: u64,
+        /// Re-probes that have failed so far.
+        probes_failed: u32,
+    },
+    /// The MAC permanently evicted `node`.
+    Eviction {
+        /// Node address.
+        node: u8,
+    },
+    /// The closed-loop rate ladder moved for `node`.
+    RateStep {
+        /// Node address.
+        node: u8,
+        /// The newly commanded FM0 uplink rate, bps.
+        rate_bps: f64,
+        /// Ladder rung after the step (0 = fastest).
+        level: u32,
+    },
+    /// `node`'s link entered a fault window of `kind`.
+    FaultEnter {
+        /// Node address.
+        node: u8,
+        /// Impairment class.
+        kind: FaultKind,
+    },
+    /// `node`'s link left a fault window of `kind`.
+    FaultExit {
+        /// Node address.
+        node: u8,
+        /// Impairment class.
+        kind: FaultKind,
+    },
+    /// Per-exchange energy sample for `node` (the Fig. 9 observables).
+    EnergySample {
+        /// Node address.
+        node: u8,
+        /// Energy turned over by the node during the exchange, joules.
+        harvested_j: f64,
+        /// Average node power during the exchange, watts.
+        power_w: f64,
+        /// Peak rectified (harvested) voltage, volts.
+        rectified_v: f64,
+    },
+}
+
+impl Event {
+    /// Stable lowercase event name used in exports and per-event counters.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Event::SlotStart { .. } => "slot_start",
+            Event::SlotEnd { .. } => "slot_end",
+            Event::Detection { .. } => "detection",
+            Event::CrcFail { .. } => "crc_fail",
+            Event::Erasure { .. } => "erasure",
+            Event::Retry { .. } => "retry",
+            Event::Backoff { .. } => "backoff",
+            Event::Quarantine { .. } => "quarantine",
+            Event::Eviction { .. } => "eviction",
+            Event::RateStep { .. } => "rate_step",
+            Event::FaultEnter { .. } => "fault_enter",
+            Event::FaultExit { .. } => "fault_exit",
+            Event::EnergySample { .. } => "energy_sample",
+        }
+    }
+
+    /// The node the event is about, when it is about one.
+    pub fn node(&self) -> Option<u8> {
+        match *self {
+            Event::SlotStart { .. } | Event::SlotEnd { .. } => None,
+            Event::Detection { node, .. }
+            | Event::CrcFail { node, .. }
+            | Event::Erasure { node }
+            | Event::Retry { node, .. }
+            | Event::Backoff { node, .. }
+            | Event::Quarantine { node, .. }
+            | Event::Eviction { node }
+            | Event::RateStep { node, .. }
+            | Event::FaultEnter { node, .. }
+            | Event::FaultExit { node, .. }
+            | Event::EnergySample { node, .. } => Some(node),
+        }
+    }
+}
+
+/// An [`Event`] stamped with the recorder's monotonic simulation clock.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimedEvent {
+    /// Slot index the event occurred in (0 before the first slot opens).
+    pub slot: u64,
+    /// Simulation time, seconds (monotonic per recorder).
+    pub t_s: f64,
+    /// The event.
+    pub event: Event,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable_and_unique() {
+        let events = [
+            Event::SlotStart { queries: 1 },
+            Event::SlotEnd { duration_s: 0.1, bits: 8 },
+            Event::Detection { node: 1, corr: 0.9, snr_db: 10.0 },
+            Event::CrcFail { node: 1, corr: 0.4 },
+            Event::Erasure { node: 1 },
+            Event::Retry { node: 1, retries_used: 1 },
+            Event::Backoff { node: 1, until_slot: 5 },
+            Event::Quarantine { node: 1, until_slot: 9, probes_failed: 0 },
+            Event::Eviction { node: 1 },
+            Event::RateStep { node: 1, rate_bps: 1024.0, level: 2 },
+            Event::FaultEnter { node: 1, kind: FaultKind::Dropout },
+            Event::FaultExit { node: 1, kind: FaultKind::Dropout },
+            Event::EnergySample { node: 1, harvested_j: 1e-6, power_w: 2e-6, rectified_v: 1.2 },
+        ];
+        let mut names: Vec<&str> = events.iter().map(Event::name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), events.len(), "duplicate event name");
+    }
+
+    #[test]
+    fn node_attribution() {
+        assert_eq!(Event::SlotStart { queries: 0 }.node(), None);
+        assert_eq!(Event::Erasure { node: 9 }.node(), Some(9));
+        assert_eq!(
+            Event::FaultEnter { node: 3, kind: FaultKind::Fade }.node(),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn fault_kind_names() {
+        assert_eq!(FaultKind::Burst.name(), "burst");
+        assert_eq!(FaultKind::Fade.name(), "fade");
+        assert_eq!(FaultKind::Dropout.name(), "dropout");
+        assert_eq!(FaultKind::Drift.name(), "drift");
+    }
+}

@@ -29,8 +29,11 @@ fi
 echo "==> fault-resilience integration tests (tests/fault_resilience.rs)"
 cargo test -q -p pab-core --test fault_resilience
 
-echo "==> ext_fault_resilience --quick  (fault injection x MAC policy smoke)"
-cargo run --release -q -p pab-experiments --bin ext_fault_resilience -- --quick
+echo "==> ext_fault_resilience --quick --trace  (fault injection smoke + telemetry trace)"
+cargo run --release -q -p pab-experiments --bin ext_fault_resilience -- --quick --trace
+for f in results/fault_trace.csv results/fault_trace.jsonl results/fault_trace_summary.csv; do
+    [ -s "$f" ] || { echo "missing telemetry export: $f"; exit 1; }
+done
 
 if cargo clippy --version >/dev/null 2>&1; then
     echo "==> cargo clippy --workspace --all-targets"

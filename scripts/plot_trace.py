@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Render a Fig. 8-style rate-ladder report from a telemetry trace.
+
+Input is the per-slot event CSV written by
+
+    cargo run --release -p pab-experiments --bin ext_fault_resilience -- --trace
+
+(`results/fault_trace.csv` by default). For every run (sweep point) the
+script reconstructs the closed-loop FM0 rate ladder over slots — every
+`rate_step` event — alongside the recovery machinery that drove it
+(retries, backoffs, quarantines, evictions), and prints an ASCII
+slot-by-slot ladder. With matplotlib installed it also saves a PNG of
+rate vs slot per run; without it the textual report is the deliverable
+(the repo adds no Python dependencies).
+
+Usage:
+    python3 scripts/plot_trace.py [results/fault_trace.csv] [--png out.png]
+"""
+
+import csv
+import sys
+from collections import defaultdict
+
+
+def load(path):
+    """Group trace rows by run id, preserving slot order."""
+    runs = defaultdict(list)
+    with open(path, newline="") as f:
+        for row in csv.DictReader(f):
+            runs[int(row["run"])].append(row)
+    return dict(sorted(runs.items()))
+
+
+def ladder_series(rows):
+    """(slot, rate_bps) for every rate_step event, in slot order."""
+    series = []
+    for row in rows:
+        if row["event"] == "rate_step" and row["rate_bps"]:
+            series.append((int(row["slot"]), float(row["rate_bps"])))
+    return series
+
+
+def summarize(rows):
+    counts = defaultdict(int)
+    for row in rows:
+        counts[row["event"]] += 1
+    return counts
+
+
+def report(runs):
+    for run, rows in runs.items():
+        counts = summarize(rows)
+        series = ladder_series(rows)
+        slots = max((int(r["slot"]) for r in rows), default=0)
+        print(f"run {run}: {slots} slots, "
+              f"{counts['detection']} detections, "
+              f"{counts['crc_fail']} CRC fails, "
+              f"{counts['erasure']} erasures | "
+              f"retries {counts['retry']}, backoffs {counts['backoff']}, "
+              f"quarantines {counts['quarantine']}, "
+              f"evictions {counts['eviction']}")
+        if not series:
+            print("  rate ladder: never moved (link held the top rung)")
+            continue
+        rates = sorted({r for _, r in series}, reverse=True)
+        width = max(len(f"{r:.0f}") for r in rates)
+        for slot, rate in series:
+            depth = rates.index(rate)
+            print(f"  slot {slot:>4}  {rate:>{width}.0f} bps  " + "▇" * (len(rates) - depth))
+    print()
+
+
+def plot_png(runs, out):
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print(f"matplotlib not available; skipped {out} (text report above is complete)")
+        return
+    fig, ax = plt.subplots(figsize=(9, 5))
+    for run, rows in runs.items():
+        series = ladder_series(rows)
+        if series:
+            ax.step([s for s, _ in series], [r for _, r in series],
+                    where="post", label=f"run {run}")
+    ax.set_xlabel("slot")
+    ax.set_ylabel("FM0 rate (bps)")
+    ax.set_yscale("log", base=2)
+    ax.set_title("closed-loop rate ladder vs slot (Fig. 8-style)")
+    ax.legend(fontsize=7)
+    fig.tight_layout()
+    fig.savefig(out, dpi=150)
+    print(f"wrote {out}")
+
+
+def main(argv):
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    path = args[0] if args else "results/fault_trace.csv"
+    png = None
+    if "--png" in argv:
+        i = argv.index("--png")
+        png = argv[i + 1] if i + 1 < len(argv) else "results/fault_trace.png"
+    try:
+        runs = load(path)
+    except FileNotFoundError:
+        print(f"{path} not found — run: cargo run --release -p pab-experiments "
+              "--bin ext_fault_resilience -- --trace")
+        return 1
+    report(runs)
+    if png:
+        plot_png(runs, png)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

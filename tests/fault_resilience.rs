@@ -4,7 +4,7 @@
 //! impairments rather than from stubbing the MAC's inputs.
 
 use pab_channel::{BroadbandBurst, DropoutWindow, FaultSchedule};
-use pab_core::faultnet::{FaultNetConfig, FaultNetSimulator, FaultNodeSpec};
+use pab_core::faultnet::{FaultNetConfig, FaultNetSimulator};
 use pab_core::{LinkConfig, LinkSimulator};
 use pab_net::mac::{ChannelPlan, InventoryRound, MacPolicy, NodeEntry};
 use pab_net::packet::Command;
@@ -143,4 +143,56 @@ fn same_seed_fault_runs_are_bit_identical() {
     let b = make();
     assert_eq!(a, b, "fault-injected runs must replay bit-identically");
     assert_eq!(a.bit_digest, b.bit_digest);
+}
+
+#[test]
+fn same_seed_traces_export_byte_identically() {
+    // The telemetry acceptance contract: two same-seed traced runs must
+    // produce byte-for-byte identical CSV and JSONL exports — the trace
+    // is a pure function of the seed, never of wall clock or scheduling.
+    let run_traced = || {
+        let mut cfg = FaultNetConfig {
+            per_node_packets: 1,
+            max_slots: 40,
+            fs_hz: 96_000.0,
+            seed: 42,
+            ..Default::default()
+        };
+        cfg.nodes[0].faults = bursty_schedule(42, 0.5);
+        cfg.nodes[1].faults = FaultSchedule::new(43)
+            .with_dropout(DropoutWindow {
+                start_s: 0.0,
+                duration_s: 0.4,
+            })
+            .unwrap();
+        let mut tel = pab_telemetry::Recorder::new(4096).with_run_id(7);
+        let report = FaultNetSimulator::new(cfg)
+            .unwrap()
+            .run_with_recorder(Some(&mut tel))
+            .unwrap();
+        (report, tel)
+    };
+    let (ra, ta) = run_traced();
+    let (rb, tb) = run_traced();
+    assert_eq!(ra.bit_digest, rb.bit_digest, "traced replay must stay bit-identical");
+
+    let csv_a = pab_telemetry::export::events_csv(&[&ta]);
+    let csv_b = pab_telemetry::export::events_csv(&[&tb]);
+    assert!(!csv_a.trim().is_empty());
+    assert_eq!(csv_a, csv_b, "same-seed trace CSV must be byte-identical");
+
+    let jsonl_a = pab_telemetry::export::events_jsonl(&[&ta]);
+    let jsonl_b = pab_telemetry::export::events_jsonl(&[&tb]);
+    assert_eq!(jsonl_a, jsonl_b, "same-seed trace JSONL must be byte-identical");
+
+    let sum_a = pab_telemetry::export::summary_csv(&[&ta]);
+    let sum_b = pab_telemetry::export::summary_csv(&[&tb]);
+    assert_eq!(sum_a, sum_b, "same-seed counter/histogram summary must be byte-identical");
+
+    // The trace narrates real per-slot events, not just totals: slot
+    // boundaries and at least one MAC decision for the dropped-out node.
+    let names: Vec<&str> = ta.events().map(|e| e.event.name()).collect();
+    assert!(names.contains(&"slot_start"));
+    assert!(names.contains(&"slot_end"));
+    assert!(names.contains(&"erasure"), "dropout must surface erasures: {names:?}");
 }
