@@ -104,14 +104,22 @@ impl MultipathChannel {
         var.sqrt()
     }
 
+    /// Length of the buffer [`apply`](Self::apply) produces for an input
+    /// of `input_len` samples: the input extended by the maximum tap
+    /// delay (plus interpolation slack) so no energy is truncated. Lets
+    /// callers pre-size accumulation buffers that must match `apply`'s
+    /// framing exactly.
+    pub fn output_len(&self, input_len: usize, fs_hz: f64) -> usize {
+        let max_delay = self.taps.last().map(|t| t.delay_s).unwrap_or(0.0);
+        input_len + (max_delay * fs_hz).ceil() as usize + 2
+    }
+
     /// Apply the channel to a sampled waveform at sample rate `fs_hz`.
     ///
     /// The output buffer is extended by the maximum tap delay so no energy
     /// is truncated; fractional delays use linear interpolation.
     pub fn apply(&self, signal: &[f64], fs_hz: f64) -> Vec<f64> {
-        let max_delay = self.taps.last().map(|t| t.delay_s).unwrap_or(0.0);
-        let extra = (max_delay * fs_hz).ceil() as usize + 2;
-        let mut out = vec![0.0; signal.len() + extra];
+        let mut out = vec![0.0; self.output_len(signal.len(), fs_hz)];
         for t in &self.taps {
             add_delayed_scaled(&mut out, signal, t.delay_s * fs_hz, t.gain);
         }

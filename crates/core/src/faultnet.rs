@@ -11,10 +11,11 @@
 //! Everything is keyed on seeds and absolute simulation time, so a run is
 //! bit-reproducible.
 
-use crate::link::{LinkConfig, LinkSimulator};
+use crate::link::{LinkConfig, LinkSimulator, SlotEngineStats, SlotVerdict};
 use crate::{CoreError, DEFAULT_SAMPLE_RATE_HZ};
 use pab_channel::noise::NoiseEnvironment;
 use pab_channel::{FaultSchedule, Pool, Position};
+use pab_sweep::derive_seed;
 use pab_net::mac::{
     ChannelPlan, MacPolicy, NodeEntry, ResilientMac, RxObservation, ThroughputMeter,
 };
@@ -74,6 +75,15 @@ pub struct FaultNetConfig {
     pub drive_voltage_v: f64,
     /// Image-method reflection order.
     pub max_reflections: usize,
+    /// Fan each slot's independent per-node exchanges through the
+    /// parallel sweep engine. Bit-identical to the serial path by the
+    /// order-stable-collect + per-exchange-sub-recorder contract, so this
+    /// is purely a wall-clock knob.
+    pub parallel_slots: bool,
+    /// Enable the per-link slot-engine caches (query waveforms and clean
+    /// exchanges). Bit-identical on or off; off exists for the regression
+    /// test that proves it.
+    pub slot_cache: bool,
 }
 
 impl Default for FaultNetConfig {
@@ -110,7 +120,53 @@ impl Default for FaultNetConfig {
             fs_hz: DEFAULT_SAMPLE_RATE_HZ,
             drive_voltage_v: 100.0,
             max_reflections: 3,
+            parallel_slots: true,
+            slot_cache: true,
         }
+    }
+}
+
+impl FaultNetConfig {
+    /// A fault-free N-node network: carriers evenly spaced across the
+    /// 14–20 kHz band (one FDMA channel per node), nodes strung along a
+    /// line at x = 1.5 m, everything else at defaults. This is the
+    /// canonical scaling configuration — the N-node determinism tests and
+    /// `bench_faultnet` both build exactly this, so keep the formula
+    /// frozen.
+    pub fn with_nodes(n: usize) -> Result<Self, CoreError> {
+        if n == 0 || n > 64 {
+            return Err(CoreError::InvalidConfig("node count must be in 1..=64"));
+        }
+        let plan = if n == 1 {
+            ChannelPlan::new(vec![15_000.0])
+        } else {
+            ChannelPlan::evenly_spaced(n, 14_000.0, 20_000.0)
+        }
+        .map_err(CoreError::Net)?;
+        let nodes = plan
+            .centers_hz()
+            .iter()
+            .enumerate()
+            .map(|(i, &carrier_hz)| {
+                let y_m = if n == 1 {
+                    1.5
+                } else {
+                    1.0 + 1.6 * i as f64 / (n - 1) as f64
+                };
+                FaultNodeSpec {
+                    addr: u8::try_from(i + 1).unwrap_or(u8::MAX),
+                    channel: i,
+                    carrier_hz,
+                    position: Position::new(1.5, y_m, 0.6),
+                    faults: FaultSchedule::default(),
+                }
+            })
+            .collect();
+        Ok(FaultNetConfig {
+            plan,
+            nodes,
+            ..Default::default()
+        })
     }
 }
 
@@ -171,18 +227,6 @@ pub struct FaultNetSimulator {
     t_now_s: f64,
 }
 
-/// SplitMix64 finaliser for per-node seed derivation (same scrambler as
-/// `pab_experiments::sweep::derive_seed`; duplicated because `pab-core`
-/// sits below the experiments crate).
-fn derive_seed(base: u64, index: u64) -> u64 {
-    let mut z = base
-        .wrapping_add(index.wrapping_mul(0x9E37_79B9_7F4A_7C15))
-        .wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
-
 impl FaultNetSimulator {
     /// Build the network: a resilient MAC over the channel plan plus one
     /// acoustic link simulator per node.
@@ -224,7 +268,9 @@ impl FaultNetSimulator {
                 fs_hz: cfg.fs_hz,
                 ..Default::default()
             };
-            sims.insert(spec.addr, LinkSimulator::new(link_cfg)?);
+            let mut sim = LinkSimulator::new(link_cfg)?;
+            sim.set_slot_cache(cfg.slot_cache);
+            sims.insert(spec.addr, sim);
             faults.insert(spec.addr, spec.faults.clone());
         }
         Ok(FaultNetSimulator {
@@ -291,11 +337,20 @@ impl FaultNetSimulator {
             }
             let mut slot_s = 0.0f64;
             let mut slot_bits = 0u64;
+            // Fan the slot's exchanges out through the sweep engine. The
+            // FDMA scheduler never puts two queries on one channel, so the
+            // scheduled addresses are distinct and each exchange owns its
+            // simulator outright for the duration of the slot (moved out
+            // of the map here, moved back in below). Traced exchanges
+            // record into fresh per-exchange sub-recorders that the
+            // post-pass absorbs in query order, which is what keeps
+            // parallel traced runs byte-identical to serial ones.
+            let mut points = Vec::with_capacity(queries.len());
             for q in &queries {
                 let addr = q.query.dest;
-                let sim = self
+                let mut sim = self
                     .sims
-                    .get_mut(&addr)
+                    .remove(&addr)
                     .ok_or(CoreError::InvalidConfig("scheduled unknown address"))?;
                 let schedule = self
                     .faults
@@ -303,15 +358,47 @@ impl FaultNetSimulator {
                     .ok_or(CoreError::InvalidConfig("missing fault schedule"))?;
                 // Actuate the rate ladder: command the node's divider.
                 sim.set_bitrate_target(self.mac.rate_bps(addr))?;
-                let report = sim.run_query_to_faulted_traced(
-                    addr,
-                    q.query.command,
-                    schedule,
-                    self.t_now_s,
-                    tel.as_deref_mut(),
-                )?;
-                let exchange_s = report.received.len() as f64 / self.cfg.fs_hz;
+                points.push((addr, q.query.command, sim, schedule));
+            }
+            let t_start_s = self.t_now_s;
+            let tracing = tel.is_some();
+            let exchange = |_i: usize,
+                            (addr, command, mut sim, schedule): (
+                u8,
+                Command,
+                LinkSimulator,
+                &FaultSchedule,
+            )| {
+                let mut sub = tracing.then(|| Recorder::new(16));
+                let verdict = sim.slot_exchange(addr, command, schedule, t_start_s, sub.as_mut());
+                (addr, sim, verdict, sub)
+            };
+            let outcomes = if self.cfg.parallel_slots {
+                pab_sweep::run(points, exchange)
+            } else {
+                pab_sweep::run_serial(points, exchange)
+            };
+            // Re-home every simulator before touching any verdict, so an
+            // exchange error cannot strand the other nodes' simulators.
+            let mut verdicts = Vec::with_capacity(outcomes.len());
+            for (addr, sim, verdict, sub) in outcomes {
+                self.sims.insert(addr, sim);
+                verdicts.push((addr, verdict, sub));
+            }
+            // Post-pass in query order: absorb each exchange's trace, then
+            // narrate fault windows, energy, the receiver verdict and the
+            // MAC reaction — exactly the serial recording order.
+            for (addr, verdict, sub) in verdicts {
+                let report: SlotVerdict = verdict?;
+                if let (Some(t), Some(sub)) = (tel.as_deref_mut(), sub.as_ref()) {
+                    t.absorb(sub);
+                }
+                let exchange_s = report.exchange_samples as f64 / self.cfg.fs_hz;
                 slot_s = slot_s.max(exchange_s);
+                let schedule = self
+                    .faults
+                    .get(&addr)
+                    .ok_or(CoreError::InvalidConfig("missing fault schedule"))?;
 
                 if let Some(t) = tel.as_deref_mut() {
                     let window = (self.t_now_s, self.t_now_s + exchange_s);
@@ -436,6 +523,16 @@ impl FaultNetSimulator {
     /// The MAC driving the round (inspection).
     pub fn mac(&self) -> &ResilientMac {
         &self.mac
+    }
+
+    /// Slot-engine cache/arena counters summed across every node's
+    /// simulator (see [`SlotEngineStats`]).
+    pub fn slot_stats(&self) -> SlotEngineStats {
+        let mut total = SlotEngineStats::default();
+        for sim in self.sims.values() {
+            total.merge(&sim.slot_stats());
+        }
+        total
     }
 }
 

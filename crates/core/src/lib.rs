@@ -53,6 +53,7 @@ pub mod node;
 pub mod powerup;
 pub mod projector;
 pub mod receiver;
+pub mod scratch;
 
 pub use faultnet::{FaultNetConfig, FaultNetReport, FaultNetSimulator, FaultNodeSpec};
 pub use firmware::PabFirmware;
@@ -64,6 +65,25 @@ pub use receiver::Receiver;
 /// Default simulation sample rate, Hz — a realistic audio-interface rate
 /// for the paper's 12–18 kHz carriers.
 pub const DEFAULT_SAMPLE_RATE_HZ: f64 = 192_000.0;
+
+/// Settling margin appended to a received window: 10 ms of samples at
+/// `fs_hz`, the slack the receive buffer keeps past the end of the
+/// backscatter so channel tails land inside the recording.
+///
+/// This is the one place the `(0.01 · fs) → usize` conversion happens;
+/// `link` and `multinode` both call it instead of repeating the lossy
+/// cast inline. Rejects non-finite, non-positive and absurd sample rates
+/// (≥ 2⁵² Hz, where `f64` stops resolving integers) instead of silently
+/// truncating.
+pub fn margin_samples(fs_hz: f64) -> Result<usize, CoreError> {
+    if !(fs_hz > 0.0) || !fs_hz.is_finite() {
+        return Err(CoreError::InvalidConfig("fs_hz must be positive and finite"));
+    }
+    if fs_hz >= 2f64.powi(52) {
+        return Err(CoreError::InvalidConfig("fs_hz too large for sample math"));
+    }
+    Ok((0.01 * fs_hz).floor() as usize)
+}
 
 /// Errors surfaced by the core simulation.
 #[derive(Debug)]
@@ -132,6 +152,18 @@ impl From<pab_mcu::McuError> for CoreError {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn margin_samples_matches_inline_formula_and_rejects_junk() {
+        assert_eq!(margin_samples(96_000.0).unwrap(), 960);
+        assert_eq!(margin_samples(192_000.0).unwrap(), 1920);
+        assert_eq!(margin_samples(44_100.0).unwrap(), 441);
+        assert!(margin_samples(0.0).is_err());
+        assert!(margin_samples(-1.0).is_err());
+        assert!(margin_samples(f64::NAN).is_err());
+        assert!(margin_samples(f64::INFINITY).is_err());
+        assert!(margin_samples(2f64.powi(53)).is_err());
+    }
 
     #[test]
     fn errors_display() {

@@ -233,7 +233,7 @@ impl MultiNodeSimulator {
         let cfg = self.cfg.clone();
         let k = cfg.nodes.len();
         let n_tx = waves.iter().map(Vec::len).max().unwrap_or(0);
-        let margin = (0.01 * cfg.fs_hz).floor() as usize;
+        let margin = crate::margin_samples(cfg.fs_hz)?;
         let n_rx = n_tx + 4 * margin;
 
         let mut y = vec![0.0; n_rx];

@@ -92,6 +92,22 @@ pub struct PabNode {
     pub cold_start: bool,
     /// The storage capacitor used for the cold-start simulation.
     pub supercap: pab_analog::Supercap,
+    /// Memoized filter designs and front-end measurements (interior
+    /// mutability: [`process`](Self::process) takes `&self`). Designs
+    /// are pure functions of their parameters, so reuse is bitwise
+    /// transparent.
+    caches: std::cell::RefCell<NodeCaches>,
+}
+
+/// Per-node design memos: the Hilbert quadrature FIR (fixed 127-tap
+/// Hamming), the switch-smoothing Butterworth keyed on its exact
+/// `(cutoff, fs)` bits, and the numerically-measured modulation
+/// bandwidth per front-end index.
+#[derive(Debug, Clone, Default)]
+struct NodeCaches {
+    hilbert: Option<pab_dsp::fir::Fir>,
+    butter: Option<((u64, u64), pab_dsp::iir::Cascade)>,
+    mod_bw_hz: std::collections::BTreeMap<usize, f64>,
 }
 
 impl PabNode {
@@ -122,6 +138,7 @@ impl PabNode {
             default_guard_s: 5e-3,
             cold_start: false,
             supercap: pab_analog::Supercap::pab_node(),
+            caches: std::cell::RefCell::new(NodeCaches::default()),
         })
     }
 
@@ -190,12 +207,23 @@ impl PabNode {
     /// between the absorptive and reflective gains along the smoothed
     /// switching waveform.
     fn modulate_component(
+        &self,
         samples: &[f64],
         smooth_switch: &[f64],
         g_on: num_complex::Complex64,
         g_off: num_complex::Complex64,
     ) -> Result<Vec<f64>, CoreError> {
-        let hil = pab_dsp::fir::hilbert(127, pab_dsp::window::Window::Hamming)?;
+        let mut caches = self.caches.borrow_mut();
+        if caches.hilbert.is_none() {
+            caches.hilbert = Some(pab_dsp::fir::hilbert(
+                127,
+                pab_dsp::window::Window::Hamming,
+            )?);
+        }
+        let hil = match caches.hilbert.as_ref() {
+            Some(h) => h,
+            None => return Err(CoreError::InvalidConfig("hilbert cache empty")),
+        };
         let gd = hil.group_delay();
         let xh = hil.filter(samples);
         let n = samples.len();
@@ -315,10 +343,13 @@ impl PabNode {
                     x - state
                 })
                 .collect();
-            // Robust swing estimate: 99th percentile of |ac|.
+            // Robust swing estimate: 99th percentile of |ac|. The k-th
+            // order statistic under the same total order as a full sort
+            // — bitwise the sorted value at index k, in O(n).
             let mut mags: Vec<f64> = ac.iter().map(|x| x.abs()).collect();
-            mags.sort_by(f64::total_cmp);
-            let swing = mags[(mags.len() * 99) / 100];
+            let k = (mags.len() * 99) / 100;
+            let (_, kth, _) = mags.select_nth_unstable_by(k, f64::total_cmp);
+            let swing = *kth;
             if swing > 0.0 {
                 let trig = SchmittTrigger::new(
                     -self.schmitt_hysteresis_rel * swing,
@@ -345,18 +376,40 @@ impl PabNode {
             .rasterize_pin(Pin::BackscatterSwitch, fs_hz, n);
 
         // Smooth the binary switch waveform with the front end's
-        // modulation bandwidth, then modulate each carrier.
-        let bw = Self::modulation_bandwidth_hz(fe)
-            .min(0.45 * fs_hz)
-            .max(100.0);
-        let lp = pab_dsp::iir::butter_lowpass(2, bw, fs_hz)?;
+        // modulation bandwidth, then modulate each carrier. The numeric
+        // bandwidth measurement and the Butterworth design are pure
+        // functions of `(front end, cutoff, fs)`, so both are memoized.
+        let fe_index = (selected as usize).min(self.frontends.len() - 1);
+        let measured_bw_hz = {
+            let mut caches = self.caches.borrow_mut();
+            match caches.mod_bw_hz.get(&fe_index) {
+                Some(&v) => v,
+                None => {
+                    let v = Self::modulation_bandwidth_hz(fe);
+                    caches.mod_bw_hz.insert(fe_index, v);
+                    v
+                }
+            }
+        };
+        let bw = measured_bw_hz.min(0.45 * fs_hz).max(100.0);
         let raw: Vec<f64> = switch_wave.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect();
-        let smooth = lp.filter(&raw);
+        let smooth = {
+            let mut caches = self.caches.borrow_mut();
+            let key = (bw.to_bits(), fs_hz.to_bits());
+            let stale = caches.butter.as_ref().map(|(k, _)| *k != key).unwrap_or(true);
+            if stale {
+                caches.butter = Some((key, pab_dsp::iir::butter_lowpass(2, bw, fs_hz)?));
+            }
+            match caches.butter.as_ref() {
+                Some((_, lp)) => lp.filter(&raw),
+                None => return Err(CoreError::InvalidConfig("butter cache empty")),
+            }
+        };
 
         let mut backscatter = Vec::with_capacity(components.len());
         for c in components {
             let (g_on, g_off) = Self::backscatter_gains(fe, c.carrier_hz);
-            backscatter.push(Self::modulate_component(&c.samples, &smooth, g_on, g_off)?);
+            backscatter.push(self.modulate_component(&c.samples, &smooth, g_on, g_off)?);
         }
 
         Ok(NodeOutput {
@@ -398,7 +451,7 @@ impl PabNode {
         let raw: Vec<f64> = switch_wave.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect();
         let smooth = lp.filter(&raw);
         let (g_on, g_off) = Self::backscatter_gains(fe, component.carrier_hz);
-        let bs = Self::modulate_component(&component.samples, &smooth, g_on, g_off)?;
+        let bs = self.modulate_component(&component.samples, &smooth, g_on, g_off)?;
         let peak = component
             .samples
             .iter()

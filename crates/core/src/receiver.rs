@@ -141,11 +141,11 @@ impl Receiver {
     ) -> Result<Vec<num_complex::Complex64>, CoreError> {
         let bb = downconvert(signal, carrier_hz, self.fs_hz);
         let lp = self.cached_butter(4, cutoff_hz, self.fs_hz)?;
-        Ok(lp
-            .filtfilt_complex(&bb)
-            .into_iter()
-            .map(|c| 2.0 * c)
-            .collect())
+        let mut out = lp.filtfilt_complex(&bb);
+        for c in out.iter_mut() {
+            *c = 2.0 * *c;
+        }
+        Ok(out)
     }
 
     /// Build the ±1 preamble matched-filter template at `bitrate_bps`
@@ -319,12 +319,15 @@ impl Receiver {
         // Estimate over the longest *contiguous* strong run: concatenating
         // across carrier-off gaps would add seam phase jumps that bias the
         // estimate.
-        let trend_peak = trend_c.iter().map(|x| x.norm()).fold(0.0, f64::max);
+        // One hypot per sample: both the peak fold and the threshold scan
+        // read the same norms, so compute them once.
+        let trend_norms: Vec<f64> = trend_c.iter().map(|x| x.norm()).collect();
+        let trend_peak = trend_norms.iter().copied().fold(0.0, f64::max);
         let threshold = 0.25 * trend_peak;
         let mut best_run = (0usize, 0usize);
         let mut run_start = None;
-        for (i, c) in trend_c.iter().enumerate() {
-            if c.norm() > threshold {
+        for (i, &norm) in trend_norms.iter().enumerate() {
+            if norm > threshold {
                 if run_start.is_none() {
                     run_start = Some(i);
                 }

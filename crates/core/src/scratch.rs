@@ -1,0 +1,121 @@
+//! Reusable sample-buffer arena for the slot engine.
+//!
+//! The slot loop's steady state touches megabytes of `f64` waveform per
+//! exchange but the *shape* of that data is fixed per cache key, so the
+//! buffers can be pooled: [`Scratch::take`] hands out a zeroed buffer
+//! (recycled when one of sufficient capacity is pooled, freshly grown
+//! otherwise) and [`Scratch::put`] returns it. After warm-up the pool
+//! has seen every length the engine asks for and `pool_misses` stops
+//! moving — the property `tests/slot_engine_alloc.rs` pins with a
+//! counting global allocator.
+//!
+//! [`ALLOC_PROBE`] is the hook for that test: a process-wide counter a
+//! counting `#[global_allocator]` can bump on every allocation. The
+//! library only ever *reads* it (to bracket the engine stage in
+//! [`crate::link::LinkSimulator::slot_exchange`]); with the system
+//! allocator installed it just stays 0 and the bracket reads 0 − 0.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide allocation counter, incremented by an (optional)
+/// counting global allocator installed by a test harness. See the module
+/// docs — production builds never write to it.
+pub static ALLOC_PROBE: AtomicU64 = AtomicU64::new(0);
+
+/// Read the allocation probe (0 unless a counting allocator is wired up).
+pub fn alloc_probe() -> u64 {
+    ALLOC_PROBE.load(Ordering::Relaxed)
+}
+
+/// A pool of `f64` sample buffers.
+///
+/// Not thread-safe by design: each [`LinkSimulator`](crate::link) owns
+/// its own `Scratch`, and the slot engine parallelises across
+/// simulators, never within one.
+#[derive(Debug, Default)]
+pub struct Scratch {
+    pool: Vec<Vec<f64>>,
+    takes: u64,
+    pool_misses: u64,
+}
+
+impl Scratch {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Take a zeroed buffer of exactly `len` samples. Recycles the first
+    /// pooled buffer whose capacity suffices; anything smaller counts as
+    /// a `pool_miss` (the buffer grows, which allocates).
+    pub fn take(&mut self, len: usize) -> Vec<f64> {
+        self.takes += 1;
+        let slot = self.pool.iter().position(|b| b.capacity() >= len);
+        let mut buf = match slot {
+            Some(i) => self.pool.swap_remove(i),
+            None => {
+                self.pool_misses += 1;
+                Vec::with_capacity(len)
+            }
+        };
+        buf.clear();
+        buf.resize(len, 0.0);
+        buf
+    }
+
+    /// Return a buffer to the pool for reuse.
+    pub fn put(&mut self, buf: Vec<f64>) {
+        self.pool.push(buf);
+    }
+
+    /// Buffers handed out since construction.
+    pub fn takes(&self) -> u64 {
+        self.takes
+    }
+
+    /// Takes that had to allocate because no pooled buffer was large
+    /// enough. Flat `pool_misses` across steady-state slots is the
+    /// "arena is warm" signal the allocation test asserts.
+    pub fn pool_misses(&self) -> u64 {
+        self.pool_misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_put_cycle_reuses_capacity() {
+        let mut s = Scratch::new();
+        let a = s.take(1000);
+        assert_eq!(a.len(), 1000);
+        assert_eq!(s.pool_misses(), 1);
+        s.put(a);
+        // Same length: recycled, no miss.
+        let b = s.take(1000);
+        assert_eq!(s.pool_misses(), 1);
+        s.put(b);
+        // Smaller length: still recycled.
+        let c = s.take(500);
+        assert_eq!(s.pool_misses(), 1);
+        assert_eq!(c.len(), 500);
+        assert!(c.iter().all(|&x| x == 0.0));
+        s.put(c);
+        // Larger: miss (growth allocates).
+        let d = s.take(2000);
+        assert_eq!(s.pool_misses(), 2);
+        s.put(d);
+        assert_eq!(s.takes(), 4);
+    }
+
+    #[test]
+    fn buffers_come_back_zeroed() {
+        let mut s = Scratch::new();
+        let mut a = s.take(16);
+        a.iter_mut().for_each(|x| *x = 7.0);
+        s.put(a);
+        let b = s.take(16);
+        assert!(b.iter().all(|&x| x == 0.0));
+    }
+}

@@ -102,6 +102,11 @@ impl Cascade {
     /// Zero-phase forward-backward filtering with odd-reflection edge
     /// padding (the shape MATLAB/scipy `filtfilt` uses). Suitable for the
     /// offline decoding pipeline; not causal.
+    ///
+    /// Both passes run in place on the padded buffer — the backward pass
+    /// walks the forward output end-to-start, which performs exactly the
+    /// reverse→filter→reverse sequence of the textbook formulation
+    /// without materialising the reversed copies.
     pub fn filtfilt(&self, x: &[f64]) -> Vec<f64> {
         if x.is_empty() {
             return Vec::new();
@@ -118,11 +123,23 @@ impl Cascade {
             // lint: allow(panic-path) pad <= n-1 via .min(len-1), so n-1-i >= 0
             ext.push(2.0 * x[n - 1] - x[n - 1 - i]);
         }
-        let fwd = self.filter(&ext);
-        let mut rev: Vec<f64> = fwd.into_iter().rev().collect();
-        rev = self.filter(&rev);
-        rev.reverse();
-        rev[pad..pad + n].to_vec()
+        let mut states = vec![BiquadState::default(); self.sections.len()];
+        for xi in ext.iter_mut() {
+            let mut v = *xi;
+            for (c, st) in self.sections.iter().zip(states.iter_mut()) {
+                v = st.step(c, v);
+            }
+            *xi = v;
+        }
+        let mut states = vec![BiquadState::default(); self.sections.len()];
+        for xi in ext.iter_mut().rev() {
+            let mut v = *xi;
+            for (c, st) in self.sections.iter().zip(states.iter_mut()) {
+                v = st.step(c, v);
+            }
+            *xi = v;
+        }
+        ext[pad..pad + n].to_vec()
     }
 
     /// Filter a complex signal. The real coefficients act on the real and
@@ -147,7 +164,8 @@ impl Cascade {
     }
 
     /// Zero-phase filtering of a complex signal, with the same
-    /// odd-reflection padding as [`Cascade::filtfilt`].
+    /// odd-reflection padding and in-place two-pass structure as
+    /// [`Cascade::filtfilt`].
     pub fn filtfilt_complex(&self, x: &[Complex64]) -> Vec<Complex64> {
         if x.is_empty() {
             return Vec::new();
@@ -163,11 +181,30 @@ impl Cascade {
             // lint: allow(panic-path) pad <= n-1 via .min(len-1), so n-1-i >= 0
             ext.push(x[n - 1] * 2.0 - x[n - 1 - i]);
         }
-        let fwd = self.filter_complex(&ext);
-        let mut rev: Vec<Complex64> = fwd.into_iter().rev().collect();
-        rev = self.filter_complex(&rev);
-        rev.reverse();
-        rev[pad..pad + n].to_vec()
+        let zero = Complex64::new(0.0, 0.0);
+        let mut states = vec![(zero, zero); self.sections.len()];
+        for xi in ext.iter_mut() {
+            let mut v = *xi;
+            for (c, st) in self.sections.iter().zip(states.iter_mut()) {
+                let y = v * c.b[0] + st.0;
+                st.0 = v * c.b[1] - y * c.a[0] + st.1;
+                st.1 = v * c.b[2] - y * c.a[1];
+                v = y;
+            }
+            *xi = v;
+        }
+        let mut states = vec![(zero, zero); self.sections.len()];
+        for xi in ext.iter_mut().rev() {
+            let mut v = *xi;
+            for (c, st) in self.sections.iter().zip(states.iter_mut()) {
+                let y = v * c.b[0] + st.0;
+                st.0 = v * c.b[1] - y * c.a[0] + st.1;
+                st.1 = v * c.b[2] - y * c.a[1];
+                v = y;
+            }
+            *xi = v;
+        }
+        ext[pad..pad + n].to_vec()
     }
 
     /// Magnitude response of the full cascade at `freq_hz`.

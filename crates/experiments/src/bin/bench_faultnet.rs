@@ -1,0 +1,85 @@
+//! Slot-throughput benchmark for the fault-injected network simulator.
+//!
+//! Runs a healthy (fault-free) inventory round at N ∈ {2, 4, 8} nodes and
+//! reports slots/sec and exchanges/sec as JSON, the numbers recorded in
+//! `BENCH_PR8.json`. The workload is fixed — same seeds, same node
+//! layout, same per-node packet target — so two commits can be compared
+//! by running this binary once on each and diffing the output.
+//!
+//! Usage:
+//!     bench_faultnet [--smoke] [--out PATH]
+//!
+//! `--smoke` shrinks the packet target so CI can keep the binary from
+//! bit-rotting without paying the full measurement; its numbers are not
+//! comparable to a full run. `--out` writes the JSON to a file as well
+//! as stdout.
+
+use pab_core::faultnet::{FaultNetConfig, FaultNetSimulator};
+use std::time::Instant;
+
+/// The fixed benchmark workload at `n` nodes: the canonical
+/// [`FaultNetConfig::with_nodes`] layout (evenly spaced carriers in the
+/// recto-piezo band, nodes spread across the pool, no faults) at 96 kHz
+/// and seed 7. Must stay byte-stable across commits for before/after
+/// comparability.
+fn bench_config(n: usize, per_node: u64) -> FaultNetConfig {
+    let mut cfg = FaultNetConfig::with_nodes(n).expect("bench node count is valid");
+    cfg.per_node_packets = per_node;
+    cfg.max_slots = 40 * per_node.max(1) * n as u64;
+    cfg.fs_hz = 96_000.0;
+    cfg.seed = 7;
+    cfg
+}
+
+fn main() -> std::io::Result<()> {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let out_path = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--out")
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let per_node: u64 = if smoke { 1 } else { 6 };
+
+    let mut sections = Vec::new();
+    for &n in &[2usize, 4, 8] {
+        let cfg = bench_config(n, per_node);
+        let mut sim = FaultNetSimulator::new(cfg).expect("bench config is valid");
+        let t0 = Instant::now();
+        let report = sim.run().expect("bench run failed");
+        let wall_s = t0.elapsed().as_secs_f64();
+        let exchanges = report.delivered_total + report.dropped_total;
+        eprintln!(
+            "n={n}: {} slots, {} delivered, {} dropped, completed={} in {:.3} s \
+             ({:.2} slots/s, {:.2} exchanges/s)",
+            report.slots_used,
+            report.delivered_total,
+            report.dropped_total,
+            report.completed,
+            wall_s,
+            report.slots_used as f64 / wall_s,
+            exchanges as f64 / wall_s,
+        );
+        sections.push(format!(
+            "    \"n{n}\": {{\"slots\": {}, \"delivered\": {}, \"wall_s\": {:.3}, \
+             \"slots_per_sec\": {:.3}, \"exchanges_per_sec\": {:.3}}}",
+            report.slots_used,
+            report.delivered_total,
+            wall_s,
+            report.slots_used as f64 / wall_s,
+            exchanges as f64 / wall_s,
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"mode\": \"{}\",\n  \"per_node_packets\": {per_node},\n  \"faultnet\": {{\n{}\n  }}\n}}\n",
+        if smoke { "smoke" } else { "full" },
+        sections.join(",\n"),
+    );
+    print!("{json}");
+    if let Some(path) = out_path {
+        std::fs::write(&path, &json)?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
+}

@@ -59,6 +59,14 @@ pub fn write_text(name: &str, content: &str) -> io::Result<PathBuf> {
     Ok(path)
 }
 
+/// Write raw bytes (e.g. a `pab_telemetry::binfmt` trace) under
+/// `results/`.
+pub fn write_bytes(name: &str, content: &[u8]) -> io::Result<PathBuf> {
+    let path = results_dir()?.join(name);
+    fs::write(&path, content)?;
+    Ok(path)
+}
+
 /// Write a mono 16-bit PCM WAV file under `results/` (handy for
 /// *listening* to the simulated hydrophone signal — backscatter keying is
 /// audible as a buzz on the carrier). The signal is peak-normalised.
@@ -135,6 +143,8 @@ mod tests {
         let err = write_wav("no-such-dir/x.wav", &[0.0], 48_000);
         assert!(err.is_err());
         let err = write_text("no-such-dir/x.txt", "hi");
+        assert!(err.is_err());
+        let err = write_bytes("no-such-dir/x.bin", &[0u8]);
         assert!(err.is_err());
     }
 }

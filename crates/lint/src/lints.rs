@@ -11,7 +11,8 @@ use crate::scan::ScannedFile;
 /// no ambient wall-clock or entropy. (`experiments` and `bench` are
 /// binary/bench harnesses and exempt by design.)
 pub const LIB_SCOPE: &[&str] = &[
-    "analog", "channel", "core", "dsp", "lint", "mcu", "net", "piezo", "sensors", "telemetry",
+    "analog", "channel", "core", "dsp", "lint", "mcu", "net", "piezo", "sensors", "sweep",
+    "telemetry",
 ];
 
 /// Crates whose public `f64` parameters must carry a unit suffix.

@@ -39,6 +39,29 @@ impl ChannelPlan {
         }
     }
 
+    /// An N-channel plan with centers evenly spaced over
+    /// `[lo_hz, hi_hz]` inclusive (a single channel sits at the band
+    /// midpoint). The §8 scaling direction: more recto-piezo matching
+    /// frequencies across the transducer's usable band.
+    pub fn evenly_spaced(n: usize, lo_hz: f64, hi_hz: f64) -> Result<Self, NetError> {
+        if n == 0 {
+            return Err(NetError::InvalidField("empty channel plan"));
+        }
+        if !(lo_hz > 0.0) || !lo_hz.is_finite() || !hi_hz.is_finite() || hi_hz < lo_hz {
+            return Err(NetError::InvalidField("channel band"));
+        }
+        let centers_hz = (0..n)
+            .map(|i| {
+                if n == 1 {
+                    (lo_hz + hi_hz) / 2.0
+                } else {
+                    lo_hz + (hi_hz - lo_hz) * i as f64 / (n - 1) as f64
+                }
+            })
+            .collect();
+        Ok(ChannelPlan { centers_hz })
+    }
+
     /// Number of channels.
     pub fn len(&self) -> usize {
         self.centers_hz.len()

@@ -1,0 +1,450 @@
+//! Compact binary trace format: fixed-width little-endian event records.
+//!
+//! Long fault-injection campaigns retain millions of events; at ~100
+//! bytes per CSV row the text exporters dominate disk and parse time.
+//! This module packs each event into one 24-byte record — roughly a 4×
+//! saving over CSV — while keeping the same determinism contract as the
+//! text exporters: the bytes are a pure function of recorder contents
+//! and recorder order, so parallel and serial sweeps produce identical
+//! files.
+//!
+//! # Layout
+//!
+//! ```text
+//! file    := magic "PABT" | version u16 | record_len u16 | n_sections u32
+//!            | section*
+//! section := run_id u32 | n_records u32 | record{n_records}
+//! record  := kind u8 | node u8 | aux u16 | slot u32 | t_s f32
+//!            | a f32 | b f32 | c f32            (24 bytes, little-endian)
+//! ```
+//!
+//! `node` is `0xFF` for events with no node attribution. `aux` carries
+//! the event's small integer payload (queries, retries, ladder level,
+//! fault-kind index, ...). `a`/`b`/`c` carry float payloads; `f64`
+//! values are narrowed to `f32`, and wide counters (`until_slot`,
+//! per-slot bits) ride in a float field — exact up to 2^24, far beyond
+//! any realistic slot count. The decoder widens back to the [`Event`]
+//! variants, so a round trip is lossless whenever the payloads are
+//! representable in `f32` (true for every counter the simulator emits;
+//! measured floats lose only sub-`f32` precision).
+
+use crate::event::{Event, FaultKind};
+use crate::recorder::Recorder;
+
+/// File magic, first four bytes of every binary trace.
+pub const BIN_MAGIC: [u8; 4] = *b"PABT";
+/// Format version written by [`events_bin`].
+pub const BIN_VERSION: u16 = 1;
+/// Bytes per event record.
+pub const BIN_RECORD_LEN: usize = 24;
+
+/// Sentinel `node` byte for events with no node attribution.
+const NODE_NONE: u8 = 0xFF;
+
+/// Stable kind codes, one per [`Event`] variant. Appending new variants
+/// is fine; renumbering is a format break and needs a version bump.
+const KIND_SLOT_START: u8 = 0;
+const KIND_SLOT_END: u8 = 1;
+const KIND_DETECTION: u8 = 2;
+const KIND_CRC_FAIL: u8 = 3;
+const KIND_ERASURE: u8 = 4;
+const KIND_RETRY: u8 = 5;
+const KIND_BACKOFF: u8 = 6;
+const KIND_QUARANTINE: u8 = 7;
+const KIND_EVICTION: u8 = 8;
+const KIND_RATE_STEP: u8 = 9;
+const KIND_FAULT_ENTER: u8 = 10;
+const KIND_FAULT_EXIT: u8 = 11;
+const KIND_ENERGY_SAMPLE: u8 = 12;
+
+/// Narrow an `f64` payload to the record's `f32` field, saturating at
+/// the `f32` range instead of producing infinities.
+fn f32_field(x: f64) -> f32 {
+    if x.is_nan() {
+        return f32::NAN;
+    }
+    x.clamp(-f64::from(f32::MAX), f64::from(f32::MAX)) as f32
+}
+
+/// Saturate a wide counter into the 16-bit `aux` field.
+fn aux_field(x: u32) -> u16 {
+    u16::try_from(x).unwrap_or(u16::MAX)
+}
+
+/// Saturate the slot counter into the record's 32-bit slot field.
+fn slot_field(slot: u64) -> u32 {
+    u32::try_from(slot).unwrap_or(u32::MAX)
+}
+
+/// Wide counters (`until_slot`, bits) ride in a float payload field:
+/// exact up to 2^24, saturating far above any realistic simulation.
+fn counter_field(x: u64) -> f32 {
+    f32_field(x as f64)
+}
+
+fn fault_kind_code(kind: FaultKind) -> u16 {
+    match kind {
+        FaultKind::Burst => 0,
+        FaultKind::Fade => 1,
+        FaultKind::Dropout => 2,
+        FaultKind::Drift => 3,
+    }
+}
+
+fn fault_kind_from_code(code: u16) -> Option<FaultKind> {
+    match code {
+        0 => Some(FaultKind::Burst),
+        1 => Some(FaultKind::Fade),
+        2 => Some(FaultKind::Dropout),
+        3 => Some(FaultKind::Drift),
+        _ => None,
+    }
+}
+
+/// Split an event into its record fields:
+/// `(kind, node, aux, a, b, c)`.
+fn encode_fields(event: &Event) -> (u8, u8, u16, f32, f32, f32) {
+    let node = event.node().unwrap_or(NODE_NONE);
+    match *event {
+        Event::SlotStart { queries } => (KIND_SLOT_START, node, aux_field(queries), 0.0, 0.0, 0.0),
+        Event::SlotEnd { duration_s, bits } => (
+            KIND_SLOT_END,
+            node,
+            0,
+            f32_field(duration_s),
+            counter_field(bits),
+            0.0,
+        ),
+        Event::Detection { corr, snr_db, .. } => (
+            KIND_DETECTION,
+            node,
+            0,
+            f32_field(corr),
+            f32_field(snr_db),
+            0.0,
+        ),
+        Event::CrcFail { corr, .. } => (KIND_CRC_FAIL, node, 0, f32_field(corr), 0.0, 0.0),
+        Event::Erasure { .. } => (KIND_ERASURE, node, 0, 0.0, 0.0, 0.0),
+        Event::Retry { retries_used, .. } => {
+            (KIND_RETRY, node, aux_field(retries_used), 0.0, 0.0, 0.0)
+        }
+        Event::Backoff { until_slot, .. } => {
+            (KIND_BACKOFF, node, 0, counter_field(until_slot), 0.0, 0.0)
+        }
+        Event::Quarantine { until_slot, probes_failed, .. } => (
+            KIND_QUARANTINE,
+            node,
+            aux_field(probes_failed),
+            counter_field(until_slot),
+            0.0,
+            0.0,
+        ),
+        Event::Eviction { .. } => (KIND_EVICTION, node, 0, 0.0, 0.0, 0.0),
+        Event::RateStep { rate_bps, level, .. } => (
+            KIND_RATE_STEP,
+            node,
+            aux_field(level),
+            f32_field(rate_bps),
+            0.0,
+            0.0,
+        ),
+        Event::FaultEnter { kind, .. } => {
+            (KIND_FAULT_ENTER, node, fault_kind_code(kind), 0.0, 0.0, 0.0)
+        }
+        Event::FaultExit { kind, .. } => {
+            (KIND_FAULT_EXIT, node, fault_kind_code(kind), 0.0, 0.0, 0.0)
+        }
+        Event::EnergySample { harvested_j, power_w, rectified_v, .. } => (
+            KIND_ENERGY_SAMPLE,
+            node,
+            0,
+            f32_field(harvested_j),
+            f32_field(power_w),
+            f32_field(rectified_v),
+        ),
+    }
+}
+
+/// Encode every retained event of every recorder, recorder order then
+/// event (recording) order — the same ordering contract as
+/// [`events_csv`](crate::export::events_csv), so parallel and serial
+/// sweeps produce byte-identical files.
+pub fn events_bin(recorders: &[&Recorder]) -> Vec<u8> {
+    let total: usize = recorders.iter().map(|r| r.len()).sum();
+    let mut out = Vec::with_capacity(12 + recorders.len() * 8 + total * BIN_RECORD_LEN);
+    out.extend_from_slice(&BIN_MAGIC);
+    out.extend_from_slice(&BIN_VERSION.to_le_bytes());
+    const RECORD_LEN_U16: u16 = BIN_RECORD_LEN as u16;
+    out.extend_from_slice(&RECORD_LEN_U16.to_le_bytes());
+    let n_sections = u32::try_from(recorders.len()).unwrap_or(u32::MAX);
+    out.extend_from_slice(&n_sections.to_le_bytes());
+    // lint: allow(lossy-cast) u32 -> usize widens on every supported target
+    for rec in recorders.iter().take(n_sections as usize) {
+        out.extend_from_slice(&slot_field(rec.run_id()).to_le_bytes());
+        let n_records = u32::try_from(rec.len()).unwrap_or(u32::MAX);
+        out.extend_from_slice(&n_records.to_le_bytes());
+        // lint: allow(lossy-cast) u32 -> usize widens on every supported target
+        for te in rec.events().take(n_records as usize) {
+            let (kind, node, aux, a, b, c) = encode_fields(&te.event);
+            out.push(kind);
+            out.push(node);
+            out.extend_from_slice(&aux.to_le_bytes());
+            out.extend_from_slice(&slot_field(te.slot).to_le_bytes());
+            out.extend_from_slice(&f32_field(te.t_s).to_le_bytes());
+            out.extend_from_slice(&a.to_le_bytes());
+            out.extend_from_slice(&b.to_le_bytes());
+            out.extend_from_slice(&c.to_le_bytes());
+        }
+    }
+    out
+}
+
+/// One decoded record: the originating run plus the reconstructed
+/// timed event (payloads widened from their `f32` storage).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BinRecord {
+    /// Run id of the section the record came from.
+    pub run: u32,
+    /// Slot index the event occurred in.
+    pub slot: u32,
+    /// Simulation time, seconds (stored as `f32`).
+    pub t_s: f32,
+    /// The reconstructed event.
+    pub event: Event,
+}
+
+fn read_u16(bytes: &[u8], at: usize) -> u16 {
+    u16::from_le_bytes([bytes[at], bytes[at + 1]])
+}
+
+fn read_u32(bytes: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes([bytes[at], bytes[at + 1], bytes[at + 2], bytes[at + 3]])
+}
+
+fn read_f32(bytes: &[u8], at: usize) -> f32 {
+    f32::from_le_bytes([bytes[at], bytes[at + 1], bytes[at + 2], bytes[at + 3]])
+}
+
+/// Reassemble an [`Event`] from record fields. `None` for an unknown
+/// kind code or fault-kind index (a newer writer, or corruption).
+fn decode_fields(kind: u8, node: u8, aux: u16, a: f32, b: f32, c: f32) -> Option<Event> {
+    let node_or_zero = if node == NODE_NONE { 0 } else { node };
+    Some(match kind {
+        KIND_SLOT_START => Event::SlotStart { queries: u32::from(aux) },
+        KIND_SLOT_END => Event::SlotEnd {
+            duration_s: f64::from(a),
+            bits: f32_counter_to_u64(b),
+        },
+        KIND_DETECTION => Event::Detection {
+            node: node_or_zero,
+            corr: f64::from(a),
+            snr_db: f64::from(b),
+        },
+        KIND_CRC_FAIL => Event::CrcFail { node: node_or_zero, corr: f64::from(a) },
+        KIND_ERASURE => Event::Erasure { node: node_or_zero },
+        KIND_RETRY => Event::Retry {
+            node: node_or_zero,
+            retries_used: u32::from(aux),
+        },
+        KIND_BACKOFF => Event::Backoff {
+            node: node_or_zero,
+            until_slot: f32_counter_to_u64(a),
+        },
+        KIND_QUARANTINE => Event::Quarantine {
+            node: node_or_zero,
+            until_slot: f32_counter_to_u64(a),
+            probes_failed: u32::from(aux),
+        },
+        KIND_EVICTION => Event::Eviction { node: node_or_zero },
+        KIND_RATE_STEP => Event::RateStep {
+            node: node_or_zero,
+            rate_bps: f64::from(a),
+            level: u32::from(aux),
+        },
+        KIND_FAULT_ENTER => Event::FaultEnter {
+            node: node_or_zero,
+            kind: fault_kind_from_code(aux)?,
+        },
+        KIND_FAULT_EXIT => Event::FaultExit {
+            node: node_or_zero,
+            kind: fault_kind_from_code(aux)?,
+        },
+        KIND_ENERGY_SAMPLE => Event::EnergySample {
+            node: node_or_zero,
+            harvested_j: f64::from(a),
+            power_w: f64::from(b),
+            rectified_v: f64::from(c),
+        },
+        _ => return None,
+    })
+}
+
+/// Widen a counter that rode in a float field back to `u64`.
+fn f32_counter_to_u64(x: f32) -> u64 {
+    if x.is_finite() && x > 0.0 {
+        x.round() as u64
+    } else {
+        0
+    }
+}
+
+/// Decode a buffer produced by [`events_bin`] back into records, in
+/// file order. Rejects wrong magic/version, truncated buffers, and
+/// unknown kind codes with a static description of the problem.
+pub fn decode_events_bin(bytes: &[u8]) -> Result<Vec<BinRecord>, &'static str> {
+    if bytes.len() < 12 {
+        return Err("truncated header");
+    }
+    if bytes[..4] != BIN_MAGIC {
+        return Err("bad magic");
+    }
+    if read_u16(bytes, 4) != BIN_VERSION {
+        return Err("unsupported version");
+    }
+    if usize::from(read_u16(bytes, 6)) != BIN_RECORD_LEN {
+        return Err("unexpected record length");
+    }
+    let n_sections = read_u32(bytes, 8);
+    let mut at = 12usize;
+    let mut out = Vec::new();
+    for _ in 0..n_sections {
+        if bytes.len() < at + 8 {
+            return Err("truncated section header");
+        }
+        let run = read_u32(bytes, at);
+        // lint: allow(lossy-cast) u32 -> usize widens on every supported target
+        let n_records = read_u32(bytes, at + 4) as usize;
+        at += 8;
+        let need = n_records
+            .checked_mul(BIN_RECORD_LEN)
+            .ok_or("section length overflow")?;
+        if bytes.len() < at + need {
+            return Err("truncated section body");
+        }
+        out.reserve(n_records);
+        for _ in 0..n_records {
+            let kind = bytes[at];
+            let node = bytes[at + 1];
+            let aux = read_u16(bytes, at + 2);
+            let slot = read_u32(bytes, at + 4);
+            let t_s = read_f32(bytes, at + 8);
+            let a = read_f32(bytes, at + 12);
+            let b = read_f32(bytes, at + 16);
+            let c = read_f32(bytes, at + 20);
+            let event = decode_fields(kind, node, aux, a, b, c).ok_or("unknown event kind")?;
+            out.push(BinRecord { run, slot, t_s, event });
+            at += BIN_RECORD_LEN;
+        }
+    }
+    if at != bytes.len() {
+        return Err("trailing bytes after last section");
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::FaultKind;
+
+    /// Events whose payloads are exactly representable in `f32`, so the
+    /// round trip must be lossless, covering every variant.
+    fn sample_recorder(run_id: u64) -> Recorder {
+        let mut r = Recorder::new(64).with_run_id(run_id);
+        r.begin_slot(0, 0.0);
+        r.record(Event::SlotStart { queries: 2 });
+        r.record(Event::Detection { node: 1, corr: 0.875, snr_db: 12.5 });
+        r.record(Event::CrcFail { node: 2, corr: 0.25 });
+        r.record(Event::Erasure { node: 2 });
+        r.record(Event::Retry { node: 2, retries_used: 1 });
+        r.record(Event::Backoff { node: 2, until_slot: 5 });
+        r.record(Event::Quarantine { node: 2, until_slot: 9, probes_failed: 3 });
+        r.record(Event::Eviction { node: 2 });
+        r.record(Event::RateStep { node: 1, rate_bps: 2048.0, level: 1 });
+        r.record(Event::FaultEnter { node: 2, kind: FaultKind::Dropout });
+        r.record(Event::FaultExit { node: 2, kind: FaultKind::Dropout });
+        r.record(Event::EnergySample {
+            node: 1,
+            harvested_j: 0.5,
+            power_w: 0.25,
+            rectified_v: 1.25,
+        });
+        r.begin_slot(1, 0.25);
+        r.record(Event::SlotEnd { duration_s: 0.25, bits: 64 });
+        r
+    }
+
+    #[test]
+    fn round_trip_preserves_every_variant() {
+        let rec = sample_recorder(7);
+        let bytes = events_bin(&[&rec]);
+        assert_eq!(&bytes[..4], &BIN_MAGIC);
+        assert_eq!(bytes.len(), 12 + 8 + rec.len() * BIN_RECORD_LEN);
+        let records = decode_events_bin(&bytes).expect("decodes");
+        assert_eq!(records.len(), rec.len());
+        for (rec_out, te) in records.iter().zip(rec.events()) {
+            assert_eq!(rec_out.run, 7);
+            assert_eq!(u64::from(rec_out.slot), te.slot);
+            assert_eq!(f64::from(rec_out.t_s), te.t_s);
+            assert_eq!(rec_out.event, te.event, "variant mangled in transit");
+        }
+    }
+
+    #[test]
+    fn multi_recorder_sections_keep_order_and_attribution() {
+        let a = sample_recorder(0);
+        let b = sample_recorder(1);
+        let bytes = events_bin(&[&a, &b]);
+        let records = decode_events_bin(&bytes).expect("decodes");
+        assert_eq!(records.len(), a.len() + b.len());
+        assert!(records[..a.len()].iter().all(|r| r.run == 0));
+        assert!(records[a.len()..].iter().all(|r| r.run == 1));
+        // Caller order is file order.
+        assert_ne!(events_bin(&[&a, &b]), events_bin(&[&b, &a]));
+        // Same content, same bytes.
+        assert_eq!(events_bin(&[&a, &b]), events_bin(&[&sample_recorder(0), &sample_recorder(1)]));
+    }
+
+    #[test]
+    fn decode_rejects_malformed_input() {
+        let rec = sample_recorder(0);
+        let good = events_bin(&[&rec]);
+        assert_eq!(decode_events_bin(&good[..8]), Err("truncated header"));
+        let mut bad_magic = good.clone();
+        bad_magic[0] = b'X';
+        assert_eq!(decode_events_bin(&bad_magic), Err("bad magic"));
+        let mut bad_version = good.clone();
+        bad_version[4] = 99;
+        assert_eq!(decode_events_bin(&bad_version), Err("unsupported version"));
+        let mut bad_kind = good.clone();
+        bad_kind[12 + 8] = 200;
+        assert_eq!(decode_events_bin(&bad_kind), Err("unknown event kind"));
+        assert_eq!(
+            decode_events_bin(&good[..good.len() - 1]),
+            Err("truncated section body")
+        );
+        let mut trailing = good.clone();
+        trailing.push(0);
+        assert_eq!(decode_events_bin(&trailing), Err("trailing bytes after last section"));
+    }
+
+    #[test]
+    fn saturating_fields_stay_in_range() {
+        let mut r = Recorder::new(8).with_run_id(u64::MAX);
+        r.begin_slot(u64::MAX, 1.0e9);
+        r.record(Event::Backoff { node: 3, until_slot: u64::MAX });
+        r.record(Event::Retry { node: 3, retries_used: u32::MAX });
+        let bytes = events_bin(&[&r]);
+        let records = decode_events_bin(&bytes).expect("decodes");
+        assert_eq!(records[0].run, u32::MAX);
+        assert_eq!(records[0].slot, u32::MAX);
+        match records[0].event {
+            Event::Backoff { until_slot, .. } => assert!(until_slot > 0),
+            ref other => panic!("wrong variant: {other:?}"),
+        }
+        match records[1].event {
+            Event::Retry { retries_used, .. } => assert_eq!(retries_used, u32::from(u16::MAX)),
+            ref other => panic!("wrong variant: {other:?}"),
+        }
+    }
+}

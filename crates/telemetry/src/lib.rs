@@ -27,16 +27,19 @@
 //!    `record` path does no allocation once the ring is at capacity.
 //!
 //! The exporters ([`export::events_csv`], [`export::events_jsonl`],
-//! [`export::summary_csv`]) take a slice of recorders and emit rows in
-//! recorder order then event order, which is how the sweep engine
-//! guarantees parallel == serial byte-identity: one recorder per sweep
-//! point, merged in point-index order.
+//! [`export::summary_csv`], and the compact [`binfmt::events_bin`])
+//! take a slice of recorders and emit rows in recorder order then event
+//! order, which is how the sweep engine guarantees parallel == serial
+//! byte-identity: one recorder per sweep point, merged in point-index
+//! order.
 
+pub mod binfmt;
 pub mod event;
 pub mod export;
 pub mod metrics;
 pub mod recorder;
 
+pub use binfmt::{decode_events_bin, events_bin, BinRecord};
 pub use event::{Event, FaultKind, TimedEvent};
 pub use metrics::{Counters, Histogram};
 pub use recorder::{Recorder, DEFAULT_CAPACITY};

@@ -173,6 +173,50 @@ impl Recorder {
         }
     }
 
+    /// Fold another recorder's aggregates and events into this one, in
+    /// `other`'s recording order.
+    ///
+    /// This is how the parallel slot engine keeps traced runs
+    /// byte-identical to serial ones: each concurrent exchange records
+    /// into its own fresh sub-recorder, and the coordinator absorbs the
+    /// sub-recorders **in query order** — so counter totals, histogram
+    /// contents (including the order-sensitive `f64` sums) and the event
+    /// ring end up exactly as if everything had been recorded serially.
+    ///
+    /// Counters add; histograms with identical configuration merge
+    /// (mismatched configurations are counted under
+    /// `telemetry.bad_histogram` and skipped, never panicked on); events
+    /// append under this recorder's current slot/time and ring capacity;
+    /// `events_dropped` and `clock_regressions` accumulate.
+    pub fn absorb(&mut self, other: &Recorder) {
+        self.counters.merge(other.counters());
+        for (name, h) in other.histograms() {
+            match self.histograms.get_mut(name) {
+                Some(mine) => {
+                    if !mine.merge(h) {
+                        self.counters.inc("telemetry.bad_histogram");
+                    }
+                }
+                None => {
+                    self.histograms.insert(name, h.clone());
+                }
+            }
+        }
+        for timed in other.events() {
+            if self.events.len() == self.capacity {
+                self.events.pop_front();
+                self.events_dropped += 1;
+            }
+            self.events.push_back(TimedEvent {
+                slot: self.slot,
+                t_s: self.t_s,
+                event: timed.event,
+            });
+        }
+        self.events_dropped += other.events_dropped();
+        self.clock_regressions += other.clock_regressions();
+    }
+
     /// Histograms in lexicographic name order.
     pub fn histograms(&self) -> impl Iterator<Item = (&'static str, &Histogram)> + '_ {
         self.histograms.iter().map(|(&k, v)| (k, v))
@@ -249,5 +293,48 @@ mod tests {
         r.observe("broken", 1.0, 1.0, 4, 0.5);
         assert!(r.histogram("broken").is_none());
         assert_eq!(r.counters().get("telemetry.bad_histogram"), 1);
+    }
+
+    #[test]
+    fn absorb_in_order_matches_direct_recording() {
+        // The parallel-slot contract: recording through per-exchange
+        // sub-recorders absorbed in order must equal recording directly,
+        // including the order-sensitive f64 histogram sums.
+        let samples = [3.7, -1.25, 14.5, 0.0625];
+        let mut direct = Recorder::new(16);
+        for (i, &x) in samples.iter().enumerate() {
+            direct.inc("rx.detections");
+            direct.observe("snr_db", -10.0, 40.0, 25, x);
+            direct.record(Event::Erasure { node: i as u8 });
+        }
+        let mut absorbed = Recorder::new(16);
+        for (i, &x) in samples.iter().enumerate() {
+            let mut sub = Recorder::new(16);
+            sub.inc("rx.detections");
+            sub.observe("snr_db", -10.0, 40.0, 25, x);
+            sub.record(Event::Erasure { node: i as u8 });
+            absorbed.absorb(&sub);
+        }
+        assert_eq!(direct.counters(), absorbed.counters());
+        assert_eq!(
+            direct.histogram("snr_db"),
+            absorbed.histogram("snr_db"),
+            "bitwise-equal sums require in-order absorption"
+        );
+        let d: Vec<_> = direct.events().map(|t| t.event).collect();
+        let a: Vec<_> = absorbed.events().map(|t| t.event).collect();
+        assert_eq!(d, a);
+    }
+
+    #[test]
+    fn absorb_honors_ring_capacity() {
+        let mut big = Recorder::new(64);
+        for i in 0..10u8 {
+            big.record(Event::Erasure { node: i });
+        }
+        let mut small = Recorder::new(4);
+        small.absorb(&big);
+        assert_eq!(small.len(), 4);
+        assert_eq!(small.events_dropped(), 6);
     }
 }

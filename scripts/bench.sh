@@ -1,17 +1,20 @@
 #!/usr/bin/env sh
-# Run the Criterion DSP suite plus a fig7 wall-clock timing and emit a
-# machine-readable JSON map (kernel name -> mean ns, plus the end-to-end
-# figure time) to stdout-visible file $1 (default: bench_run.json).
+# Run the Criterion DSP suite plus a fig7 wall-clock timing and the
+# faultnet slot-throughput benchmark, and emit a machine-readable JSON
+# map (kernel name -> mean ns, end-to-end figure time, slots/sec per
+# network size) to stdout-visible file $1 (default: bench_run.json).
 #
 # Record a before/after pair across a perf change by running this once on
-# each commit and diffing the JSONs; BENCH_PR3.json in the repo root is
-# such a pair for the fast-path PR, assembled from two runs.
+# each commit and diffing the JSONs; BENCH_PR3.json (fast-path PR) and
+# BENCH_PR8.json (slot-engine PR) in the repo root are such pairs,
+# assembled from two runs each.
 set -eu
 
 cd "$(dirname "$0")/.."
 out="${1:-bench_run.json}"
 tmp="$(mktemp)"
-trap 'rm -f "$tmp"' EXIT
+fnet="$(mktemp)"
+trap 'rm -f "$tmp" "$fnet"' EXIT
 
 echo "==> cargo bench -p pab-bench --bench dsp"
 cargo bench -p pab-bench --bench dsp | tee "$tmp"
@@ -24,9 +27,14 @@ t1=$(date +%s.%N)
 fig7_s=$(echo "$t0 $t1" | awk '{printf "%.3f", $2 - $1}')
 echo "fig7_ber_snr wall-clock: ${fig7_s} s"
 
+echo "==> faultnet slot throughput (bench_faultnet, N=2/4/8)"
+cargo build --release -p pab-experiments --bin bench_faultnet >/dev/null 2>&1
+./target/release/bench_faultnet --out "$fnet"
+
 # Parse the criterion shim's report lines:
 #   <id>  <value> <unit>  [<n> iters]  (<rate>)
-awk -v fig7="$fig7_s" '
+# and splice in the faultnet JSON's "faultnet" object verbatim.
+awk -v fig7="$fig7_s" -v fnetfile="$fnet" '
 BEGIN { print "{"; print "  \"kernels_ns\": {"; first = 1 }
 /\[[0-9]+ iters\]/ {
     id = $1; v = $2; u = $3
@@ -40,7 +48,16 @@ BEGIN { print "{"; print "  \"kernels_ns\": {"; first = 1 }
 }
 END {
     print "\n  },"
-    printf("  \"fig7_ber_snr_wall_s\": %s\n", fig7)
+    printf("  \"fig7_ber_snr_wall_s\": %s,\n", fig7)
+    inobj = 0
+    while ((getline line < fnetfile) > 0) {
+        if (line ~ /"faultnet"/) inobj = 1
+        if (inobj) {
+            print "  " line
+            if (line ~ /^  \}/) break
+        }
+    }
+    close(fnetfile)
     print "}"
 }' "$tmp" > "$out"
 

@@ -31,9 +31,13 @@ cargo test -q -p pab-core --test fault_resilience
 
 echo "==> ext_fault_resilience --quick --trace  (fault injection smoke + telemetry trace)"
 cargo run --release -q -p pab-experiments --bin ext_fault_resilience -- --quick --trace
-for f in results/fault_trace.csv results/fault_trace.jsonl results/fault_trace_summary.csv; do
+for f in results/fault_trace.csv results/fault_trace.jsonl results/fault_trace_summary.csv results/fault_trace.bin; do
     [ -s "$f" ] || { echo "missing telemetry export: $f"; exit 1; }
 done
+
+echo "==> bench_faultnet --smoke  (slot-throughput bench smoke; numbers not comparable to a full run)"
+cargo run --release -q -p pab-experiments --bin bench_faultnet -- --smoke --out target/bench_faultnet_smoke.json
+[ -s target/bench_faultnet_smoke.json ] || { echo "bench_faultnet wrote no JSON"; exit 1; }
 
 if cargo clippy --version >/dev/null 2>&1; then
     echo "==> cargo clippy --workspace --all-targets"

@@ -9,9 +9,12 @@ Input is the per-slot event CSV written by
 script reconstructs the closed-loop FM0 rate ladder over slots — every
 `rate_step` event — alongside the recovery machinery that drove it
 (retries, backoffs, quarantines, evictions), and prints an ASCII
-slot-by-slot ladder. With matplotlib installed it also saves a PNG of
-rate vs slot per run; without it the textual report is the deliverable
-(the repo adds no Python dependencies).
+slot-by-slot ladder with the fault windows (`fault_enter`/`fault_exit`
+events) listed per run and tagged on the slots they cover, so ladder
+moves line up with their cause. With matplotlib installed it also saves
+a PNG of rate vs slot per run with the fault windows shaded; without it
+the textual report is the deliverable (the repo adds no Python
+dependencies).
 
 Usage:
     python3 scripts/plot_trace.py [results/fault_trace.csv] [--png out.png]
@@ -47,6 +50,32 @@ def summarize(rows):
     return counts
 
 
+def fault_windows(rows):
+    """(node, kind, slot_enter, slot_exit) per fault window, in enter
+    order. A window still open at the end of the trace closes at the
+    last recorded slot."""
+    last_slot = max((int(r["slot"]) for r in rows), default=0)
+    open_windows = {}
+    windows = []
+    for row in rows:
+        if row["event"] not in ("fault_enter", "fault_exit"):
+            continue
+        key = (row["node"], row["detail"])
+        if row["event"] == "fault_enter":
+            open_windows.setdefault(key, int(row["slot"]))
+        elif key in open_windows:
+            windows.append((key[0], key[1], open_windows.pop(key), int(row["slot"])))
+    for (node, kind), s0 in sorted(open_windows.items()):
+        windows.append((node, kind, s0, last_slot))
+    windows.sort(key=lambda w: (w[2], w[0], w[1]))
+    return windows
+
+
+def kinds_at(windows, slot):
+    """Fault kinds active at a slot, sorted and de-duplicated."""
+    return sorted({kind for _, kind, s0, s1 in windows if s0 <= slot <= s1})
+
+
 def report(runs):
     for run, rows in runs.items():
         counts = summarize(rows)
@@ -59,6 +88,10 @@ def report(runs):
               f"retries {counts['retry']}, backoffs {counts['backoff']}, "
               f"quarantines {counts['quarantine']}, "
               f"evictions {counts['eviction']}")
+        windows = fault_windows(rows)
+        for node, kind, s0, s1 in windows:
+            span = f"slot {s0}" if s0 == s1 else f"slots {s0}–{s1}"
+            print(f"  fault: node {node} {kind} {span}")
         if not series:
             print("  rate ladder: never moved (link held the top rung)")
             continue
@@ -66,7 +99,10 @@ def report(runs):
         width = max(len(f"{r:.0f}") for r in rates)
         for slot, rate in series:
             depth = rates.index(rate)
-            print(f"  slot {slot:>4}  {rate:>{width}.0f} bps  " + "▇" * (len(rates) - depth))
+            active = kinds_at(windows, slot)
+            tag = f"  [{'+'.join(active)}]" if active else ""
+            print(f"  slot {slot:>4}  {rate:>{width}.0f} bps  "
+                  + "▇" * (len(rates) - depth) + tag)
     print()
 
 
@@ -78,12 +114,21 @@ def plot_png(runs, out):
     except ImportError:
         print(f"matplotlib not available; skipped {out} (text report above is complete)")
         return
+    fault_colors = {"burst": "tab:orange", "fade": "tab:blue",
+                    "dropout": "tab:red", "drift": "tab:purple"}
     fig, ax = plt.subplots(figsize=(9, 5))
+    shaded_kinds = set()
     for run, rows in runs.items():
         series = ladder_series(rows)
         if series:
             ax.step([s for s, _ in series], [r for _, r in series],
                     where="post", label=f"run {run}")
+        # Overlay fault windows so ladder moves line up with their cause.
+        for _node, kind, s0, s1 in fault_windows(rows):
+            ax.axvspan(s0, max(s1, s0 + 0.5), alpha=0.12,
+                       color=fault_colors.get(kind, "gray"),
+                       label=kind if kind not in shaded_kinds else None)
+            shaded_kinds.add(kind)
     ax.set_xlabel("slot")
     ax.set_ylabel("FM0 rate (bps)")
     ax.set_yscale("log", base=2)
