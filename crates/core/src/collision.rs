@@ -19,6 +19,24 @@
 use crate::CoreError;
 use pab_dsp::stats::{mean, variance};
 
+/// Condition number above which a channel matrix is treated as
+/// numerically singular: `1 / (4·ε)` ≈ 1.1e15. Past this point the
+/// inverse amplifies rounding error to the size of the answer itself, so
+/// zero-forcing would return garbage. The threshold is *relative* — a
+/// well-conditioned matrix of ~1e-9 gains (a long-range link after
+/// spreading/absorption losses) sails through, where the old absolute
+/// `det.abs() < 1e-15` test wrongly rejected it (det scales as gain²).
+// lint: unitless condition number (ratio of singular values)
+pub const SINGULAR_CONDITION: f64 = 1.0 / (4.0 * f64::EPSILON);
+
+/// Relative pivot threshold for Gaussian elimination: a pivot below
+/// `scale · 1e-12` (where `scale` is the largest |entry| of the input
+/// matrix) marks the system as singular. The 1e-12 slack matches the old
+/// absolute cutoff at unit scale, but no longer rejects uniformly tiny,
+/// well-conditioned systems.
+// lint: unitless relative threshold on pivot magnitude
+const PIVOT_RTOL: f64 = 1e-12;
+
 /// Affine channel of one receive band: `y = offset + gains · x`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AffineChannel {
@@ -35,6 +53,15 @@ pub fn solve_linear(a: &[Vec<f64>], b: &[f64]) -> Result<Vec<f64>, CoreError> {
     let n = b.len();
     if a.len() != n || a.iter().any(|r| r.len() != n) {
         return Err(CoreError::InvalidConfig("non-square system"));
+    }
+    // Relative singularity scale: the largest entry of the input matrix.
+    // An all-zero matrix is singular outright.
+    let scale = a
+        .iter()
+        .flat_map(|r| r.iter())
+        .fold(0.0f64, |acc, &v| acc.max(v.abs()));
+    if n > 0 && !(scale > 0.0) {
+        return Err(CoreError::InvalidConfig("singular system"));
     }
     let mut m: Vec<Vec<f64>> = a
         .iter()
@@ -53,7 +80,7 @@ pub fn solve_linear(a: &[Vec<f64>], b: &[f64]) -> Result<Vec<f64>, CoreError> {
             .max_by(|x, y| x.1.total_cmp(&y.1))
             // lint: allow(no-unwrap-in-lib) col < n, so the iterator is non-empty
             .unwrap();
-        if max < 1e-12 {
+        if max < scale * PIVOT_RTOL {
             return Err(CoreError::InvalidConfig("singular system"));
         }
         m.swap(col, pivot);
@@ -123,10 +150,14 @@ pub fn zero_force_two(
         [ch[0].gains[0], ch[0].gains[1]],
         [ch[1].gains[0], ch[1].gains[1]],
     ];
-    let det = a[0][0] * a[1][1] - a[0][1] * a[1][0];
-    if det.abs() < 1e-15 {
-        return Err(CoreError::InvalidConfig("singular channel matrix"));
+    // Scale-invariant singularity test: the condition number doesn't care
+    // whether the gains are O(1) or O(1e-9), only whether the two bands'
+    // observations are linearly independent.
+    let condition_number = condition_number_2x2(ch);
+    if !(condition_number < SINGULAR_CONDITION) {
+        return Err(CoreError::SingularChannel { condition_number });
     }
+    let det = a[0][0] * a[1][1] - a[0][1] * a[1][0];
     let inv = [
         [a[1][1] / det, -a[0][1] / det],
         [-a[1][0] / det, a[0][0] / det],
@@ -240,10 +271,13 @@ pub fn zero_force_two_complex(
         [ch[0].gains[0], ch[0].gains[1]],
         [ch[1].gains[0], ch[1].gains[1]],
     ];
-    let det = a[0][0] * a[1][1] - a[0][1] * a[1][0];
-    if det.norm() < 1e-15 {
-        return Err(CoreError::InvalidConfig("singular channel matrix"));
+    // Same scale-invariant test as the real-valued path: reject on the
+    // condition number, not the raw determinant magnitude.
+    let condition_number = condition_number_2x2_complex(ch);
+    if !(condition_number < SINGULAR_CONDITION) {
+        return Err(CoreError::SingularChannel { condition_number });
     }
+    let det = a[0][0] * a[1][1] - a[0][1] * a[1][0];
     let inv = [
         [a[1][1] / det, -a[0][1] / det],
         [-a[1][0] / det, a[0][0] / det],
@@ -290,6 +324,14 @@ pub fn solve_linear_complex(
     if a.len() != n || a.iter().any(|r| r.len() != n) {
         return Err(CoreError::InvalidConfig("non-square system"));
     }
+    // Relative singularity scale, as in the real-valued solver.
+    let scale = a
+        .iter()
+        .flat_map(|r| r.iter())
+        .fold(0.0f64, |acc, v| acc.max(v.norm()));
+    if n > 0 && !(scale > 0.0) {
+        return Err(CoreError::InvalidConfig("singular system"));
+    }
     let mut m: Vec<Vec<Complex64>> = a
         .iter()
         .zip(b)
@@ -306,7 +348,7 @@ pub fn solve_linear_complex(
             .max_by(|x, y| x.1.total_cmp(&y.1))
             // lint: allow(no-unwrap-in-lib) col < n, so the iterator is non-empty
             .unwrap();
-        if max < 1e-12 {
+        if max < scale * PIVOT_RTOL {
             return Err(CoreError::InvalidConfig("singular system"));
         }
         m.swap(col, pivot);
@@ -351,6 +393,12 @@ pub fn zero_force_n_complex(
     let n = y.len();
     if n == 0 || ch.len() != n || ch.iter().any(|c| c.gains.len() != n) {
         return Err(CoreError::InvalidConfig("band/stream count mismatch"));
+    }
+    // Scale-invariant singularity test (see `zero_force_two`): surface
+    // the condition number instead of failing deep inside the solver.
+    let condition_number = condition_number_n(ch);
+    if !(condition_number < SINGULAR_CONDITION) {
+        return Err(CoreError::SingularChannel { condition_number });
     }
     let a: Vec<Vec<num_complex::Complex64>> =
         ch.iter().map(|c| c.gains.clone()).collect();
@@ -754,6 +802,76 @@ mod tests {
         assert!(zero_force_n_complex(&[], &ch).is_err());
         let y = vec![vec![Complex64::new(0.0, 0.0); 4]; 2];
         assert!(zero_force_n_complex(&y, &ch).is_err());
+    }
+
+    #[test]
+    fn zero_forcing_accepts_tiny_well_conditioned_gains() {
+        // Long-range regression: spreading + absorption losses shrink the
+        // gains to ~1e-9, so det ~ 1e-18 — far below the old absolute
+        // `det.abs() < 1e-15` cutoff — but the matrix is perfectly
+        // conditioned and must decode.
+        let n = 4000;
+        let x1 = square_wave(n, 6, 0);
+        let x2 = square_wave(n, 10, 4);
+        let g = 1e-9;
+        let ch = [
+            AffineChannel { offset: 0.0, gains: vec![1.2 * g, 0.3 * g] },
+            AffineChannel { offset: 0.0, gains: vec![-0.2 * g, 0.9 * g] },
+        ];
+        let y = [
+            (0..n).map(|t| ch[0].gains[0] * x1[t] + ch[0].gains[1] * x2[t]).collect::<Vec<_>>(),
+            (0..n).map(|t| ch[1].gains[0] * x1[t] + ch[1].gains[1] * x2[t]).collect::<Vec<_>>(),
+        ];
+        assert!(condition_number_2x2(&ch) < 3.0);
+        let [s1, s2] = zero_force_two(&y, &ch).expect("well-conditioned tiny gains must decode");
+        assert!(sinr_db(&s1, &x1) > 60.0);
+        assert!(sinr_db(&s2, &x2) > 60.0);
+        // Complex twin of the same regression.
+        use num_complex::Complex64;
+        let chc = [
+            ComplexAffineChannel {
+                offset: Complex64::new(0.0, 0.0),
+                gains: vec![Complex64::new(1.2 * g, 0.0), Complex64::new(0.0, 0.3 * g)],
+            },
+            ComplexAffineChannel {
+                offset: Complex64::new(0.0, 0.0),
+                gains: vec![Complex64::new(0.0, -0.2 * g), Complex64::new(0.9 * g, 0.0)],
+            },
+        ];
+        let yc = [
+            (0..n).map(|t| chc[0].gains[0] * x1[t] + chc[0].gains[1] * x2[t]).collect::<Vec<_>>(),
+            (0..n).map(|t| chc[1].gains[0] * x1[t] + chc[1].gains[1] * x2[t]).collect::<Vec<_>>(),
+        ];
+        let [c1, c2] = zero_force_two_complex(&yc, &chc)
+            .expect("well-conditioned tiny complex gains must decode");
+        assert!(sinr_db(&c1, &x1) > 60.0);
+        assert!(sinr_db(&c2, &x2) > 60.0);
+    }
+
+    #[test]
+    fn singular_rejection_carries_condition_number() {
+        let ch = AffineChannel { offset: 0.0, gains: vec![1.0, 1.0] };
+        let y = [vec![0.0; 4], vec![0.0; 4]];
+        match zero_force_two(&y, &[ch.clone(), ch]) {
+            Err(CoreError::SingularChannel { condition_number }) => {
+                assert!(condition_number.is_infinite());
+            }
+            other => panic!("expected SingularChannel, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn solve_linear_accepts_tiny_well_scaled_system() {
+        // Uniformly tiny but well-conditioned: the old absolute 1e-12
+        // pivot floor rejected this outright.
+        let s = 1e-13;
+        let a = vec![vec![2.0 * s, 1.0 * s], vec![1.0 * s, 3.0 * s]];
+        let b = vec![5.0 * s, 10.0 * s];
+        let x = solve_linear(&a, &b).expect("tiny well-conditioned system must solve");
+        assert!((x[0] - 1.0).abs() < 1e-9, "x0 {}", x[0]);
+        assert!((x[1] - 3.0).abs() < 1e-9, "x1 {}", x[1]);
+        let zero = vec![vec![0.0, 0.0], vec![0.0, 0.0]];
+        assert!(solve_linear(&zero, &[0.0, 0.0]).is_err());
     }
 
     #[test]

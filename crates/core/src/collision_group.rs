@@ -1,0 +1,568 @@
+//! The §8 collision decoder driven as a *network slot*: a k-node group
+//! backscatters concurrently into one broadcast query slot and the reader
+//! separates the collision by zero-forcing over per-band channel
+//! estimates ([`crate::collision`]).
+//!
+//! [`crate::network::ConcurrentSimulator`] runs the fixed two-node Fig. 10
+//! experiment end to end; this module generalizes that pipeline to any
+//! group drawn from a [`FaultNetConfig`](crate::faultnet::FaultNetConfig)
+//! so the fault-injected MAC round can schedule collision slots
+//! opportunistically:
+//!
+//! * **training** runs one addressed slot per member (query on its own
+//!   carrier, continuous wave on the others) and estimates the k×k
+//!   band-major complex affine channel matrix;
+//! * **conditioning** is checked against the MAC's
+//!   [`CollisionPolicy`](pab_net::mac::CollisionPolicy) gate before any
+//!   collision is attempted — an ill-conditioned geometry reports its
+//!   condition number and the round falls back to FDMA;
+//! * **collision slots** issue one *broadcast* query
+//!   ([`BROADCAST_ADDR`](pab_net::packet::BROADCAST_ADDR)) on every
+//!   member carrier, every member answers concurrently, and the k
+//!   separated streams each run the normal envelope decode + CRC so the
+//!   MAC can account per-stream verdicts individually.
+//!
+//! Determinism: the group owns a ChaCha8 RNG seeded from the network seed
+//! and the member addresses, every slot runs inline (never fanned through
+//! the parallel engine), and AWGN is drawn in slot order — so same-seed
+//! runs are bit-identical regardless of `parallel_slots`.
+
+use crate::collision::{
+    condition_number_n, estimate_channel_complex, zero_force_n_complex, ComplexAffineChannel,
+};
+use crate::faultnet::FaultNetConfig;
+use crate::node::{IncidentComponent, PabNode};
+use crate::projector::Projector;
+use crate::receiver::Receiver;
+use crate::CoreError;
+use num_complex::Complex64;
+use pab_channel::noise::add_awgn;
+use pab_channel::MultipathChannel;
+use pab_mcu::Clock;
+use pab_net::packet::{Command, DownlinkQuery, UplinkPacket, BROADCAST_ADDR};
+use pab_sweep::derive_seed;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Outcome of the per-member training pass.
+#[derive(Debug, Clone)]
+pub struct TrainingOutcome {
+    /// Condition number of the estimated k×k channel matrix.
+    // lint: unitless condition number (ratio of singular values)
+    pub condition_number: f64,
+    /// Simulated time the k training slots consumed, seconds.
+    pub elapsed_s: f64,
+}
+
+/// One separated stream's verdict from a collision slot.
+#[derive(Debug, Clone)]
+pub struct StreamVerdict {
+    /// The member address the stream belongs to.
+    pub addr: u8,
+    /// Whether the envelope decoder found a preamble in the stream.
+    pub preamble_found: bool,
+    /// Whether the packet passed CRC.
+    pub crc_ok: bool,
+    /// Preamble correlation peak (detection margin).
+    // lint: unitless normalized correlation in [0, 1]
+    pub preamble_corr: f64,
+    /// Decoder SNR estimate, dB.
+    pub snr_db: f64,
+    /// The decoded packet when CRC passed.
+    pub packet: Option<UplinkPacket>,
+    /// Node-side average harvested power during the slot, watts.
+    pub power_w: f64,
+    /// Node-side rectified capacitor voltage at slot end, volts.
+    pub rectified_v: f64,
+}
+
+/// Outcome of one broadcast collision slot.
+#[derive(Debug, Clone)]
+pub struct CollisionOutcome {
+    /// Per-member verdicts, in member (channel) order.
+    pub verdicts: Vec<StreamVerdict>,
+    /// Simulated duration of the slot, seconds.
+    pub elapsed_s: f64,
+}
+
+#[derive(Debug)]
+struct GroupMember {
+    addr: u8,
+    carrier_hz: f64,
+    node: PabNode,
+    /// Projector→node channels, one per member carrier.
+    ch_down: Vec<MultipathChannel>,
+    /// Node→hydrophone channels, one per member carrier.
+    ch_up: Vec<MultipathChannel>,
+}
+
+/// Everything one group slot produced at the receiver.
+struct SlotOutput {
+    /// Complex baseband per band.
+    baseband: Vec<Vec<Complex64>>,
+    /// Ground-truth switching streams, hydrophone-aligned, per member.
+    truths: Vec<Vec<f64>>,
+    /// Whether each member sent a complete response.
+    responded: Vec<bool>,
+    /// Node-side power summaries, per member.
+    power_w: Vec<f64>,
+    rectified_v: Vec<f64>,
+    /// Samples the slot occupied at the hydrophone.
+    samples: usize,
+}
+
+/// A k-node concurrent-uplink simulator for one collision group.
+#[derive(Debug)]
+pub struct CollisionGroupSimulator {
+    members: Vec<GroupMember>,
+    projector: Projector,
+    receiver: Receiver,
+    rng: ChaCha8Rng,
+    /// Projector→hydrophone channels per member carrier.
+    ch_proj_hydro: Vec<MultipathChannel>,
+    fs_hz: f64,
+    noise_sigma_pa: f64,
+    /// Band-major channel matrix from the last training pass, and the
+    /// bitrate it was trained at (estimates are re-used until the
+    /// commanded rate changes).
+    channels: Option<Vec<ComplexAffineChannel>>,
+    trained_divider: u16,
+}
+
+impl CollisionGroupSimulator {
+    /// Build the group simulator for `addrs` (all of which must exist in
+    /// `cfg.nodes`), pre-computing the k² propagation channels.
+    pub fn new(cfg: &FaultNetConfig, addrs: &[u8]) -> Result<Self, CoreError> {
+        if addrs.len() < 2 {
+            return Err(CoreError::InvalidConfig("collision group needs >= 2 members"));
+        }
+        let mut projector = Projector::new(cfg.drive_voltage_v)?;
+        projector.fs_hz = cfg.fs_hz;
+        let divider = Clock::watch_crystal()
+            .divider_for_bitrate(cfg.bitrate_target_bps)
+            .map_err(CoreError::Mcu)? as u16;
+        let mut specs = Vec::with_capacity(addrs.len());
+        for &addr in addrs {
+            let spec = cfg
+                .nodes
+                .iter()
+                .find(|s| s.addr == addr)
+                .ok_or(CoreError::InvalidConfig("collision member not in config"))?;
+            specs.push(spec);
+        }
+        let carriers: Vec<f64> = specs.iter().map(|s| s.carrier_hz).collect();
+        let mut members = Vec::with_capacity(specs.len());
+        for spec in &specs {
+            let mut node = PabNode::new(spec.addr, spec.carrier_hz)?;
+            node.default_divider = divider;
+            let mut ch_down = Vec::with_capacity(carriers.len());
+            let mut ch_up = Vec::with_capacity(carriers.len());
+            for &f in &carriers {
+                ch_down.push(cfg.pool.channel(
+                    &cfg.projector_pos,
+                    &spec.position,
+                    cfg.max_reflections,
+                    f,
+                )?);
+                ch_up.push(cfg.pool.channel(
+                    &spec.position,
+                    &cfg.hydrophone_pos,
+                    cfg.max_reflections,
+                    f,
+                )?);
+            }
+            members.push(GroupMember {
+                addr: spec.addr,
+                carrier_hz: spec.carrier_hz,
+                node,
+                ch_down,
+                ch_up,
+            });
+        }
+        let mut ch_proj_hydro = Vec::with_capacity(carriers.len());
+        for &f in &carriers {
+            ch_proj_hydro.push(cfg.pool.channel(
+                &cfg.projector_pos,
+                &cfg.hydrophone_pos,
+                cfg.max_reflections,
+                f,
+            )?);
+        }
+        let noise_sigma_pa =
+            cfg.noise.rms_pressure_pa(carriers[0], cfg.fs_hz / 2.0)? * cfg.noise_scale;
+        // The group RNG is derived from the network seed and the member
+        // addresses, so two groups (or a group and the per-link sims)
+        // never share a noise stream.
+        let mut seed = derive_seed(cfg.seed, 0x636f_6c6c);
+        for &addr in addrs {
+            seed = derive_seed(seed, u64::from(addr));
+        }
+        Ok(CollisionGroupSimulator {
+            members,
+            projector,
+            receiver: Receiver::new(1.0e-3, cfg.fs_hz),
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            ch_proj_hydro,
+            fs_hz: cfg.fs_hz,
+            noise_sigma_pa,
+            channels: None,
+            trained_divider: 0,
+        })
+    }
+
+    /// The member addresses, in channel order.
+    pub fn addrs(&self) -> Vec<u8> {
+        self.members.iter().map(|m| m.addr).collect()
+    }
+
+    /// Command every member's FM0 divider for `bitrate_bps` (the MAC's
+    /// rate-ladder actuation). Invalidates training if the rate changed —
+    /// the channel estimate is re-fit at the new waveform timing.
+    pub fn set_bitrate_target(&mut self, bitrate_bps: f64) -> Result<(), CoreError> {
+        let divider = Clock::watch_crystal()
+            .divider_for_bitrate(bitrate_bps)
+            .map_err(CoreError::Mcu)? as u16;
+        for m in &mut self.members {
+            m.node.default_divider = divider;
+        }
+        Ok(())
+    }
+
+    /// Quantized uplink bitrate the members will use.
+    pub fn bitrate_bps(&self) -> f64 {
+        Clock::watch_crystal()
+            .bitrate_for_divider(self.members[0].node.default_divider as u64)
+            // lint: allow(no-unwrap-in-lib) default_divider is validated non-zero at construction
+            .expect("divider >= 1")
+    }
+
+    /// Whether the current channel estimate is valid for the commanded
+    /// bitrate (training is re-run when the rate rung moves).
+    pub fn is_trained(&self) -> bool {
+        self.channels.is_some() && self.trained_divider == self.members[0].node.default_divider
+    }
+
+    /// Condition number of the current channel estimate (infinite when
+    /// untrained).
+    // lint: unitless condition number (ratio of singular values)
+    pub fn condition_number(&self) -> f64 {
+        match &self.channels {
+            Some(ch) => condition_number_n(ch),
+            None => f64::INFINITY,
+        }
+    }
+
+    /// Run one slot: per-carrier transmit waveforms, all members process
+    /// the superposed incident field and backscatter every carrier, the
+    /// hydrophone demodulates each band.
+    fn run_slot(&mut self, waves: &[Vec<f64>]) -> Result<SlotOutput, CoreError> {
+        let fs = self.fs_hz;
+        let k = self.members.len();
+        let n_tx = waves.iter().map(Vec::len).max().unwrap_or(0);
+        let margin = crate::margin_samples(fs)?;
+
+        // Each member sees every carrier through its own downlink channels.
+        let mut node_outs = Vec::with_capacity(k);
+        for m in &self.members {
+            let mut components = Vec::with_capacity(k);
+            for (ci, w) in waves.iter().enumerate() {
+                components.push(IncidentComponent {
+                    carrier_hz: self.members[ci].carrier_hz,
+                    samples: m.ch_down[ci].apply(w, fs),
+                });
+            }
+            let out = m
+                .node
+                .process(&components, fs, Some(pab_sensors::WaterSample::bench()))?;
+            node_outs.push(out);
+        }
+
+        // Superpose at the hydrophone: direct projector paths plus every
+        // member re-radiating every carrier.
+        let n_rx = n_tx + 4 * margin;
+        let mut y = vec![0.0; n_rx];
+        for (ci, w) in waves.iter().enumerate() {
+            self.ch_proj_hydro[ci].apply_into(&mut y, w, fs);
+        }
+        let mut truths = Vec::with_capacity(k);
+        let mut responded = Vec::with_capacity(k);
+        let mut power_w = Vec::with_capacity(k);
+        let mut rectified_v = Vec::with_capacity(k);
+        for (i, out) in node_outs.iter().enumerate() {
+            responded.push(out.responses_sent > 0);
+            power_w.push(out.average_power_w);
+            rectified_v.push(out.rectified_v);
+            for (ci, ch) in self.members[i].ch_up.iter().enumerate() {
+                ch.apply_into(&mut y, &out.backscatter[ci], fs);
+            }
+            // Hydrophone-aligned ground-truth switching stream.
+            let delay = (self.members[i].ch_up[0].direct().delay_s * fs).floor() as usize;
+            let mut s = vec![0.0; n_rx];
+            for (t, &b) in out.switch_wave.iter().enumerate() {
+                if t + delay < n_rx {
+                    // lint: allow(panic-path) t + delay < n_rx checked by the enclosing branch
+                    s[t + delay] = if b { 1.0 } else { 0.0 };
+                }
+            }
+            truths.push(s);
+        }
+
+        add_awgn(&mut y, self.noise_sigma_pa, &mut self.rng);
+        let recorded = self.receiver.record(&y);
+        let cutoff = (2.0 * self.bitrate_bps()).clamp(200.0, 0.4 * fs);
+        let mut baseband = Vec::with_capacity(k);
+        for m in &self.members {
+            baseband.push(self.receiver.demodulate_complex(&recorded, m.carrier_hz, cutoff)?);
+        }
+        Ok(SlotOutput {
+            baseband,
+            truths,
+            responded,
+            power_w,
+            rectified_v,
+            samples: n_rx,
+        })
+    }
+
+    /// Response window for one ping-sized exchange, seconds.
+    fn response_tail_s(&self) -> f64 {
+        let bits = UplinkPacket::bits_len(0) as f64;
+        5e-3 + bits / self.bitrate_bps() + 40e-3
+    }
+
+    /// Run the k training slots (addressed query on each member's own
+    /// carrier, continuous wave on the rest) and fit the band-major k×k
+    /// complex affine channel matrix.
+    pub fn train(&mut self, command: Command) -> Result<TrainingOutcome, CoreError> {
+        let fs = self.fs_hz;
+        let k = self.members.len();
+        let tail = self.response_tail_s();
+        let pad = (0.005 * fs).floor() as usize;
+        let mut elapsed_s = 0.0;
+        // offsets[band] averaged across slots; gains[band][member].
+        let mut offsets = vec![Complex64::new(0.0, 0.0); k];
+        let mut gains = vec![vec![Complex64::new(0.0, 0.0); k]; k];
+        for j in 0..k {
+            let q = DownlinkQuery {
+                dest: self.members[j].addr,
+                command,
+            };
+            let (wq, _) = self
+                .projector
+                .query_waveform(&q, self.members[j].carrier_hz, tail)?;
+            let dur = wq.len() as f64 / fs;
+            let mut waves = Vec::with_capacity(k);
+            for (ci, m) in self.members.iter().enumerate() {
+                if ci == j {
+                    waves.push(Vec::new()); // placeholder, replaced below
+                } else {
+                    waves.push(self.projector.continuous_wave(m.carrier_hz, dur));
+                }
+            }
+            waves[j] = wq;
+            let slot = self.run_slot(&waves)?;
+            elapsed_s += slot.samples as f64 / fs;
+            if !slot.responded[j] {
+                return Err(CoreError::NodeNotPoweredUp);
+            }
+            let len = slot.baseband.iter().map(Vec::len).min().unwrap_or(0);
+            let (a0, a1) = active_range(&slot.truths, pad, len);
+            for b in 0..k {
+                let ch = estimate_channel_complex(
+                    &slot.baseband[b][a0..a1],
+                    &[&slot.truths[j][a0..a1]],
+                )?;
+                offsets[b] += ch.offset / k as f64;
+                gains[b][j] = ch.gains[0];
+            }
+        }
+        let channels: Vec<ComplexAffineChannel> = (0..k)
+            .map(|b| ComplexAffineChannel {
+                offset: offsets[b],
+                gains: gains[b].clone(),
+            })
+            .collect();
+        let condition_number = condition_number_n(&channels);
+        self.channels = Some(channels);
+        self.trained_divider = self.members[0].node.default_divider;
+        Ok(TrainingOutcome {
+            condition_number,
+            elapsed_s,
+        })
+    }
+
+    /// Run one broadcast collision slot: a single query addressed to
+    /// [`BROADCAST_ADDR`] transmitted on every member carrier, every
+    /// member answering concurrently; zero-force the per-band basebands
+    /// and decode each separated stream independently.
+    ///
+    /// Requires a valid training pass ([`train`](Self::train)); surfaces
+    /// [`CoreError::SingularChannel`] when the estimated matrix is too
+    /// ill-conditioned to invert.
+    pub fn collision_slot(&mut self, command: Command) -> Result<CollisionOutcome, CoreError> {
+        let fs = self.fs_hz;
+        let k = self.members.len();
+        let channels = self
+            .channels
+            .clone()
+            .ok_or(CoreError::InvalidConfig("collision slot before training"))?;
+        let tail = self.response_tail_s();
+        let q = DownlinkQuery {
+            dest: BROADCAST_ADDR,
+            command,
+        };
+        let mut waves = Vec::with_capacity(k);
+        for m in &self.members {
+            let (w, _) = self.projector.query_waveform(&q, m.carrier_hz, tail)?;
+            waves.push(w);
+        }
+        let slot = self.run_slot(&waves)?;
+        let elapsed_s = slot.samples as f64 / fs;
+
+        let pad = (0.005 * fs).floor() as usize;
+        let len = slot.baseband.iter().map(Vec::len).min().unwrap_or(0);
+        let (c0, c1) = active_range(&slot.truths, pad, len);
+        let bands: Vec<Vec<Complex64>> = slot
+            .baseband
+            .iter()
+            .map(|b| b[c0..c1].to_vec())
+            .collect();
+        let streams = zero_force_n_complex(&bands, &channels)?;
+
+        let bitrate = self.bitrate_bps();
+        let mut verdicts = Vec::with_capacity(k);
+        for (i, stream) in streams.iter().enumerate() {
+            let verdict = match self.receiver.decode_envelope(stream, bitrate) {
+                Ok(d) => StreamVerdict {
+                    addr: self.members[i].addr,
+                    preamble_found: true,
+                    crc_ok: d.packet.is_ok(),
+                    preamble_corr: d.preamble_corr,
+                    snr_db: d.snr_db,
+                    packet: d.packet.ok(),
+                    power_w: slot.power_w[i],
+                    rectified_v: slot.rectified_v[i],
+                },
+                Err(_) => StreamVerdict {
+                    addr: self.members[i].addr,
+                    preamble_found: false,
+                    crc_ok: false,
+                    preamble_corr: 0.0,
+                    snr_db: f64::NEG_INFINITY,
+                    packet: None,
+                    power_w: slot.power_w[i],
+                    rectified_v: slot.rectified_v[i],
+                },
+            };
+            // A member that never responded cannot have delivered: treat
+            // any accidental decode as the erasure it physically is.
+            if slot.responded[i] {
+                verdicts.push(verdict);
+            } else {
+                verdicts.push(StreamVerdict {
+                    preamble_found: false,
+                    crc_ok: false,
+                    preamble_corr: 0.0,
+                    snr_db: f64::NEG_INFINITY,
+                    packet: None,
+                    ..verdict
+                });
+            }
+        }
+        Ok(CollisionOutcome {
+            verdicts,
+            elapsed_s,
+        })
+    }
+}
+
+/// First/last sample where any ground-truth stream is active, padded by
+/// `pad` samples and clamped to `len` (the k-stream generalization of the
+/// helper in [`crate::network`]).
+fn active_range(truths: &[Vec<f64>], pad: usize, len: usize) -> (usize, usize) {
+    let mut first = len;
+    let mut last = 0;
+    for s in truths {
+        if let Some(i) = s.iter().position(|&v| v > 0.5) {
+            first = first.min(i);
+        }
+        if let Some(i) = s.iter().rposition(|&v| v > 0.5) {
+            last = last.max(i);
+        }
+    }
+    if first >= last {
+        return (0, len);
+    }
+    (first.saturating_sub(pad), (last + pad).min(len))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A pair whose carrier spacing clears the FM0 main lobe at the
+    /// commanded rate (5 kHz spacing ≥ 2 × 2 × 1024 Hz), which is the same
+    /// viability gate the faultnet MAC applies before scheduling a
+    /// collision slot. At the default 15/18 kHz @ 2048 bps geometry the
+    /// demodulation low-pass admits the neighboring band and the affine
+    /// channel model no longer holds.
+    fn wide_pair_cfg() -> FaultNetConfig {
+        let mut cfg = FaultNetConfig::default();
+        cfg.plan = pab_net::mac::ChannelPlan::new(vec![14_000.0, 19_000.0]).unwrap();
+        cfg.nodes[0].carrier_hz = 14_000.0;
+        cfg.nodes[1].carrier_hz = 19_000.0;
+        cfg.bitrate_target_bps = 1024.0;
+        cfg
+    }
+
+    #[test]
+    fn wide_pair_trains_and_decodes_collision() {
+        let cfg = wide_pair_cfg();
+        let mut group = CollisionGroupSimulator::new(&cfg, &[1, 2]).unwrap();
+        assert!(!group.is_trained());
+        let training = group.train(Command::Ping).unwrap();
+        assert!(group.is_trained());
+        assert!(
+            training.condition_number.is_finite() && training.condition_number > 1.0,
+            "condition number {}",
+            training.condition_number
+        );
+        assert!(training.elapsed_s > 0.0);
+        let out = group.collision_slot(Command::Ping).unwrap();
+        assert_eq!(out.verdicts.len(), 2);
+        for v in &out.verdicts {
+            assert!(v.preamble_found, "stream {} lost", v.addr);
+            assert!(v.crc_ok, "stream {} CRC failed", v.addr);
+            let p = v.packet.as_ref().unwrap();
+            assert_eq!(p.src, v.addr, "stream decoded the wrong node");
+        }
+        assert!(out.elapsed_s > 0.0);
+    }
+
+    #[test]
+    fn group_rejects_unknown_member_and_singletons() {
+        let cfg = FaultNetConfig::default();
+        assert!(CollisionGroupSimulator::new(&cfg, &[1]).is_err());
+        assert!(CollisionGroupSimulator::new(&cfg, &[1, 99]).is_err());
+    }
+
+    #[test]
+    fn collision_before_training_is_refused() {
+        let cfg = FaultNetConfig::default();
+        let mut group = CollisionGroupSimulator::new(&cfg, &[1, 2]).unwrap();
+        assert!(matches!(
+            group.collision_slot(Command::Ping),
+            Err(CoreError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn rate_change_invalidates_training() {
+        let cfg = FaultNetConfig::default();
+        let mut group = CollisionGroupSimulator::new(&cfg, &[1, 2]).unwrap();
+        group.train(Command::Ping).unwrap();
+        assert!(group.is_trained());
+        group.set_bitrate_target(512.0).unwrap();
+        assert!(!group.is_trained(), "rung change must force retraining");
+    }
+}

@@ -11,17 +11,19 @@
 //! Everything is keyed on seeds and absolute simulation time, so a run is
 //! bit-reproducible.
 
+use crate::collision_group::CollisionGroupSimulator;
 use crate::link::{LinkConfig, LinkSimulator, SlotEngineStats, SlotVerdict};
 use crate::{CoreError, DEFAULT_SAMPLE_RATE_HZ};
 use pab_channel::noise::NoiseEnvironment;
 use pab_channel::{FaultSchedule, Pool, Position};
 use pab_sweep::derive_seed;
 use pab_net::mac::{
-    ChannelPlan, MacPolicy, NodeEntry, ResilientMac, RxObservation, ThroughputMeter,
+    fm0_main_lobe_hz, ChannelPlan, Concurrency, MacPolicy, NodeEntry, ResilientMac,
+    RxObservation, ScheduledQuery, SlotKind, ThroughputMeter,
 };
 use pab_net::packet::{Command, UplinkPacket};
 use pab_telemetry::{Event, FaultKind, Recorder};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// One node in the fault-injected network.
 #[derive(Debug, Clone)]
@@ -84,6 +86,12 @@ pub struct FaultNetConfig {
     /// exchanges). Bit-identical on or off; off exists for the regression
     /// test that proves it.
     pub slot_cache: bool,
+    /// How concurrent uplinks are scheduled and modelled (see
+    /// [`Concurrency`]). The default [`Concurrency::Independent`] is the
+    /// legacy optimistic mode and preserves every pinned digest;
+    /// [`Concurrency::Collision`] adds opportunistic §8 zero-forced
+    /// collision slots over a serialized-FDMA baseline.
+    pub concurrency: Concurrency,
 }
 
 impl Default for FaultNetConfig {
@@ -122,6 +130,7 @@ impl Default for FaultNetConfig {
             max_reflections: 3,
             parallel_slots: true,
             slot_cache: true,
+            concurrency: Concurrency::Independent,
         }
     }
 }
@@ -143,25 +152,39 @@ impl FaultNetConfig {
             ChannelPlan::evenly_spaced(n, 14_000.0, 20_000.0)
         }
         .map_err(CoreError::Net)?;
-        let nodes = plan
-            .centers_hz()
-            .iter()
-            .enumerate()
-            .map(|(i, &carrier_hz)| {
-                let y_m = if n == 1 {
-                    1.5
-                } else {
-                    1.0 + 1.6 * i as f64 / (n - 1) as f64
-                };
-                FaultNodeSpec {
-                    addr: u8::try_from(i + 1).unwrap_or(u8::MAX),
-                    channel: i,
-                    carrier_hz,
-                    position: Position::new(1.5, y_m, 0.6),
-                    faults: FaultSchedule::default(),
-                }
-            })
-            .collect();
+        // A plan is only usable if adjacent carriers stay main-lobe
+        // separated at least at the rate ladder's *terminal* rung — below
+        // that spacing, even the slowest FM0 rate smears into the next
+        // channel and decodes degrade silently (at N = 64 over 14–20 kHz
+        // the spacing is ~95 Hz against a 512 Hz floor-rung main lobe;
+        // the 2731 bps top rung needs 5.5 kHz and relies on the ladder
+        // backing off under measured interference, see DESIGN.md).
+        let floor_bps = pab_net::mac::RateLadder::fm0_default().floor_bps();
+        if plan.min_spacing_hz() < pab_net::mac::fm0_main_lobe_hz(floor_bps) {
+            return Err(CoreError::InvalidConfig(
+                "channel spacing below FM0 floor-rung main lobe",
+            ));
+        }
+        let mut nodes = Vec::with_capacity(n);
+        for (i, &carrier_hz) in plan.centers_hz().iter().enumerate() {
+            let y_m = if n == 1 {
+                1.5
+            } else {
+                1.0 + 1.6 * i as f64 / (n - 1) as f64
+            };
+            // Addresses are 1-based; refuse to alias two nodes onto one
+            // address if the node-count cap is ever raised past u8 range
+            // (the old `unwrap_or(u8::MAX)` silently did exactly that).
+            let addr = u8::try_from(i + 1)
+                .map_err(|_| CoreError::InvalidConfig("node address overflows u8"))?;
+            nodes.push(FaultNodeSpec {
+                addr,
+                channel: i,
+                carrier_hz,
+                position: Position::new(1.5, y_m, 0.6),
+                faults: FaultSchedule::default(),
+            });
+        }
         Ok(FaultNetConfig {
             plan,
             nodes,
@@ -224,6 +247,13 @@ pub struct FaultNetSimulator {
     mac: ResilientMac,
     sims: BTreeMap<u8, LinkSimulator>,
     faults: BTreeMap<u8, FaultSchedule>,
+    /// Collision-group simulators, built lazily per member set and kept
+    /// so training survives across slots (keyed by addresses in channel
+    /// order).
+    groups: BTreeMap<Vec<u8>, CollisionGroupSimulator>,
+    /// Member sets whose trained channel matrix tripped the conditioning
+    /// gate: never proposed again this run.
+    bad_groups: BTreeSet<Vec<u8>>,
     t_now_s: f64,
 }
 
@@ -243,6 +273,7 @@ impl FaultNetSimulator {
             cfg.per_node_packets,
         )
         .map_err(CoreError::Net)?;
+        mac.set_concurrency(cfg.concurrency.clone()).map_err(CoreError::Net)?;
         let mut sims = BTreeMap::new();
         let mut faults = BTreeMap::new();
         for spec in &cfg.nodes {
@@ -278,6 +309,8 @@ impl FaultNetSimulator {
             mac,
             sims,
             faults,
+            groups: BTreeMap::new(),
+            bad_groups: BTreeSet::new(),
             t_now_s: 0.0,
         })
     }
@@ -315,15 +348,34 @@ impl FaultNetSimulator {
         let mut nominal_slot_s = 0.25;
 
         while !self.mac.is_complete() && self.mac.slots_used() < self.cfg.max_slots {
-            let queries = self.mac.next_slot(self.cfg.command);
+            let plan = {
+                // The physical-layer veto over proposed collision groups
+                // needs per-node data while the MAC holds `&mut self`, so
+                // borrow the fields it reads up front.
+                let faults = &self.faults;
+                let bad_groups = &self.bad_groups;
+                let t_start_s = self.t_now_s;
+                let horizon_s = nominal_slot_s;
+                let rates: BTreeMap<u8, f64> = self
+                    .cfg
+                    .nodes
+                    .iter()
+                    .map(|s| (s.addr, self.mac.rate_bps(s.addr)))
+                    .collect();
+                let carriers: BTreeMap<u8, f64> =
+                    self.cfg.nodes.iter().map(|s| (s.addr, s.carrier_hz)).collect();
+                self.mac.next_slot_plan(self.cfg.command, |group| {
+                    group_viable(group, bad_groups, &rates, &carriers, faults, t_start_s, horizon_s)
+                })
+            };
             let slot = self.mac.slots_used();
             if let Some(t) = tel.as_deref_mut() {
                 t.begin_slot(slot, self.t_now_s);
                 t.record(Event::SlotStart {
-                    queries: u32::try_from(queries.len()).unwrap_or(u32::MAX),
+                    queries: u32::try_from(plan.queries.len()).unwrap_or(u32::MAX),
                 });
             }
-            if queries.is_empty() {
+            if plan.queries.is_empty() {
                 self.t_now_s += nominal_slot_s;
                 meter.record(0, nominal_slot_s).map_err(CoreError::Net)?;
                 if let Some(t) = tel.as_deref_mut() {
@@ -335,140 +387,20 @@ impl FaultNetSimulator {
                 }
                 continue;
             }
-            let mut slot_s = 0.0f64;
-            let mut slot_bits = 0u64;
-            // Fan the slot's exchanges out through the sweep engine. The
-            // FDMA scheduler never puts two queries on one channel, so the
-            // scheduled addresses are distinct and each exchange owns its
-            // simulator outright for the duration of the slot (moved out
-            // of the map here, moved back in below). Traced exchanges
-            // record into fresh per-exchange sub-recorders that the
-            // post-pass absorbs in query order, which is what keeps
-            // parallel traced runs byte-identical to serial ones.
-            let mut points = Vec::with_capacity(queries.len());
-            for q in &queries {
-                let addr = q.query.dest;
-                let mut sim = self
-                    .sims
-                    .remove(&addr)
-                    .ok_or(CoreError::InvalidConfig("scheduled unknown address"))?;
-                let schedule = self
-                    .faults
-                    .get(&addr)
-                    .ok_or(CoreError::InvalidConfig("missing fault schedule"))?;
-                // Actuate the rate ladder: command the node's divider.
-                sim.set_bitrate_target(self.mac.rate_bps(addr))?;
-                points.push((addr, q.query.command, sim, schedule));
-            }
-            let t_start_s = self.t_now_s;
-            let tracing = tel.is_some();
-            let exchange = |_i: usize,
-                            (addr, command, mut sim, schedule): (
-                u8,
-                Command,
-                LinkSimulator,
-                &FaultSchedule,
-            )| {
-                let mut sub = tracing.then(|| Recorder::new(16));
-                let verdict = sim.slot_exchange(addr, command, schedule, t_start_s, sub.as_mut());
-                (addr, sim, verdict, sub)
+            let (slot_s, slot_bits) = match plan.kind {
+                SlotKind::Collision => self.run_collision_slot(
+                    plan.queries,
+                    tel.as_deref_mut(),
+                    &mut fault_state,
+                    &mut digest,
+                )?,
+                SlotKind::Fdma => self.run_fdma_queries(
+                    plan.queries,
+                    tel.as_deref_mut(),
+                    &mut fault_state,
+                    &mut digest,
+                )?,
             };
-            let outcomes = if self.cfg.parallel_slots {
-                pab_sweep::run(points, exchange)
-            } else {
-                pab_sweep::run_serial(points, exchange)
-            };
-            // Re-home every simulator before touching any verdict, so an
-            // exchange error cannot strand the other nodes' simulators.
-            let mut verdicts = Vec::with_capacity(outcomes.len());
-            for (addr, sim, verdict, sub) in outcomes {
-                self.sims.insert(addr, sim);
-                verdicts.push((addr, verdict, sub));
-            }
-            // Post-pass in query order: absorb each exchange's trace, then
-            // narrate fault windows, energy, the receiver verdict and the
-            // MAC reaction — exactly the serial recording order.
-            for (addr, verdict, sub) in verdicts {
-                let report: SlotVerdict = verdict?;
-                if let (Some(t), Some(sub)) = (tel.as_deref_mut(), sub.as_ref()) {
-                    t.absorb(sub);
-                }
-                let exchange_s = report.exchange_samples as f64 / self.cfg.fs_hz;
-                slot_s = slot_s.max(exchange_s);
-                let schedule = self
-                    .faults
-                    .get(&addr)
-                    .ok_or(CoreError::InvalidConfig("missing fault schedule"))?;
-
-                if let Some(t) = tel.as_deref_mut() {
-                    let window = (self.t_now_s, self.t_now_s + exchange_s);
-                    let active = [
-                        schedule.burst_active_during(window.0, window.1),
-                        schedule.fade_active_during(window.0, window.1),
-                        schedule.node_down_during(window.0, window.1),
-                        schedule.drift_active_during(window.0, window.1),
-                    ];
-                    let prev = fault_state.entry(addr).or_default();
-                    const KINDS: [FaultKind; 4] = [
-                        FaultKind::Burst,
-                        FaultKind::Fade,
-                        FaultKind::Dropout,
-                        FaultKind::Drift,
-                    ];
-                    for (k, kind) in KINDS.into_iter().enumerate() {
-                        match (prev[k], active[k]) {
-                            (false, true) => t.record(Event::FaultEnter { node: addr, kind }),
-                            (true, false) => t.record(Event::FaultExit { node: addr, kind }),
-                            _ => {}
-                        }
-                    }
-                    *prev = active;
-                    t.record(Event::EnergySample {
-                        node: addr,
-                        harvested_j: report.node_power_w * exchange_s,
-                        power_w: report.node_power_w,
-                        rectified_v: report.node_rectified_v,
-                    });
-                }
-
-                let obs = if report.preamble_found && report.crc_ok {
-                    RxObservation::Delivered {
-                        margin: report.preamble_corr,
-                    }
-                } else if report.preamble_found {
-                    RxObservation::CrcFailed {
-                        margin: report.preamble_corr,
-                    }
-                } else {
-                    RxObservation::Erasure
-                };
-                if report.preamble_found {
-                    if let Some(t) = tel.as_deref_mut() {
-                        if report.crc_ok {
-                            t.record(Event::Detection {
-                                node: addr,
-                                corr: report.preamble_corr,
-                                snr_db: report.snr_db,
-                            });
-                        } else {
-                            t.record(Event::CrcFail {
-                                node: addr,
-                                corr: report.preamble_corr,
-                            });
-                        }
-                    }
-                } else if let Some(t) = tel.as_deref_mut() {
-                    t.record(Event::Erasure { node: addr });
-                }
-                self.mac
-                    .record_traced(addr, obs, tel.as_deref_mut())
-                    .map_err(CoreError::Net)?;
-
-                if let Some(packet) = &report.packet {
-                    slot_bits += UplinkPacket::bits_len(packet.payload.len()) as u64;
-                    digest = fnv1a_packet(digest, addr, packet);
-                }
-            }
             nominal_slot_s = nominal_slot_s.max(slot_s);
             self.t_now_s += slot_s;
             meter.record(slot_bits, slot_s).map_err(CoreError::Net)?;
@@ -520,6 +452,316 @@ impl FaultNetSimulator {
         })
     }
 
+    /// Run one slot's FDMA queries through the per-link simulators and
+    /// return `(slot_duration_s, delivered_bits)`.
+    ///
+    /// Exchanges fan out through the sweep engine. The FDMA scheduler
+    /// never puts two queries on one channel, so the scheduled addresses
+    /// are distinct and each exchange owns its simulator outright for the
+    /// duration of the slot (moved out of the map here, moved back in
+    /// below). Traced exchanges record into fresh per-exchange
+    /// sub-recorders that the post-pass absorbs in query order, which is
+    /// what keeps parallel traced runs byte-identical to serial ones.
+    ///
+    /// Under [`Concurrency::Independent`] the slot lasts as long as its
+    /// longest exchange (channels are modelled interference-free and
+    /// truly concurrent). Under the serialized modes the medium is
+    /// time-shared, so a multi-query slot — the collision fallback path —
+    /// costs the *sum* of its exchanges.
+    fn run_fdma_queries(
+        &mut self,
+        queries: Vec<ScheduledQuery>,
+        mut tel: Option<&mut Recorder>,
+        fault_state: &mut BTreeMap<u8, [bool; 4]>,
+        digest: &mut u64,
+    ) -> Result<(f64, u64), CoreError> {
+        let serialize_time = !matches!(self.mac.concurrency(), Concurrency::Independent);
+        let mut slot_s = 0.0f64;
+        let mut slot_bits = 0u64;
+        let mut points = Vec::with_capacity(queries.len());
+        for q in &queries {
+            let addr = q.query.dest;
+            let mut sim = self
+                .sims
+                .remove(&addr)
+                .ok_or(CoreError::InvalidConfig("scheduled unknown address"))?;
+            let schedule = self
+                .faults
+                .get(&addr)
+                .ok_or(CoreError::InvalidConfig("missing fault schedule"))?;
+            // Actuate the rate ladder: command the node's divider.
+            sim.set_bitrate_target(self.mac.rate_bps(addr))?;
+            points.push((addr, q.query.command, sim, schedule));
+        }
+        let t_start_s = self.t_now_s;
+        let tracing = tel.is_some();
+        let exchange = |_i: usize,
+                        (addr, command, mut sim, schedule): (
+            u8,
+            Command,
+            LinkSimulator,
+            &FaultSchedule,
+        )| {
+            let mut sub = tracing.then(|| Recorder::new(16));
+            let verdict = sim.slot_exchange(addr, command, schedule, t_start_s, sub.as_mut());
+            (addr, sim, verdict, sub)
+        };
+        let outcomes = if self.cfg.parallel_slots {
+            pab_sweep::run(points, exchange)
+        } else {
+            pab_sweep::run_serial(points, exchange)
+        };
+        // Re-home every simulator before touching any verdict, so an
+        // exchange error cannot strand the other nodes' simulators.
+        let mut verdicts = Vec::with_capacity(outcomes.len());
+        for (addr, sim, verdict, sub) in outcomes {
+            self.sims.insert(addr, sim);
+            verdicts.push((addr, verdict, sub));
+        }
+        // Post-pass in query order: absorb each exchange's trace, then
+        // narrate fault windows, energy, the receiver verdict and the
+        // MAC reaction — exactly the serial recording order.
+        for (addr, verdict, sub) in verdicts {
+            let report: SlotVerdict = verdict?;
+            if let (Some(t), Some(sub)) = (tel.as_deref_mut(), sub.as_ref()) {
+                t.absorb(sub);
+            }
+            let exchange_s = report.exchange_samples as f64 / self.cfg.fs_hz;
+            slot_s = if serialize_time {
+                slot_s + exchange_s
+            } else {
+                slot_s.max(exchange_s)
+            };
+            let schedule = self
+                .faults
+                .get(&addr)
+                .ok_or(CoreError::InvalidConfig("missing fault schedule"))?;
+
+            if let Some(t) = tel.as_deref_mut() {
+                let window = (self.t_now_s, self.t_now_s + exchange_s);
+                let active = [
+                    schedule.burst_active_during(window.0, window.1),
+                    schedule.fade_active_during(window.0, window.1),
+                    schedule.node_down_during(window.0, window.1),
+                    schedule.drift_active_during(window.0, window.1),
+                ];
+                let prev = fault_state.entry(addr).or_default();
+                const KINDS: [FaultKind; 4] = [
+                    FaultKind::Burst,
+                    FaultKind::Fade,
+                    FaultKind::Dropout,
+                    FaultKind::Drift,
+                ];
+                for (k, kind) in KINDS.into_iter().enumerate() {
+                    match (prev[k], active[k]) {
+                        (false, true) => t.record(Event::FaultEnter { node: addr, kind }),
+                        (true, false) => t.record(Event::FaultExit { node: addr, kind }),
+                        _ => {}
+                    }
+                }
+                *prev = active;
+                t.record(Event::EnergySample {
+                    node: addr,
+                    harvested_j: report.node_power_w * exchange_s,
+                    power_w: report.node_power_w,
+                    rectified_v: report.node_rectified_v,
+                });
+            }
+
+            let obs = if report.preamble_found && report.crc_ok {
+                RxObservation::Delivered {
+                    margin: report.preamble_corr,
+                }
+            } else if report.preamble_found {
+                RxObservation::CrcFailed {
+                    margin: report.preamble_corr,
+                }
+            } else {
+                RxObservation::Erasure
+            };
+            if report.preamble_found {
+                if let Some(t) = tel.as_deref_mut() {
+                    if report.crc_ok {
+                        t.record(Event::Detection {
+                            node: addr,
+                            corr: report.preamble_corr,
+                            snr_db: report.snr_db,
+                        });
+                    } else {
+                        t.record(Event::CrcFail {
+                            node: addr,
+                            corr: report.preamble_corr,
+                        });
+                    }
+                }
+            } else if let Some(t) = tel.as_deref_mut() {
+                t.record(Event::Erasure { node: addr });
+            }
+            self.mac
+                .record_traced(addr, obs, tel.as_deref_mut())
+                .map_err(CoreError::Net)?;
+
+            if let Some(packet) = &report.packet {
+                slot_bits += UplinkPacket::bits_len(packet.payload.len()) as u64;
+                *digest = fnv1a_packet(*digest, addr, packet);
+            }
+        }
+        Ok((slot_s, slot_bits))
+    }
+
+    /// Run one broadcast collision slot (§8): train the group's channel
+    /// matrix if needed, gate on its condition number, zero-force the
+    /// concurrent uplinks and account every separated stream's verdict to
+    /// the MAC individually. Falls back to FDMA — and blacklists the
+    /// group — when the trained matrix trips the conditioning gate or
+    /// turns out singular at inversion time.
+    fn run_collision_slot(
+        &mut self,
+        queries: Vec<ScheduledQuery>,
+        mut tel: Option<&mut Recorder>,
+        fault_state: &mut BTreeMap<u8, [bool; 4]>,
+        digest: &mut u64,
+    ) -> Result<(f64, u64), CoreError> {
+        let addrs: Vec<u8> = queries.iter().map(|q| q.query.dest).collect();
+        let max_condition = match self.mac.concurrency() {
+            Concurrency::Collision(pol) => pol.max_condition,
+            _ => {
+                return Err(CoreError::InvalidConfig(
+                    "collision slot without a collision policy",
+                ))
+            }
+        };
+        let rate_bps = self.mac.rate_bps(addrs[0]);
+        if !self.groups.contains_key(&addrs) {
+            let group = CollisionGroupSimulator::new(&self.cfg, &addrs)?;
+            self.groups.insert(addrs.clone(), group);
+        }
+        // Training slots are addressed queries too, so their time is
+        // charged to the slot whether the group survives the gate or not.
+        let mut slot_s = 0.0f64;
+        let condition_number = {
+            let group = self
+                .groups
+                .get_mut(&addrs)
+                .ok_or(CoreError::InvalidConfig("collision group missing"))?;
+            group.set_bitrate_target(rate_bps)?;
+            if !group.is_trained() {
+                slot_s += group.train(self.cfg.command)?.elapsed_s;
+            }
+            group.condition_number()
+        };
+        // `!(a <= b)` rather than `a > b`: a NaN condition number must
+        // also take the fallback, never the collision.
+        if !(condition_number <= max_condition) {
+            return self
+                .collision_fallback(queries, tel, fault_state, digest, slot_s, condition_number);
+        }
+        let outcome = {
+            let group = self
+                .groups
+                .get_mut(&addrs)
+                .ok_or(CoreError::InvalidConfig("collision group missing"))?;
+            group.collision_slot(self.cfg.command)
+        };
+        let outcome = match outcome {
+            Ok(o) => o,
+            Err(CoreError::SingularChannel { condition_number }) => {
+                return self.collision_fallback(
+                    queries,
+                    tel,
+                    fault_state,
+                    digest,
+                    slot_s,
+                    condition_number,
+                );
+            }
+            Err(e) => return Err(e),
+        };
+        slot_s += outcome.elapsed_s;
+        if let Some(t) = tel.as_deref_mut() {
+            t.record(Event::CollisionSlot {
+                participants: u32::try_from(addrs.len()).unwrap_or(u32::MAX),
+                condition_number,
+            });
+        }
+        let mut slot_bits = 0u64;
+        for v in &outcome.verdicts {
+            if let Some(t) = tel.as_deref_mut() {
+                t.record(Event::EnergySample {
+                    node: v.addr,
+                    harvested_j: v.power_w * outcome.elapsed_s,
+                    power_w: v.power_w,
+                    rectified_v: v.rectified_v,
+                });
+                t.record(Event::StreamVerdict {
+                    node: v.addr,
+                    crc_ok: v.crc_ok,
+                    snr_db: v.snr_db,
+                });
+                if v.preamble_found {
+                    if v.crc_ok {
+                        t.record(Event::Detection {
+                            node: v.addr,
+                            corr: v.preamble_corr,
+                            snr_db: v.snr_db,
+                        });
+                    } else {
+                        t.record(Event::CrcFail {
+                            node: v.addr,
+                            corr: v.preamble_corr,
+                        });
+                    }
+                } else {
+                    t.record(Event::Erasure { node: v.addr });
+                }
+            }
+            let obs = if v.preamble_found && v.crc_ok {
+                RxObservation::Delivered {
+                    margin: v.preamble_corr,
+                }
+            } else if v.preamble_found {
+                RxObservation::CrcFailed {
+                    margin: v.preamble_corr,
+                }
+            } else {
+                RxObservation::Erasure
+            };
+            self.mac
+                .record_traced(v.addr, obs, tel.as_deref_mut())
+                .map_err(CoreError::Net)?;
+            if let Some(packet) = &v.packet {
+                slot_bits += UplinkPacket::bits_len(packet.payload.len()) as u64;
+                *digest = fnv1a_packet(*digest, v.addr, packet);
+            }
+        }
+        Ok((slot_s, slot_bits))
+    }
+
+    /// Abandon a proposed collision: blacklist the group so it is never
+    /// proposed again, narrate the fallback, and run the already-scheduled
+    /// queries as (time-shared) FDMA so every query still feeds the MAC an
+    /// observation.
+    fn collision_fallback(
+        &mut self,
+        queries: Vec<ScheduledQuery>,
+        mut tel: Option<&mut Recorder>,
+        fault_state: &mut BTreeMap<u8, [bool; 4]>,
+        digest: &mut u64,
+        spent_s: f64,
+        condition_number: f64,
+    ) -> Result<(f64, u64), CoreError> {
+        if let Some(t) = tel.as_deref_mut() {
+            t.record(Event::CollisionFallback {
+                participants: u32::try_from(queries.len()).unwrap_or(u32::MAX),
+                condition_number,
+            });
+        }
+        self.bad_groups
+            .insert(queries.iter().map(|q| q.query.dest).collect());
+        let (fdma_s, bits) = self.run_fdma_queries(queries, tel, fault_state, digest)?;
+        Ok((spent_s + fdma_s, bits))
+    }
+
     /// The MAC driving the round (inspection).
     pub fn mac(&self) -> &ResilientMac {
         &self.mac
@@ -534,6 +776,61 @@ impl FaultNetSimulator {
         }
         total
     }
+}
+
+/// The physical layer's veto over a proposed collision group, checked
+/// before the MAC commits the slot:
+///
+/// * the member set must not already be blacklisted by a conditioning
+///   fallback;
+/// * every pair of member carriers must be separated by at least *twice*
+///   the FM0 main lobe at the commanded rate — the demodulation low-pass
+///   opens to 2× the bitrate, and a neighbour band inside it leaks into
+///   baseband as a time-varying rotation that breaks the constant-gain
+///   affine channel model zero-forcing relies on;
+/// * no member may sit in a fault window over the slot horizon — the
+///   group simulator models the clean concurrent physics only, so a
+///   faulted member must take the per-link (fault-composed) path.
+fn group_viable(
+    group: &[u8],
+    bad_groups: &BTreeSet<Vec<u8>>,
+    rates: &BTreeMap<u8, f64>,
+    carriers: &BTreeMap<u8, f64>,
+    faults: &BTreeMap<u8, FaultSchedule>,
+    t_start_s: f64,
+    horizon_s: f64,
+) -> bool {
+    if bad_groups.contains(group) {
+        return false;
+    }
+    let Some(&rate_bps) = group.first().and_then(|a| rates.get(a)) else {
+        return false;
+    };
+    let min_spacing_hz = 2.0 * fm0_main_lobe_hz(rate_bps);
+    for (i, a) in group.iter().enumerate() {
+        let Some(&fa) = carriers.get(a) else {
+            return false;
+        };
+        // lint: allow(panic-path) i < group.len(), so i + 1 <= len and the tail slice is in range
+        for b in &group[i + 1..] {
+            let Some(&fb) = carriers.get(b) else {
+                return false;
+            };
+            if (fa - fb).abs() < min_spacing_hz {
+                return false;
+            }
+        }
+    }
+    let (w0, w1) = (t_start_s, t_start_s + horizon_s);
+    group.iter().all(|a| match faults.get(a) {
+        Some(s) => {
+            !s.burst_active_during(w0, w1)
+                && !s.fade_active_during(w0, w1)
+                && !s.node_down_during(w0, w1)
+                && !s.drift_active_during(w0, w1)
+        }
+        None => false,
+    })
 }
 
 /// Fold one delivered packet into an FNV-1a digest: address, kind, seq,
@@ -638,6 +935,37 @@ mod tests {
             tel.counters().get("rx.erasures"),
             "simulator and receiver must agree on erasure counts"
         );
+    }
+
+    #[test]
+    fn with_nodes_addresses_are_unique_and_sequential() {
+        // The old path aliased addresses via `unwrap_or(u8::MAX)` past the
+        // u8 range; every address must now be distinct and 1-based.
+        let cfg = FaultNetConfig::with_nodes(12).unwrap();
+        let addrs: Vec<u8> = cfg.nodes.iter().map(|s| s.addr).collect();
+        let expect: Vec<u8> = (1..=12).collect();
+        assert_eq!(addrs, expect);
+        let mut unique = addrs.clone();
+        unique.dedup();
+        assert_eq!(unique.len(), addrs.len());
+    }
+
+    #[test]
+    fn with_nodes_rejects_spacing_below_fm0_floor_lobe() {
+        // 14–20 kHz split 12 ways gives 545 Hz spacing (≥ the 512 Hz
+        // floor-rung main lobe); 13 ways gives 500 Hz and must be refused
+        // instead of silently degrading decodes.
+        assert!(FaultNetConfig::with_nodes(12).is_ok());
+        let err = FaultNetConfig::with_nodes(13);
+        assert!(
+            matches!(err, Err(CoreError::InvalidConfig(msg)) if msg.contains("spacing")),
+            "{err:?}"
+        );
+        // The old silent-degradation case from the issue: N = 64 packs
+        // carriers ~95 Hz apart.
+        assert!(FaultNetConfig::with_nodes(64).is_err());
+        assert!(FaultNetConfig::with_nodes(0).is_err());
+        assert!(FaultNetConfig::with_nodes(65).is_err());
     }
 
     #[test]

@@ -44,6 +44,7 @@
 
 pub mod baseline;
 pub mod collision;
+pub mod collision_group;
 pub mod faultnet;
 pub mod firmware;
 pub mod link;
@@ -104,6 +105,16 @@ pub enum CoreError {
     NoPacketDetected,
     /// A configuration value was invalid.
     InvalidConfig(&'static str),
+    /// A channel matrix was too ill-conditioned to invert. Carries the
+    /// estimated condition number so callers can distinguish singular
+    /// geometry (`condition_number.is_infinite()`) from a matrix that is
+    /// merely weak but decodable — the absolute-determinant test this
+    /// variant replaced conflated the two for small-gain long-range links.
+    SingularChannel {
+        /// Ratio of largest to smallest singular value of the offending
+        /// matrix; infinite when it is exactly rank-deficient.
+        condition_number: f64,
+    },
 }
 
 impl std::fmt::Display for CoreError {
@@ -117,6 +128,9 @@ impl std::fmt::Display for CoreError {
             CoreError::NodeNotPoweredUp => write!(f, "node never powered up"),
             CoreError::NoPacketDetected => write!(f, "no packet detected"),
             CoreError::InvalidConfig(what) => write!(f, "invalid config: {what}"),
+            CoreError::SingularChannel { condition_number } => {
+                write!(f, "singular channel matrix (condition number {condition_number:.3e})")
+            }
         }
     }
 }

@@ -225,15 +225,22 @@ fn command_key(command: Command) -> (u8, u16) {
 }
 
 /// Query-waveform cache key: everything the synthesized downlink depends
-/// on that can vary between exchanges — destination, command, the node's
-/// commanded FM0 divider (through the response window length) and the
-/// projector oscillator offset in force (static CFO + drift), as bits.
-type WaveKey = (u8, (u8, u16), u16, u64);
+/// on that can vary between exchanges — destination, *responding node
+/// address*, command, the node's commanded FM0 divider (through the
+/// response window length) and the projector oscillator offset in force
+/// (static CFO + drift), as bits.
+///
+/// The responder address matters because `dest` alone does not identify
+/// the exchange once broadcast queries exist: every node answers
+/// `BROADCAST_ADDR`, so entries keyed on the destination only would alias
+/// across responders the moment these caches are shared or a simulator is
+/// re-addressed.
+type WaveKey = (u8, u8, (u8, u16), u16, u64);
 
 /// Clean-exchange cache key: the wave key plus whether the node is
 /// browned out for the window (the two variants superpose different
 /// signals at the hydrophone).
-type ExchKey = (u8, (u8, u16), u16, u64, bool);
+type ExchKey = (u8, u8, (u8, u16), u16, u64, bool);
 
 /// One memoized clean exchange: the noiseless hydrophone pressure
 /// waveform plus the node-side summary the verdict reports. Valid
@@ -602,8 +609,12 @@ impl LinkSimulator {
     /// `exchange_samples` normals either way) — but the steady state is
     /// radically cheaper:
     ///
-    /// * the **query waveform** is memoized on `(dest, command, divider,
-    ///   oscillator offset)`, so synthesis runs once per distinct key;
+    /// * the **query waveform** is memoized on `(dest, responder address,
+    ///   command, divider, oscillator offset)`, so synthesis runs once per
+    ///   distinct key. The responder address is part of the key because a
+    ///   broadcast `dest` is answered by *every* node — keying on the
+    ///   destination alone would let broadcast exchanges alias across
+    ///   responders;
     /// * the whole **clean exchange** (downlink propagation → node →
     ///   uplink superposition at the hydrophone, before noise) is
     ///   memoized on the same key plus the brown-out flag. Outside fade
@@ -644,7 +655,7 @@ impl LinkSimulator {
         let cfo_hz = self.projector.cfo_hz + faults.drift_at_hz(t_start_s);
         let divider = self.node.default_divider;
         let ck = command_key(command);
-        let wkey: WaveKey = (dest, ck, divider, cfo_hz.to_bits());
+        let wkey: WaveKey = (dest, self.cfg.node_addr, ck, divider, cfo_hz.to_bits());
 
         let tx_wave: Arc<Vec<f64>> = match self.wave_cache.get(&wkey) {
             Some(w) => {
@@ -702,7 +713,7 @@ impl LinkSimulator {
             return Ok(SlotVerdict::from_report(report));
         }
 
-        let ekey: ExchKey = (dest, ck, divider, cfo_hz.to_bits(), down);
+        let ekey: ExchKey = (dest, self.cfg.node_addr, ck, divider, cfo_hz.to_bits(), down);
         if !self.exch_cache.contains_key(&ekey) {
             self.stats.exchange_misses += 1;
             let entry = self.compute_clean_exchange(&tx_wave, down)?;
@@ -1039,6 +1050,50 @@ mod tests {
         let report = sim.run_query_to(99, Command::Ping).unwrap();
         assert_eq!(report.node_output.responses_sent, 0);
         assert!(!report.crc_ok);
+    }
+
+    #[test]
+    fn broadcast_slot_exchange_keys_the_cache_on_the_responder() {
+        // Broadcast queries are answered by every node, so the slot-engine
+        // cache key must carry the responder's address, not just `dest` —
+        // otherwise two responders' broadcast exchanges share a key and a
+        // cached entry from one would be replayed for the other. Regression
+        // for the key including `node_addr`: each responder must decode its
+        // *own* packet on both the cold (miss) and warm (hit) path.
+        let faults = pab_channel::FaultSchedule::default();
+        for addr in [7u8, 9] {
+            let cfg = LinkConfig {
+                node_addr: addr,
+                ..Default::default()
+            };
+            let mut sim = LinkSimulator::new(cfg).unwrap();
+            let cold = sim
+                .slot_exchange(
+                    pab_net::packet::BROADCAST_ADDR,
+                    Command::Ping,
+                    &faults,
+                    0.0,
+                    None,
+                )
+                .unwrap();
+            let warm = sim
+                .slot_exchange(
+                    pab_net::packet::BROADCAST_ADDR,
+                    Command::Ping,
+                    &faults,
+                    1.0,
+                    None,
+                )
+                .unwrap();
+            assert!(cold.crc_ok, "addr {addr}: cold broadcast exchange failed");
+            assert!(warm.crc_ok, "addr {addr}: warm broadcast exchange failed");
+            assert_eq!(cold.packet.unwrap().src, addr);
+            assert_eq!(warm.packet.unwrap().src, addr);
+            let stats = sim.slot_stats();
+            assert_eq!(stats.wave_misses, 1, "addr {addr}: {stats:?}");
+            assert_eq!(stats.wave_hits, 1, "addr {addr}: {stats:?}");
+            assert_eq!(stats.exchange_hits, 1, "addr {addr}: {stats:?}");
+        }
     }
 
     #[test]

@@ -1,0 +1,46 @@
+//! Property-based tests for the collision decoder's linear algebra:
+//! Gaussian elimination must agree with the closed-form 2×2 inverse on
+//! random well-conditioned systems.
+
+use pab_core::collision::solve_linear;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `solve_linear` (partial-pivoting Gaussian elimination) and the
+    /// closed-form adjugate inverse are two routes to the same x in
+    /// `A x = b`; on well-conditioned systems they must agree to 1e-9.
+    #[test]
+    fn solve_linear_matches_closed_form_2x2_inverse(
+        (a, b, c, d, b0, b1) in (
+            -10.0f64..10.0,
+            -10.0f64..10.0,
+            -10.0f64..10.0,
+            -10.0f64..10.0,
+            -10.0f64..10.0,
+            -10.0f64..10.0,
+        ),
+    ) {
+        let det = a * d - b * c;
+        let scale = a.abs().max(b.abs()).max(c.abs()).max(d.abs());
+        // Keep the closed-form inverse itself trustworthy: reject draws
+        // whose determinant is small relative to the squared entry scale.
+        prop_assume!(scale > 1e-3 && det.abs() > 1e-3 * scale * scale);
+
+        let closed = [
+            (d * b0 - b * b1) / det,
+            (a * b1 - c * b0) / det,
+        ];
+        let x = solve_linear(
+            &[vec![a, b], vec![c, d]],
+            &[b0, b1],
+        ).unwrap();
+        for (got, want) in x.iter().zip(closed) {
+            prop_assert!(
+                (got - want).abs() <= 1e-9 * (1.0 + want.abs()),
+                "gauss {got} vs closed-form {want} (det {det})"
+            );
+        }
+    }
+}

@@ -38,6 +38,8 @@ pub const PANIC_SCOPE: &[&str] = &[
     "crates/dsp/src/mix.rs",
     "crates/dsp/src/resample.rs",
     "crates/core/src/collision.rs",
+    "crates/core/src/collision_group.rs",
+    "crates/core/src/faultnet.rs",
     "crates/core/src/firmware.rs",
     "crates/core/src/receiver.rs",
 ];

@@ -81,6 +81,29 @@ impl ChannelPlan {
     pub fn centers_hz(&self) -> &[f64] {
         &self.centers_hz
     }
+
+    /// Smallest spacing between any two adjacent channel centers, Hz
+    /// (infinite for a single-channel plan). Callers validating a plan
+    /// against FM0 occupied bandwidth compare this to
+    /// [`fm0_main_lobe_hz`] at the rate they intend to run.
+    pub fn min_spacing_hz(&self) -> f64 {
+        let mut sorted = self.centers_hz.clone();
+        sorted.sort_by(f64::total_cmp);
+        sorted
+            .windows(2)
+            .map(|w| w[1] - w[0])
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// Null-to-null main-lobe width of an FM0 backscatter uplink at
+/// `bitrate_bps`, Hz. FM0 keys the envelope with transitions at every bit
+/// boundary (data 0) or additionally mid-bit (data 1), concentrating the
+/// modulation's power in `[bitrate/2, bitrate]`; around the carrier that
+/// puts the dominant sidebands at ±bitrate, so two adjacent FDMA carriers
+/// stay main-lobe-separated only when their spacing exceeds `2·bitrate`.
+pub fn fm0_main_lobe_hz(bitrate_bps: f64) -> f64 {
+    2.0 * bitrate_bps
 }
 
 /// A node registered with the coordinator.
@@ -101,6 +124,88 @@ pub struct ScheduledQuery {
     pub frequency_hz: f64,
     /// The query to transmit.
     pub query: DownlinkQuery,
+}
+
+/// What a scheduled inventory slot carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotKind {
+    /// Per-channel FDMA queries, each uplink decoded on its own band.
+    Fdma,
+    /// A broadcast query slot: the scheduled group backscatters
+    /// *concurrently* and the reader separates the collision by
+    /// zero-forcing over per-band channel estimates (§8, Fig. 10).
+    Collision,
+}
+
+/// Gate for opportunistic collision grouping: only wake multiple nodes
+/// into the same slot when the link evidence says the collision will
+/// decode.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CollisionPolicy {
+    /// Minimum link-quality EWMA for a node to join a collision group.
+    pub min_quality: f64,
+    /// Largest collision group (streams must not exceed receive bands,
+    /// so this is also capped by the channel plan at schedule time).
+    pub max_group: usize,
+    /// Channel-matrix condition number above which the physical layer
+    /// should refuse the collision and fall back to FDMA.
+    pub max_condition: f64,
+}
+
+impl Default for CollisionPolicy {
+    fn default() -> Self {
+        CollisionPolicy {
+            min_quality: 0.5,
+            max_group: 2,
+            max_condition: 50.0,
+        }
+    }
+}
+
+impl CollisionPolicy {
+    /// Validate the gate parameters.
+    pub fn validate(&self) -> Result<(), NetError> {
+        if !(0.0..=1.0).contains(&self.min_quality) || !self.min_quality.is_finite() {
+            return Err(NetError::InvalidField("collision min_quality"));
+        }
+        if self.max_group < 2 {
+            return Err(NetError::InvalidField("collision max_group"));
+        }
+        if !(self.max_condition > 1.0) {
+            return Err(NetError::InvalidField("collision max_condition"));
+        }
+        Ok(())
+    }
+}
+
+/// How concurrent uplinks are scheduled (and therefore modelled).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Concurrency {
+    /// Legacy optimistic mode: every channel carries a query each slot
+    /// and each uplink is decoded as if its band were interference-free.
+    /// This is the upper bound the per-link simulators have always
+    /// modelled; kept as the default for the pinned determinism and
+    /// benchmark configurations.
+    #[default]
+    Independent,
+    /// Physically conservative FDMA-only baseline: one uplink at a time
+    /// (backscatter is frequency-agnostic, so concurrent uplinks land in
+    /// *every* band and need the collision decoder to separate).
+    Serialized,
+    /// [`Serialized`](Concurrency::Serialized) plus opportunistic
+    /// zero-forced collision slots under the given gate.
+    Collision(CollisionPolicy),
+}
+
+/// The scheduled plan for one inventory slot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlotPlan {
+    /// What the slot carries.
+    pub kind: SlotKind,
+    /// The queries: one per channel ([`Concurrency::Independent`]), a
+    /// single query (serialized FDMA), or the collision group's members
+    /// in channel order.
+    pub queries: Vec<ScheduledQuery>,
 }
 
 /// Round-robin FDMA scheduler: in each slot, every channel carries a query
@@ -176,6 +281,41 @@ impl FdmaScheduler {
             }
         }
         out
+    }
+
+    /// Produce a *single* query: the first channel at or after `start`
+    /// (wrapping) that has an eligible node yields its cursor-next node,
+    /// and only that channel's cursor advances. Serialized-FDMA slots use
+    /// this with a rotating `start` so channels time-share fairly.
+    pub fn next_single_where(
+        &mut self,
+        command: Command,
+        start: usize,
+        mut eligible: impl FnMut(u8) -> bool,
+    ) -> Option<ScheduledQuery> {
+        let n_ch = self.plan.len();
+        for off in 0..n_ch {
+            let ch = (start + off) % n_ch;
+            let nodes = &self.per_channel[ch];
+            for probe in 0..nodes.len() {
+                let pos = (self.cursor[ch] + probe) % nodes.len();
+                let addr = nodes[pos];
+                if !eligible(addr) {
+                    continue;
+                }
+                self.cursor[ch] = (pos + 1) % nodes.len();
+                return Some(ScheduledQuery {
+                    channel: ch,
+                    // lint: allow(no-unwrap-in-lib) ch ranges over self.plan's own channel count
+                    frequency_hz: self.plan.center_hz(ch).expect("validated index"),
+                    query: DownlinkQuery {
+                        dest: addr,
+                        command,
+                    },
+                });
+            }
+        }
+        None
     }
 
     /// The channel plan.
@@ -507,6 +647,19 @@ impl RateLadder {
         self.level
     }
 
+    /// The terminal (slowest) rung's bitrate, bps — the rate a channel
+    /// plan must support even after the closed loop has backed all the
+    /// way off.
+    pub fn floor_bps(&self) -> f64 {
+        // lint: allow(no-unwrap-in-lib) ladder is validated non-empty at construction
+        *self.rates_bps.last().unwrap()
+    }
+
+    /// The top (fastest) rung's bitrate, bps.
+    pub fn top_bps(&self) -> f64 {
+        self.rates_bps[0]
+    }
+
     /// Step to the next slower rate. Returns false if already at the floor.
     pub fn step_down(&mut self) -> bool {
         if self.level + 1 < self.rates_bps.len() {
@@ -635,6 +788,10 @@ pub struct ResilientMac {
     target_per_node: u64,
     slots_used: u64,
     state: BTreeMap<u8, NodeMacState>,
+    concurrency: Concurrency,
+    /// Channel the next serialized-FDMA slot starts its search at, so
+    /// one-at-a-time slots rotate fairly across channels.
+    serial_rotor: usize,
 }
 
 impl ResilientMac {
@@ -650,7 +807,24 @@ impl ResilientMac {
             target_per_node: per_node.max(1),
             slots_used: 0,
             state: BTreeMap::new(),
+            concurrency: Concurrency::Independent,
+            serial_rotor: 0,
         })
+    }
+
+    /// Select the concurrency mode for subsequent slots. Validates the
+    /// collision gate when one is supplied.
+    pub fn set_concurrency(&mut self, concurrency: Concurrency) -> Result<(), NetError> {
+        if let Concurrency::Collision(pol) = &concurrency {
+            pol.validate()?;
+        }
+        self.concurrency = concurrency;
+        Ok(())
+    }
+
+    /// The configured concurrency mode.
+    pub fn concurrency(&self) -> &Concurrency {
+        &self.concurrency
     }
 
     /// Register a node (see [`FdmaScheduler::register`]).
@@ -708,6 +882,122 @@ impl ResilientMac {
             }
             None => false,
         })
+    }
+
+    /// Plan the next slot under the configured [`Concurrency`] mode.
+    ///
+    /// `group_ok` is the physical layer's veto over a proposed collision
+    /// group — fault windows, geometry already known to be
+    /// ill-conditioned — called with the candidate addresses in channel
+    /// order; returning `false` degrades the slot to a single FDMA query.
+    ///
+    /// Under [`Concurrency::Independent`] this is exactly
+    /// [`next_slot`](Self::next_slot) wrapped in a `SlotKind::Fdma` plan,
+    /// preserving the legacy behaviour bit-for-bit.
+    pub fn next_slot_plan(
+        &mut self,
+        command: Command,
+        mut group_ok: impl FnMut(&[u8]) -> bool,
+    ) -> SlotPlan {
+        let pol = match &self.concurrency {
+            Concurrency::Independent => {
+                return SlotPlan {
+                    kind: SlotKind::Fdma,
+                    queries: self.next_slot(command),
+                };
+            }
+            Concurrency::Serialized => None,
+            Concurrency::Collision(pol) => Some(pol.clone()),
+        };
+        if self.is_complete() {
+            return SlotPlan {
+                kind: SlotKind::Fdma,
+                queries: Vec::new(),
+            };
+        }
+        self.slots_used += 1;
+        if let Some(pol) = pol {
+            // Collision-ready nodes: eligible for a query this slot AND
+            // healthy enough that the collision is expected to decode —
+            // link-quality EWMA at or above the gate, not quarantined.
+            let slot = self.slots_used;
+            let state = &self.state;
+            let target = self.target_per_node;
+            let ready = |addr: u8| match state.get(&addr) {
+                Some(st) => {
+                    !st.evicted
+                        && !st.quarantined
+                        && st.delivered < target
+                        && slot >= st.next_eligible_slot
+                        && st.quality.quality() >= pol.min_quality
+                }
+                None => false,
+            };
+            // Probe a scheduler clone so candidate discovery does not
+            // advance cursors on channels that end up outside the group.
+            let cands = self.scheduler.clone().next_slot_where(command, ready);
+            // Zero-forcing recovers every stream at one common FM0 rate,
+            // so the group keeps channel-order candidates whose commanded
+            // bitrate matches the first candidate's.
+            let mut group: Vec<u8> = Vec::new();
+            let mut rate_bps = None;
+            for q in &cands {
+                let bps = self.rate_bps(q.query.dest);
+                let r = *rate_bps.get_or_insert(bps);
+                if bps.total_cmp(&r).is_eq() {
+                    group.push(q.query.dest);
+                }
+                if group.len() == pol.max_group {
+                    break;
+                }
+            }
+            if group.len() >= 2 && group_ok(&group) {
+                // Re-run the walk on the real scheduler restricted to the
+                // accepted members: exactly their channels' cursors commit,
+                // landing where the probe walk left them.
+                let queries = self
+                    .scheduler
+                    .next_slot_where(command, |a| group.contains(&a));
+                return SlotPlan {
+                    kind: SlotKind::Collision,
+                    queries,
+                };
+            }
+        }
+        // Serialized baseline — also the collision fallback path: one
+        // uplink at a time, channels time-sharing via the rotor.
+        let n_ch = self.scheduler.plan().len().max(1);
+        let ResilientMac {
+            scheduler,
+            state,
+            target_per_node,
+            slots_used,
+            serial_rotor,
+            ..
+        } = self;
+        let q = scheduler.next_single_where(command, *serial_rotor, |addr| {
+            match state.get(&addr) {
+                Some(st) => {
+                    !st.evicted
+                        && st.delivered < *target_per_node
+                        && *slots_used >= st.next_eligible_slot
+                }
+                None => false,
+            }
+        });
+        match q {
+            Some(q) => {
+                *serial_rotor = (q.channel + 1) % n_ch;
+                SlotPlan {
+                    kind: SlotKind::Fdma,
+                    queries: vec![q],
+                }
+            }
+            None => SlotPlan {
+                kind: SlotKind::Fdma,
+                queries: Vec::new(),
+            },
+        }
     }
 
     /// Record the physical-layer observation for one scheduled query.
@@ -1445,5 +1735,153 @@ mod tests {
         }
         let total_steps = tel.counters().get("rate_step");
         assert_eq!(total_steps, down_steps * 2, "each down rung re-climbed exactly once");
+    }
+
+    #[test]
+    fn collision_policy_validation() {
+        assert!(CollisionPolicy::default().validate().is_ok());
+        let bad_q = CollisionPolicy {
+            min_quality: 1.5,
+            ..CollisionPolicy::default()
+        };
+        assert!(bad_q.validate().is_err());
+        let bad_g = CollisionPolicy {
+            max_group: 1,
+            ..CollisionPolicy::default()
+        };
+        assert!(bad_g.validate().is_err());
+        let bad_c = CollisionPolicy {
+            max_condition: 1.0,
+            ..CollisionPolicy::default()
+        };
+        assert!(bad_c.validate().is_err());
+        let mut mac = adaptive_mac(1);
+        assert!(mac.set_concurrency(Concurrency::Collision(bad_g)).is_err());
+        assert!(mac
+            .set_concurrency(Concurrency::Collision(CollisionPolicy::default()))
+            .is_ok());
+    }
+
+    #[test]
+    fn independent_plan_matches_legacy_next_slot() {
+        // Two identically seeded MACs: next_slot_plan under Independent
+        // must reproduce next_slot exactly, slot for slot.
+        let mut legacy = adaptive_mac(2);
+        let mut planned = adaptive_mac(2);
+        for _ in 0..6 {
+            let a = legacy.next_slot(Command::Ping);
+            let plan = planned.next_slot_plan(Command::Ping, |_| true);
+            assert_eq!(plan.kind, SlotKind::Fdma);
+            assert_eq!(plan.queries, a);
+            for q in &a {
+                legacy
+                    .record(q.query.dest, RxObservation::Delivered { margin: 0.9 })
+                    .unwrap();
+                planned
+                    .record(q.query.dest, RxObservation::Delivered { margin: 0.9 })
+                    .unwrap();
+            }
+        }
+        assert_eq!(legacy.slots_used(), planned.slots_used());
+    }
+
+    #[test]
+    fn serialized_plan_issues_one_query_rotating_channels() {
+        let mut mac = adaptive_mac(2);
+        mac.set_concurrency(Concurrency::Serialized).unwrap();
+        let mut dests = Vec::new();
+        while !mac.is_complete() {
+            let plan = mac.next_slot_plan(Command::Ping, |_| true);
+            assert!(plan.queries.len() <= 1, "serialized slots carry one query");
+            assert_eq!(plan.kind, SlotKind::Fdma);
+            for q in &plan.queries {
+                dests.push(q.query.dest);
+                mac.record(q.query.dest, RxObservation::Delivered { margin: 0.9 })
+                    .unwrap();
+            }
+            assert!(mac.slots_used() < 40, "serialized round livelocked");
+        }
+        // 2 nodes × 2 packets, one at a time, channels alternating.
+        assert_eq!(dests, vec![1, 2, 1, 2]);
+        assert_eq!(mac.slots_used(), 4);
+    }
+
+    #[test]
+    fn collision_plan_groups_healthy_nodes_and_respects_veto() {
+        let mut mac = adaptive_mac(2);
+        mac.set_concurrency(Concurrency::Collision(CollisionPolicy::default()))
+            .unwrap();
+        // Fresh nodes start at quality 1.0: the first slot collides both.
+        let plan = mac.next_slot_plan(Command::Ping, |group| {
+            assert_eq!(group, [1, 2]);
+            true
+        });
+        assert_eq!(plan.kind, SlotKind::Collision);
+        assert_eq!(plan.queries.len(), 2);
+        assert_eq!(plan.queries[0].query.dest, 1);
+        assert_eq!(plan.queries[1].query.dest, 2);
+        for q in &plan.queries {
+            mac.record(q.query.dest, RxObservation::Delivered { margin: 0.9 })
+                .unwrap();
+        }
+        // Physical-layer veto (e.g. fault window): degrade to one query.
+        let plan = mac.next_slot_plan(Command::Ping, |_| false);
+        assert_eq!(plan.kind, SlotKind::Fdma);
+        assert_eq!(plan.queries.len(), 1);
+    }
+
+    #[test]
+    fn collision_plan_excludes_low_quality_nodes() {
+        let mut mac = adaptive_mac(2);
+        mac.set_concurrency(Concurrency::Collision(CollisionPolicy::default()))
+            .unwrap();
+        // Crush node 2's quality EWMA below the gate without evicting it.
+        for _ in 0..8 {
+            let _ = mac.record(2, RxObservation::CrcFailed { margin: 0.0 });
+        }
+        // Drain its backoff so eligibility isn't the reason it sits out.
+        while mac.next_slot(Command::Ping).len() < 2 {
+            assert!(mac.slots_used() < 64, "backoff never drained");
+        }
+        let plan = mac.next_slot_plan(Command::Ping, |_| true);
+        assert_eq!(plan.kind, SlotKind::Fdma, "no group below the quality gate");
+        assert_eq!(plan.queries.len(), 1);
+    }
+
+    #[test]
+    fn collision_group_requires_matching_rate_rung() {
+        let mut mac = adaptive_mac(64);
+        mac.set_concurrency(Concurrency::Collision(CollisionPolicy::default()))
+            .unwrap();
+        // Walk node 2 down a rung, then restore its quality above the gate
+        // with strong deliveries (few enough to stay far from the target).
+        let before = mac.rate_bps(2);
+        for _ in 0..3 {
+            let _ = mac.record(2, RxObservation::CrcFailed { margin: 0.4 });
+        }
+        for _ in 0..6 {
+            let _ = mac.record(2, RxObservation::Delivered { margin: 1.0 });
+        }
+        // Drain any backoff left over from the CRC failures.
+        while mac.next_slot(Command::Ping).len() < 2 {
+            assert!(mac.slots_used() < 64, "backoff never drained");
+        }
+        // If the rungs still match (quality recovered fast enough to step
+        // back up), the test cannot distinguish anything — force them apart
+        // via the ladder directly by re-checking rates.
+        if mac.rate_bps(1).total_cmp(&mac.rate_bps(2)).is_eq() {
+            // Rates realigned: grouping is legitimate.
+            let plan = mac.next_slot_plan(Command::Ping, |_| true);
+            assert_eq!(plan.kind, SlotKind::Collision);
+        } else {
+            assert!(before != mac.rate_bps(2), "node 2 moved off the shared rung");
+            let plan = mac.next_slot_plan(Command::Ping, |_| true);
+            assert_eq!(
+                plan.kind,
+                SlotKind::Fdma,
+                "mismatched rungs must not collide"
+            );
+            assert_eq!(plan.queries.len(), 1);
+        }
     }
 }

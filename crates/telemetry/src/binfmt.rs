@@ -56,6 +56,9 @@ const KIND_RATE_STEP: u8 = 9;
 const KIND_FAULT_ENTER: u8 = 10;
 const KIND_FAULT_EXIT: u8 = 11;
 const KIND_ENERGY_SAMPLE: u8 = 12;
+const KIND_COLLISION_SLOT: u8 = 13;
+const KIND_COLLISION_FALLBACK: u8 = 14;
+const KIND_STREAM_VERDICT: u8 = 15;
 
 /// Narrow an `f64` payload to the record's `f32` field, saturating at
 /// the `f32` range instead of producing infinities.
@@ -161,6 +164,30 @@ fn encode_fields(event: &Event) -> (u8, u8, u16, f32, f32, f32) {
             f32_field(harvested_j),
             f32_field(power_w),
             f32_field(rectified_v),
+        ),
+        Event::CollisionSlot { participants, condition_number } => (
+            KIND_COLLISION_SLOT,
+            node,
+            aux_field(participants),
+            f32_field(condition_number),
+            0.0,
+            0.0,
+        ),
+        Event::CollisionFallback { participants, condition_number } => (
+            KIND_COLLISION_FALLBACK,
+            node,
+            aux_field(participants),
+            f32_field(condition_number),
+            0.0,
+            0.0,
+        ),
+        Event::StreamVerdict { crc_ok, snr_db, .. } => (
+            KIND_STREAM_VERDICT,
+            node,
+            u16::from(crc_ok),
+            f32_field(snr_db),
+            0.0,
+            0.0,
         ),
     }
 }
@@ -275,6 +302,19 @@ fn decode_fields(kind: u8, node: u8, aux: u16, a: f32, b: f32, c: f32) -> Option
             power_w: f64::from(b),
             rectified_v: f64::from(c),
         },
+        KIND_COLLISION_SLOT => Event::CollisionSlot {
+            participants: u32::from(aux),
+            condition_number: f64::from(a),
+        },
+        KIND_COLLISION_FALLBACK => Event::CollisionFallback {
+            participants: u32::from(aux),
+            condition_number: f64::from(a),
+        },
+        KIND_STREAM_VERDICT => Event::StreamVerdict {
+            node: node_or_zero,
+            crc_ok: aux != 0,
+            snr_db: f64::from(a),
+        },
         _ => return None,
     })
 }
@@ -369,6 +409,10 @@ mod tests {
             power_w: 0.25,
             rectified_v: 1.25,
         });
+        r.record(Event::CollisionSlot { participants: 2, condition_number: 4.5 });
+        r.record(Event::CollisionFallback { participants: 2, condition_number: 80.0 });
+        r.record(Event::StreamVerdict { node: 1, crc_ok: true, snr_db: 12.5 });
+        r.record(Event::StreamVerdict { node: 2, crc_ok: false, snr_db: -2.5 });
         r.begin_slot(1, 0.25);
         r.record(Event::SlotEnd { duration_s: 0.25, bits: 64 });
         r

@@ -128,6 +128,35 @@ pub enum Event {
         /// Peak rectified (harvested) voltage, volts.
         rectified_v: f64,
     },
+    /// A broadcast collision slot ran: `participants` concurrent uplinks
+    /// separated by zero-forcing over a channel matrix with this
+    /// condition number (§8, Fig. 10).
+    CollisionSlot {
+        /// Concurrent uplink streams in the slot.
+        participants: u32,
+        /// Condition number of the estimated channel matrix.
+        condition_number: f64,
+    },
+    /// A proposed collision group was abandoned for FDMA because its
+    /// trained channel matrix exceeded the conditioning gate.
+    CollisionFallback {
+        /// Members of the abandoned group.
+        participants: u32,
+        /// Condition number that tripped the gate (infinite when the
+        /// matrix was outright singular).
+        condition_number: f64,
+    },
+    /// Verdict for one zero-forced stream of a collision slot (the
+    /// per-stream counterpart of Detection/CrcFail/Erasure, so MAC
+    /// accounting for collision participants stays individually visible).
+    StreamVerdict {
+        /// Node address the separated stream belongs to.
+        node: u8,
+        /// Whether the stream's packet passed CRC.
+        crc_ok: bool,
+        /// Decoder SNR estimate for the separated stream, dB.
+        snr_db: f64,
+    },
 }
 
 impl Event {
@@ -147,13 +176,19 @@ impl Event {
             Event::FaultEnter { .. } => "fault_enter",
             Event::FaultExit { .. } => "fault_exit",
             Event::EnergySample { .. } => "energy_sample",
+            Event::CollisionSlot { .. } => "collision_slot",
+            Event::CollisionFallback { .. } => "collision_fallback",
+            Event::StreamVerdict { .. } => "stream_verdict",
         }
     }
 
     /// The node the event is about, when it is about one.
     pub fn node(&self) -> Option<u8> {
         match *self {
-            Event::SlotStart { .. } | Event::SlotEnd { .. } => None,
+            Event::SlotStart { .. }
+            | Event::SlotEnd { .. }
+            | Event::CollisionSlot { .. }
+            | Event::CollisionFallback { .. } => None,
             Event::Detection { node, .. }
             | Event::CrcFail { node, .. }
             | Event::Erasure { node }
@@ -164,7 +199,8 @@ impl Event {
             | Event::RateStep { node, .. }
             | Event::FaultEnter { node, .. }
             | Event::FaultExit { node, .. }
-            | Event::EnergySample { node, .. } => Some(node),
+            | Event::EnergySample { node, .. }
+            | Event::StreamVerdict { node, .. } => Some(node),
         }
     }
 }
@@ -200,6 +236,9 @@ mod tests {
             Event::FaultEnter { node: 1, kind: FaultKind::Dropout },
             Event::FaultExit { node: 1, kind: FaultKind::Dropout },
             Event::EnergySample { node: 1, harvested_j: 1e-6, power_w: 2e-6, rectified_v: 1.2 },
+            Event::CollisionSlot { participants: 2, condition_number: 4.5 },
+            Event::CollisionFallback { participants: 2, condition_number: 80.0 },
+            Event::StreamVerdict { node: 1, crc_ok: true, snr_db: 12.0 },
         ];
         let mut names: Vec<&str> = events.iter().map(Event::name).collect();
         names.sort_unstable();
@@ -214,6 +253,14 @@ mod tests {
         assert_eq!(
             Event::FaultEnter { node: 3, kind: FaultKind::Fade }.node(),
             Some(3)
+        );
+        assert_eq!(
+            Event::CollisionSlot { participants: 2, condition_number: 4.5 }.node(),
+            None
+        );
+        assert_eq!(
+            Event::StreamVerdict { node: 7, crc_ok: false, snr_db: -3.0 }.node(),
+            Some(7)
         );
     }
 

@@ -13,13 +13,13 @@ use crate::recorder::Recorder;
 /// Column header of [`events_csv`]. Every event type writes the columns
 /// it has and leaves the rest empty, so the one file is directly
 /// plottable per event type without a join.
-pub const EVENTS_CSV_HEADER: &str = "run,slot,t_s,node,event,detail,corr,snr_db,rate_bps,until_slot,duration_s,bits,harvested_j,power_w,rectified_v";
+pub const EVENTS_CSV_HEADER: &str = "run,slot,t_s,node,event,detail,corr,snr_db,rate_bps,until_slot,duration_s,bits,harvested_j,power_w,rectified_v,condition";
 
 /// Per-event columns beyond the common prefix:
-/// `(detail, corr, snr_db, rate_bps, until_slot, duration_s, bits, harvested_j, power_w, rectified_v)`
+/// `(detail, corr, snr_db, rate_bps, until_slot, duration_s, bits, harvested_j, power_w, rectified_v, condition)`
 /// — any of which may be empty.
-fn event_columns(event: &Event) -> [String; 10] {
-    let mut cols: [String; 10] = Default::default();
+fn event_columns(event: &Event) -> [String; 11] {
+    let mut cols: [String; 11] = Default::default();
     match *event {
         Event::SlotStart { queries } => cols[0] = queries.to_string(),
         Event::SlotEnd { duration_s, bits } => {
@@ -49,6 +49,15 @@ fn event_columns(event: &Event) -> [String; 10] {
             cols[7] = fmt_f64(harvested_j);
             cols[8] = fmt_f64(power_w);
             cols[9] = fmt_f64(rectified_v);
+        }
+        Event::CollisionSlot { participants, condition_number }
+        | Event::CollisionFallback { participants, condition_number } => {
+            cols[0] = participants.to_string();
+            cols[10] = fmt_f64(condition_number);
+        }
+        Event::StreamVerdict { crc_ok, snr_db, .. } => {
+            cols[0] = u8::from(crc_ok).to_string();
+            cols[2] = fmt_f64(snr_db);
         }
     }
     cols
@@ -149,6 +158,17 @@ pub fn events_jsonl(recorders: &[&Recorder]) -> String {
                         json_f64(rectified_v)
                     ))
                 }
+                Event::CollisionSlot { participants, condition_number }
+                | Event::CollisionFallback { participants, condition_number } => {
+                    out.push_str(&format!(
+                        ",\"participants\":{participants},\"condition_number\":{}",
+                        json_f64(condition_number)
+                    ))
+                }
+                Event::StreamVerdict { crc_ok, snr_db, .. } => out.push_str(&format!(
+                    ",\"crc_ok\":{crc_ok},\"snr_db\":{}",
+                    json_f64(snr_db)
+                )),
             }
             out.push_str("}\n");
         }
@@ -208,6 +228,9 @@ mod tests {
             power_w: 1e-5,
             rectified_v: 1.25,
         });
+        r.record(Event::CollisionSlot { participants: 2, condition_number: 4.5 });
+        r.record(Event::StreamVerdict { node: 1, crc_ok: true, snr_db: 14.5 });
+        r.record(Event::CollisionFallback { participants: 2, condition_number: 80.0 });
         r.begin_slot(1, 0.25);
         r.record(Event::SlotEnd { duration_s: 0.25, bits: 64 });
         r.observe("snr_db", 0.0, 30.0, 6, 12.5);
@@ -229,7 +252,10 @@ mod tests {
         assert!(csv.contains("0,0,0,1,detection,,0.875,12.5,,,,,,,"));
         assert!(csv.contains("0,0,0,2,fault_enter,dropout,,,,,,,,,"));
         assert!(csv.contains("0,0,0,1,rate_step,1,,,2048,,,,,,"));
-        assert!(csv.contains("0,1,0.25,,slot_end,,,,,,0.25,64,,,"));
+        assert!(csv.contains("0,1,0.25,,slot_end,,,,,,0.25,64,,,,"));
+        assert!(csv.contains("0,0,0,,collision_slot,2,,,,,,,,,,4.5"));
+        assert!(csv.contains("0,0,0,1,stream_verdict,1,,14.5,,,,,,,,"));
+        assert!(csv.contains("0,0,0,,collision_fallback,2,,,,,,,,,,80"));
     }
 
     #[test]
@@ -248,6 +274,9 @@ mod tests {
         }
         assert!(jsonl.contains("\"event\":\"energy_sample\""));
         assert!(jsonl.contains("\"harvested_j\":0.0000025"));
+        assert!(jsonl.contains("\"event\":\"collision_slot\",\"participants\":2,\"condition_number\":4.5"));
+        assert!(jsonl.contains("\"event\":\"stream_verdict\",\"node\":1,\"crc_ok\":true,\"snr_db\":14.5"));
+        assert!(jsonl.contains("\"event\":\"collision_fallback\""));
     }
 
     #[test]

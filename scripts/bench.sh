@@ -31,10 +31,15 @@ echo "==> faultnet slot throughput (bench_faultnet, N=2/4/8)"
 cargo build --release -p pab-experiments --bin bench_faultnet >/dev/null 2>&1
 ./target/release/bench_faultnet --out "$fnet"
 
+echo "==> collision vs fdma goodput (ext_collision_faultnet --quick)"
+cargo build --release -p pab-experiments --bin ext_collision_faultnet >/dev/null 2>&1
+./target/release/ext_collision_faultnet --quick >/dev/null
+colcsv="results/ext_collision_faultnet.csv"
+
 # Parse the criterion shim's report lines:
 #   <id>  <value> <unit>  [<n> iters]  (<rate>)
 # and splice in the faultnet JSON's "faultnet" object verbatim.
-awk -v fig7="$fig7_s" -v fnetfile="$fnet" '
+awk -v fig7="$fig7_s" -v fnetfile="$fnet" -v colcsv="$colcsv" '
 BEGIN { print "{"; print "  \"kernels_ns\": {"; first = 1 }
 /\[[0-9]+ iters\]/ {
     id = $1; v = $2; u = $3
@@ -49,6 +54,21 @@ BEGIN { print "{"; print "  \"kernels_ns\": {"; first = 1 }
 END {
     print "\n  },"
     printf("  \"fig7_ber_snr_wall_s\": %s,\n", fig7)
+    # Clean-channel goodput of the two concurrency arms (intensity 0 of
+    # the ext_collision_faultnet quick sweep): the collision number must
+    # stay above the fdma number or the §8 decoder stopped paying rent.
+    printf("  \"collision_goodput_bps\": {")
+    firstc = 1
+    while ((getline cline < colcsv) > 0) {
+        n = split(cline, cf, ",")
+        if (cf[1] == "0" && (cf[2] == "fdma" || cf[2] == "collision")) {
+            if (!firstc) printf(", ")
+            firstc = 0
+            printf("\"%s\": %s", cf[2], cf[4])
+        }
+    }
+    close(colcsv)
+    print "},"
     inobj = 0
     while ((getline line < fnetfile) > 0) {
         if (line ~ /"faultnet"/) inobj = 1

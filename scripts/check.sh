@@ -35,6 +35,10 @@ for f in results/fault_trace.csv results/fault_trace.jsonl results/fault_trace_s
     [ -s "$f" ] || { echo "missing telemetry export: $f"; exit 1; }
 done
 
+echo "==> ext_collision_faultnet --quick  (collision-slot smoke: pairing, training, conditioning fallback)"
+cargo run --release -q -p pab-experiments --bin ext_collision_faultnet -- --quick
+[ -s results/ext_collision_faultnet.csv ] || { echo "missing results/ext_collision_faultnet.csv"; exit 1; }
+
 echo "==> bench_faultnet --smoke  (slot-throughput bench smoke; numbers not comparable to a full run)"
 cargo run --release -q -p pab-experiments --bin bench_faultnet -- --smoke --out target/bench_faultnet_smoke.json
 [ -s target/bench_faultnet_smoke.json ] || { echo "bench_faultnet wrote no JSON"; exit 1; }
