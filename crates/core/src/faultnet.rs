@@ -776,6 +776,15 @@ impl FaultNetSimulator {
         }
         total
     }
+
+    /// Decimating front-end counters summed across every node's receiver.
+    pub fn frontend_stats(&self) -> crate::receiver::FrontEndStats {
+        let mut total = crate::receiver::FrontEndStats::default();
+        for sim in self.sims.values() {
+            total.merge(&sim.frontend_stats());
+        }
+        total
+    }
 }
 
 /// The physical layer's veto over a proposed collision group, checked

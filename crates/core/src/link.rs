@@ -371,6 +371,12 @@ impl LinkSimulator {
         }
     }
 
+    /// The receiver's decimating front-end counters (fused
+    /// mix→filter→decimate work, MACs saved, design cache hits).
+    pub fn frontend_stats(&self) -> crate::receiver::FrontEndStats {
+        self.receiver.frontend_stats()
+    }
+
     /// The configuration in use.
     pub fn config(&self) -> &LinkConfig {
         &self.cfg
@@ -725,7 +731,12 @@ impl LinkSimulator {
             self.stats.exchange_hits += 1;
         }
 
-        // ---- engine stage: zero heap allocations once the arena is warm.
+        let bitrate = self.bitrate_bps();
+
+        // ---- engine+decode stage: zero heap allocations once the
+        // scratch arena, the receiver's decode scratch and its front-end
+        // design cache are warm (untraced; the telemetry recorder may
+        // grow its own tables). Pinned by `tests/slot_engine_alloc.rs`.
         let probe0 = scratch::alloc_probe();
         let (mut y, powered_up, rectified_v, power_w) = {
             let (cache, pool) = (&self.exch_cache, &mut self.scratch);
@@ -743,15 +754,13 @@ impl LinkSimulator {
         for s in y.iter_mut() {
             *s *= sensitivity;
         }
-        self.stats.engine_allocs_last = scratch::alloc_probe().saturating_sub(probe0);
-        // ---- end engine stage.
-
-        let bitrate = self.bitrate_bps();
         let decoded = self
             .receiver
-            .decode_uplink_traced(&y, self.cfg.carrier_hz, bitrate, tel);
+            .decode_uplink_verdict_traced(&y, self.cfg.carrier_hz, bitrate, tel);
         let exchange_samples = y.len();
         self.scratch.put(y);
+        self.stats.engine_allocs_last = scratch::alloc_probe().saturating_sub(probe0);
+        // ---- end engine+decode stage.
 
         Ok(match decoded {
             Ok(d) => SlotVerdict {

@@ -15,6 +15,7 @@
 //! [`crate::link::LinkSimulator::slot_exchange`]); with the system
 //! allocator installed it just stays 0 and the bracket reads 0 − 0.
 
+use num_complex::Complex64;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Process-wide allocation counter, incremented by an (optional)
@@ -79,6 +80,65 @@ impl Scratch {
     pub fn pool_misses(&self) -> u64 {
         self.pool_misses
     }
+}
+
+/// Named reusable buffers for one in-flight `decode_uplink` pipeline.
+///
+/// Each field is a stage's workspace; every decode clears and refills
+/// them, so once their capacities have grown to the receiver's working
+/// set (one slot's exchange length), a steady-state decode performs zero
+/// heap allocations — the decode-side extension of the [`Scratch`]
+/// arena's contract, pinned end-to-end by `tests/slot_engine_alloc.rs`.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct DecodeScratch {
+    /// Padded full-rate complex baseband: `filtfilt` reflections in the
+    /// margins, the downconverted signal in the centre.
+    pub(crate) ext: Vec<Complex64>,
+    /// Decimated complex baseband (post anti-alias).
+    pub(crate) bb_d: Vec<Complex64>,
+    /// Padded trend-filter workspace at the decimated rate.
+    pub(crate) ext2: Vec<Complex64>,
+    /// Detrended baseband.
+    pub(crate) d: Vec<Complex64>,
+    /// CFO-derotated detrended baseband.
+    pub(crate) shifted: Vec<Complex64>,
+    /// CFO-derotated raw (un-detrended) baseband.
+    pub(crate) raw: Vec<Complex64>,
+    /// Matched-filter correlation numerator.
+    pub(crate) num: Vec<Complex64>,
+    /// Trend magnitudes for the CFO-segment search.
+    pub(crate) norms: Vec<f64>,
+    /// Projected real modulation stream fed to the slicer.
+    pub(crate) projected: Vec<f64>,
+    /// The symbol-slicing stage's own buffers.
+    pub(crate) slicer: SlicerScratch,
+}
+
+/// Buffers for the integrate-and-dump slicer, cluster tracker and the
+/// two-pass ML trellis (the tail shared by the coherent and envelope
+/// decode paths).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct SlicerScratch {
+    /// Integrate-and-dump soft half-bit values.
+    pub(crate) soft: Vec<f64>,
+    /// Per-block sort workspace for the cluster tracker.
+    pub(crate) chunk: Vec<f64>,
+    /// Cluster-block centre positions.
+    pub(crate) centers: Vec<f64>,
+    /// Per-block low-cluster means.
+    pub(crate) los: Vec<f64>,
+    /// Per-block high-cluster means.
+    pub(crate) his: Vec<f64>,
+    /// Interpolated per-half low-cluster means.
+    pub(crate) mu_lo: Vec<f64>,
+    /// Interpolated per-half high-cluster means.
+    pub(crate) mu_hi: Vec<f64>,
+    /// Viterbi backpointers: `(prev_state, mid_flip)` per bit per state.
+    pub(crate) back: Vec<[(usize, bool); 2]>,
+    /// ML half-bit decisions.
+    pub(crate) halves: Vec<bool>,
+    /// Lenient-decoded data bits.
+    pub(crate) bits: Vec<bool>,
 }
 
 #[cfg(test)]

@@ -24,13 +24,36 @@ pub fn fft_pays_off(signal_len: usize, kernel_len: usize) -> bool {
     kernel_len >= FFT_CROSSOVER_TAPS && signal_len >= 2 * kernel_len
 }
 
-/// Pick the FFT block size for a kernel of `m` taps: at least 8× the
-/// kernel (so ≥ 7/8 of every block is fresh output), at least 1024 (so
-/// per-block bookkeeping stays negligible), and no bigger than one FFT
-/// covering the whole problem.
-fn block_size(n: usize, m: usize) -> usize {
+/// Pick the FFT block size for a kernel of `m` taps sliding over `n`
+/// samples: at least 8× the kernel (so ≥ 7/8 of every block is fresh
+/// output), at least 1024 (so per-block bookkeeping stays negligible),
+/// and no bigger than one FFT covering the whole problem. Public so
+/// callers that memoise [`kernel_fft`] across calls can key their cache
+/// on the block size this engine will actually use.
+pub fn block_size(n: usize, m: usize) -> usize {
     let whole = (n + m - 1).next_power_of_two();
     (8 * m).max(1024).next_power_of_two().min(whole)
+}
+
+/// The frequency-domain kernel the overlap-save engine multiplies each
+/// block by: the `m`-tap kernel time-reversed into the front of a
+/// length-`b` buffer (correlation as convolution with the reversed
+/// kernel) and forward-transformed. `b` must be the [`block_size`] of the
+/// intended call. Pure function of `(kernel, b)` — memoise it to strip
+/// the per-call kernel transform from repeated correlations against the
+/// same template.
+pub fn kernel_fft(kernel: &[Complex64], b: usize) -> Vec<Complex64> {
+    let m = kernel.len();
+    debug_assert!(m >= 1 && m <= b);
+    with_thread_cache(|cache| {
+        let mut h = vec![Complex64::new(0.0, 0.0); b];
+        for (k, &t) in kernel.iter().enumerate() {
+            // lint: allow(panic-path) kernel.len() == m <= b, so m-1-k >= 0 and < b
+            h[m - 1 - k] = t;
+        }
+        cache.fft_in_place(&mut h);
+        h
+    })
 }
 
 /// Plain (non-conjugating) valid-mode sliding dot product,
@@ -38,27 +61,35 @@ fn block_size(n: usize, m: usize) -> usize {
 /// guarantees `1 ≤ kernel.len() ≤ signal.len()`. Conjugate the kernel
 /// first for a conjugating correlation.
 pub(crate) fn correlate_valid(signal: &[Complex64], kernel: &[Complex64]) -> Vec<Complex64> {
-    let n = signal.len();
     let m = kernel.len();
+    let kfft = kernel_fft(kernel, block_size(signal.len(), m));
+    let mut out = Vec::new();
+    correlate_valid_cached_into(signal, m, &kfft, &mut out);
+    out
+}
+
+/// The overlap-save block loop behind [`correlate_valid`], with the
+/// kernel transform supplied by the caller (see [`kernel_fft`]) and the
+/// output appended to a cleared caller-owned buffer. `m` is the kernel
+/// tap count; `kfft.len()` must be `block_size(signal.len(), m)`. Writes
+/// exactly the samples `correlate_valid` returns — same blocks, same
+/// scaling, same order — while letting hot paths reuse both the kernel
+/// transform and the output allocation across calls.
+pub fn correlate_valid_cached_into(
+    signal: &[Complex64],
+    m: usize,
+    kfft: &[Complex64],
+    out: &mut Vec<Complex64>,
+) {
+    let n = signal.len();
+    let b = kfft.len();
     debug_assert!(m >= 1 && m <= n);
+    debug_assert_eq!(b, block_size(n, m));
     let out_len = n - m + 1;
-    let b = block_size(n, m);
     let step = b - (m - 1);
 
-    // Correlation as convolution with the reversed kernel: the block
-    // engine computes circular convolutions, whose tail entries equal the
-    // linear sliding dot products we want.
-    let kernel_fft = with_thread_cache(|cache| {
-        let mut h = vec![Complex64::new(0.0, 0.0); b];
-        for (k, &t) in kernel.iter().enumerate() {
-            // lint: allow(panic-path) kernel.len() == m, so m-1-k >= 0 and < b
-            h[m - 1 - k] = t;
-        }
-        cache.fft_in_place(&mut h);
-        h
-    });
-
-    let mut out = Vec::with_capacity(out_len);
+    out.clear();
+    out.reserve(out_len);
     let scale = 1.0 / b as f64;
     let mut start = 0usize;
     while start < out_len {
@@ -68,7 +99,7 @@ pub(crate) fn correlate_valid(signal: &[Complex64], kernel: &[Complex64]) -> Vec
                 // lint: allow(panic-path) take = (n-start).min(b) bounds both slices
                 buf[..take].copy_from_slice(&signal[start..start + take]);
                 cache.fft_in_place(buf);
-                for (x, y) in buf.iter_mut().zip(&kernel_fft) {
+                for (x, y) in buf.iter_mut().zip(kfft) {
                     *x *= *y;
                 }
                 cache.inverse(b).process(buf);
@@ -80,7 +111,6 @@ pub(crate) fn correlate_valid(signal: &[Complex64], kernel: &[Complex64]) -> Vec
         });
         start += step;
     }
-    out
 }
 
 /// Real-input wrapper around [`correlate_valid`].

@@ -61,6 +61,11 @@ impl BiquadState {
     }
 }
 
+/// Cascades at or below this many sections (filter order 16) run
+/// [`Cascade::filtfilt_complex_in_place`] with stack-allocated biquad
+/// states; longer cascades fall back to a heap-allocated state vector.
+const MAX_INLINE_SECTIONS: usize = 8;
+
 /// A cascade of biquad sections (second-order-sections filter).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Cascade {
@@ -170,19 +175,62 @@ impl Cascade {
         if x.is_empty() {
             return Vec::new();
         }
-        let pad = (3 * (2 * self.sections.len() + 1)).min(x.len().saturating_sub(1));
+        let pad = self.filtfilt_pad(x.len());
         let n = x.len();
-        let mut ext = Vec::with_capacity(n + 2 * pad);
-        for i in (1..=pad).rev() {
-            ext.push(x[0] * 2.0 - x[i]);
+        let mut ext = vec![Complex64::new(0.0, 0.0); n + 2 * pad];
+        ext[pad..pad + n].copy_from_slice(x);
+        self.filtfilt_complex_in_place(&mut ext, pad, n);
+        ext[pad..pad + n].to_vec()
+    }
+
+    /// The odd-reflection padding length `filtfilt` uses for an `n`-sample
+    /// input: 3·(2·sections+1), clamped so the reflected edge fits.
+    pub fn filtfilt_pad(&self, n: usize) -> usize {
+        (3 * (2 * self.sections.len() + 1)).min(n.saturating_sub(1))
+    }
+
+    /// Zero-phase filtering on a caller-owned padded workspace — the
+    /// allocation-free core of [`Cascade::filtfilt_complex`].
+    ///
+    /// `ext` must be `n + 2·pad` samples long with the signal already in
+    /// `ext[pad..pad + n]` and `pad == self.filtfilt_pad(n)`; the edge
+    /// regions are overwritten with the odd reflections, then the forward
+    /// and backward passes run in place. Afterwards `ext[pad..pad + n]`
+    /// holds exactly what `filtfilt_complex` would return: the reflection
+    /// values, the biquad arithmetic and both traversal orders are the
+    /// same operations on the same bit patterns.
+    ///
+    /// Lets hot callers fill the centre of a recycled buffer directly
+    /// (e.g. fusing a downconversion mix into the write) so the unpadded
+    /// full-rate signal never materialises separately.
+    pub fn filtfilt_complex_in_place(&self, ext: &mut [Complex64], pad: usize, n: usize) {
+        if n == 0 {
+            return;
         }
-        ext.extend_from_slice(x);
+        debug_assert_eq!(ext.len(), n + 2 * pad);
+        debug_assert_eq!(pad, self.filtfilt_pad(n));
+        // Odd reflection about the first/last sample, computed from the
+        // centre copy: ext[pad] is x[0] and ext[pad+n-1] is x[n-1].
+        let x0 = ext[pad];
+        let xl = ext[pad + n - 1];
         for i in 1..=pad {
-            // lint: allow(panic-path) pad <= n-1 via .min(len-1), so n-1-i >= 0
-            ext.push(x[n - 1] * 2.0 - x[n - 1 - i]);
+            // lint: allow(panic-path) pad <= n-1 via filtfilt_pad, so pad±i index the ext edges
+            ext[pad - i] = x0 * 2.0 - ext[pad + i];
+            // lint: allow(panic-path) ext.len() == n + 2*pad, so pad+n-1±i stays in bounds
+            ext[pad + n - 1 + i] = xl * 2.0 - ext[pad + n - 1 - i];
         }
+        // Fixed-size state storage keeps the steady-state call
+        // allocation-free; decode-path cascades are at most order 16.
         let zero = Complex64::new(0.0, 0.0);
-        let mut states = vec![(zero, zero); self.sections.len()];
+        let mut state_buf = [(zero, zero); MAX_INLINE_SECTIONS];
+        let mut state_vec;
+        let states: &mut [(Complex64, Complex64)] =
+            if self.sections.len() <= MAX_INLINE_SECTIONS {
+                &mut state_buf[..self.sections.len()]
+            } else {
+                state_vec = vec![(zero, zero); self.sections.len()];
+                &mut state_vec
+            };
         for xi in ext.iter_mut() {
             let mut v = *xi;
             for (c, st) in self.sections.iter().zip(states.iter_mut()) {
@@ -193,7 +241,9 @@ impl Cascade {
             }
             *xi = v;
         }
-        let mut states = vec![(zero, zero); self.sections.len()];
+        for st in states.iter_mut() {
+            *st = (zero, zero);
+        }
         for xi in ext.iter_mut().rev() {
             let mut v = *xi;
             for (c, st) in self.sections.iter().zip(states.iter_mut()) {
@@ -204,7 +254,6 @@ impl Cascade {
             }
             *xi = v;
         }
-        ext[pad..pad + n].to_vec()
     }
 
     /// Magnitude response of the full cascade at `freq_hz`.

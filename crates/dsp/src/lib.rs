@@ -41,6 +41,7 @@ pub mod goertzel;
 pub mod iir;
 pub mod mix;
 pub mod plan;
+pub mod polyphase;
 pub mod resample;
 pub mod stats;
 pub mod window;

@@ -116,10 +116,20 @@ impl Nco {
 /// The result still contains the double-frequency image; follow with a
 /// low-pass filter (see [`crate::iir::butter_lowpass`]).
 pub fn downconvert(signal: &[f64], carrier_hz: f64, fs_hz: f64) -> Vec<Complex64> {
-    let w = TAU * carrier_hz / fs_hz;
     let mut out = vec![Complex64::new(0.0, 0.0); signal.len()];
-    for_each_phasor(signal.len(), -w, 0.0, |i, rot| out[i] = rot * signal[i]);
+    downconvert_into(signal, carrier_hz, fs_hz, &mut out);
     out
+}
+
+/// [`downconvert`] into a caller-owned buffer (`out.len()` must equal
+/// `signal.len()`): the same phasor recurrence writing the same values,
+/// but reusable across calls so a hot receive path allocates nothing.
+/// The destination may be any sub-slice of a larger workspace — that is
+/// what lets the mix fuse into a padded filter buffer.
+pub fn downconvert_into(signal: &[f64], carrier_hz: f64, fs_hz: f64, out: &mut [Complex64]) {
+    debug_assert_eq!(signal.len(), out.len());
+    let w = TAU * carrier_hz / fs_hz;
+    for_each_phasor(signal.len(), -w, 0.0, |i, rot| out[i] = rot * signal[i]);
 }
 
 /// Upconvert a complex baseband signal onto a real carrier:
@@ -136,10 +146,24 @@ pub fn upconvert(baseband: &[Complex64], carrier_hz: f64, fs_hz: f64) -> Vec<f64
 /// Apply a frequency shift to a complex baseband signal (used for CFO
 /// correction after estimation).
 pub fn frequency_shift(signal: &[Complex64], shift_hz: f64, fs_hz: f64) -> Vec<Complex64> {
-    let w = TAU * shift_hz / fs_hz;
-    let mut out = vec![Complex64::new(0.0, 0.0); signal.len()];
-    for_each_phasor(signal.len(), w, 0.0, |i, rot| out[i] = signal[i] * rot);
+    let mut out = Vec::new();
+    frequency_shift_into(signal, shift_hz, fs_hz, &mut out);
     out
+}
+
+/// [`frequency_shift`] into a caller-owned buffer, cleared and resized to
+/// `signal.len()` — identical values, zero steady-state allocation once
+/// the buffer's capacity has grown to the working size.
+pub fn frequency_shift_into(
+    signal: &[Complex64],
+    shift_hz: f64,
+    fs_hz: f64,
+    out: &mut Vec<Complex64>,
+) {
+    let w = TAU * shift_hz / fs_hz;
+    out.clear();
+    out.resize(signal.len(), Complex64::new(0.0, 0.0));
+    for_each_phasor(signal.len(), w, 0.0, |i, rot| out[i] = signal[i] * rot);
 }
 
 #[cfg(test)]

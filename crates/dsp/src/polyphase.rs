@@ -1,0 +1,459 @@
+//! Polyphase decimating FIR front-end: fused filter→decimate that
+//! computes only the outputs the decimator keeps.
+//!
+//! The receive chain's anti-alias stage historically ran
+//! [`crate::fir::Fir::filter_complex`] over the full-rate baseband and
+//! then threw away `decim − 1` of every `decim` outputs with `step_by`.
+//! [`PolyphaseDecimator`] collapses that into one pass with two modes:
+//!
+//! * [`DecimMode::Auto`] mirrors `Fir::filter`'s FFT/direct dispatch
+//!   **exactly** — same crossover predicate, same overlap-save block
+//!   geometry, same per-output arithmetic — so every kept sample is
+//!   bitwise identical to the filter-everything-then-`step_by` baseline.
+//!   In the FFT regime the blocks still transform every input sample
+//!   (that is what makes the outputs bit-identical), so the win is
+//!   limited to skipping the discarded-output emission and the
+//!   intermediate full-rate allocation.
+//! * [`DecimMode::Direct`] always runs the direct per-output summation
+//!   at the kept indices only, costing `taps × outputs` MACs instead of
+//!   `taps × inputs` — a ~`decim`× MAC reduction. At large decimation
+//!   factors this beats the FFT path outright, but when `Auto` would
+//!   have dispatched to the FFT the outputs agree only to rounding
+//!   (~1 ulp), not bitwise. Callers pick `Direct` where throughput
+//!   matters and bit-stability of downstream digests does not.
+//!
+//! Both modes preserve `Fir::filter`'s "same"-causal alignment: output
+//! `q` is the full convolution output at input index `q·decim`.
+
+use crate::fastconv;
+use crate::fir::Fir;
+use crate::plan::with_thread_cache;
+use crate::DspError;
+use num_complex::Complex64;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Dispatch policy for [`PolyphaseDecimator`]. See the module docs for
+/// the bitwise-identity contract each mode carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecimMode {
+    /// Mirror [`Fir::filter`]'s FFT/direct dispatch; kept outputs are
+    /// bitwise identical to `filter` + `step_by`.
+    Auto,
+    /// Always the direct summation at kept indices — ~`decim`× fewer
+    /// MACs, but only rounding-level agreement where `Auto` would have
+    /// taken the FFT path.
+    Direct,
+}
+
+/// A decimating FIR filter that evaluates the convolution only at the
+/// sample positions the decimator keeps.
+#[derive(Debug)]
+pub struct PolyphaseDecimator {
+    fir: Fir,
+    /// Reversed taps as complex — the overlap-save engine's kernel.
+    rev: Vec<Complex64>,
+    decim: usize,
+    mode: DecimMode,
+    /// Frequency-domain kernels keyed by FFT block size, shared across
+    /// calls (and clones of the owning front-end) so repeated decodes of
+    /// same-length waveforms skip the kernel transform entirely.
+    kfft: Mutex<HashMap<usize, Arc<Vec<Complex64>>>>,
+}
+
+impl Clone for PolyphaseDecimator {
+    fn clone(&self) -> Self {
+        PolyphaseDecimator {
+            fir: self.fir.clone(),
+            rev: self.rev.clone(),
+            decim: self.decim,
+            mode: self.mode,
+            kfft: Mutex::new(self.lock_kfft().clone()),
+        }
+    }
+}
+
+impl PolyphaseDecimator {
+    /// Wrap an existing FIR design with a decimation factor (`>= 1`).
+    pub fn new(fir: Fir, decim: usize, mode: DecimMode) -> Result<Self, DspError> {
+        if decim == 0 {
+            return Err(DspError::InvalidParameter("decimation factor must be >= 1"));
+        }
+        let rev: Vec<Complex64> =
+            fir.taps().iter().rev().map(|&t| Complex64::new(t, 0.0)).collect();
+        Ok(PolyphaseDecimator {
+            fir,
+            rev,
+            decim,
+            mode,
+            kfft: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// The decimation factor.
+    pub fn decim(&self) -> usize {
+        self.decim
+    }
+
+    /// The underlying FIR taps.
+    pub fn taps(&self) -> &[f64] {
+        self.fir.taps()
+    }
+
+    /// The dispatch mode this decimator was built with.
+    pub fn mode(&self) -> DecimMode {
+        self.mode
+    }
+
+    /// Number of outputs produced for `n` inputs: the kept indices are
+    /// `0, decim, 2·decim, …` below `n`.
+    pub fn out_len(&self, n: usize) -> usize {
+        if n == 0 {
+            0
+        } else {
+            (n - 1) / self.decim + 1
+        }
+    }
+
+    /// MACs this decimator skips versus filtering all `n` samples with
+    /// the direct loop — the honest saving only in [`DecimMode::Direct`]
+    /// (the FFT path's cost model is per-block, not per-MAC).
+    pub fn direct_macs_saved(&self, n: usize) -> u64 {
+        let dropped = n - self.out_len(n);
+        (dropped as u64) * (self.fir.taps().len() as u64)
+    }
+
+    /// True when this call will run the overlap-save FFT engine.
+    fn uses_fft(&self, n: usize) -> bool {
+        match self.mode {
+            DecimMode::Auto => fastconv::fft_pays_off(n, self.fir.taps().len()),
+            DecimMode::Direct => false,
+        }
+    }
+
+    /// Decimate a real signal. Equivalent to
+    /// `fir.filter(x).into_iter().step_by(decim)` (bitwise so in
+    /// [`DecimMode::Auto`]).
+    pub fn decimate(&self, x: &[f64]) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.decimate_into(x, &mut out);
+        out
+    }
+
+    /// [`PolyphaseDecimator::decimate`] into a caller-owned buffer.
+    pub fn decimate_into(&self, x: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(self.out_len(x.len()));
+        if x.is_empty() {
+            return;
+        }
+        if self.uses_fft(x.len()) {
+            // `convolve_same_real` widens to complex, convolves, and
+            // takes `.re`; `(c·scale).re == c.re·scale`, so taking `.re`
+            // of the emitted sample reproduces its bits.
+            self.fft_decimate(x.len(), |i| Complex64::new(x[i], 0.0), |c| out.push(c.re));
+        } else {
+            self.direct_real(x, out);
+        }
+    }
+
+    /// Decimate a complex signal. Equivalent to
+    /// `fir.filter_complex(x).into_iter().step_by(decim)` (bitwise so in
+    /// [`DecimMode::Auto`]).
+    pub fn decimate_complex(&self, x: &[Complex64]) -> Vec<Complex64> {
+        let mut out = Vec::new();
+        self.decimate_complex_scaled_into(x, 1.0, &mut out);
+        out
+    }
+
+    /// Decimate `gain · x` into a caller-owned buffer. The gain is
+    /// applied as each input sample is read — the same multiply, in the
+    /// same place in the dataflow, as pre-scaling the input buffer, so
+    /// the outputs are bitwise identical to
+    /// `fir.filter_complex(&scaled).step_by(decim)` while the full-rate
+    /// scaled copy never materialises.
+    pub fn decimate_complex_scaled_into(
+        &self,
+        x: &[Complex64],
+        gain: f64, // lint: unitless — linear amplitude scale factor
+        out: &mut Vec<Complex64>,
+    ) {
+        out.clear();
+        out.reserve(self.out_len(x.len()));
+        if x.is_empty() {
+            return;
+        }
+        if self.uses_fft(x.len()) {
+            if gain == 1.0 {
+                self.fft_decimate(x.len(), |i| x[i], |c| out.push(c));
+            } else {
+                self.fft_decimate(x.len(), |i| gain * x[i], |c| out.push(c));
+            }
+        } else {
+            self.direct_complex(x, gain, out);
+        }
+    }
+
+    /// Direct summation at kept indices, real input. Per-output loop is
+    /// exactly [`Fir::filter_direct`]'s (`taps[k] * x[i-k]`, ascending
+    /// `k`), evaluated only at `i = q·decim`.
+    fn direct_real(&self, x: &[f64], out: &mut Vec<f64>) {
+        let taps = self.fir.taps();
+        let m = taps.len();
+        let mut i = 0usize;
+        while i < x.len() {
+            let mut acc = 0.0;
+            let kmax = m.min(i + 1);
+            for k in 0..kmax {
+                // lint: allow(panic-path) k < kmax = m.min(i+1), so i-k >= 0 and k < m
+                acc += taps[k] * x[i - k];
+            }
+            out.push(acc);
+            i += self.decim;
+        }
+    }
+
+    /// Direct summation at kept indices, complex input with read-time
+    /// gain. Per-output loop is exactly [`Fir::filter_complex`]'s
+    /// direct branch (`x[i-k] * taps[k]`, ascending `k`).
+    fn direct_complex(&self, x: &[Complex64], gain: f64, out: &mut Vec<Complex64>) {
+        let taps = self.fir.taps();
+        let m = taps.len();
+        let mut i = 0usize;
+        if gain == 1.0 {
+            while i < x.len() {
+                let mut acc = Complex64::new(0.0, 0.0);
+                let kmax = m.min(i + 1);
+                for k in 0..kmax {
+                    // lint: allow(panic-path) k < kmax = m.min(i+1), so i-k >= 0 and k < m
+                    acc += x[i - k] * taps[k];
+                }
+                out.push(acc);
+                i += self.decim;
+            }
+        } else {
+            while i < x.len() {
+                let mut acc = Complex64::new(0.0, 0.0);
+                let kmax = m.min(i + 1);
+                for k in 0..kmax {
+                    // lint: allow(panic-path) k < kmax = m.min(i+1), so i-k >= 0 and k < m
+                    acc += (gain * x[i - k]) * taps[k];
+                }
+                out.push(acc);
+                i += self.decim;
+            }
+        }
+    }
+
+    /// The overlap-save engine of [`fastconv`] specialised to "same"
+    /// convolution with decimated emission. Replicates
+    /// `fastconv::convolve_same` bit for bit: same virtual front padding
+    /// of `m − 1` zeros, same [`fastconv::block_size`], same per-block
+    /// transform-multiply-inverse, same `1/B` scaling — but the padded
+    /// input is materialised directly into the (pre-zeroed) block
+    /// scratch, and only outputs at multiples of `decim` are emitted.
+    fn fft_decimate(
+        &self,
+        n: usize,
+        read: impl Fn(usize) -> Complex64,
+        mut emit: impl FnMut(Complex64),
+    ) {
+        let m = self.rev.len();
+        let p = m - 1;
+        let np = n + p; // virtually front-padded length
+        let out_len = n; // "same" alignment: one output per input
+        let b = fastconv::block_size(np, m);
+        let kfft = self.kernel_fft(b);
+        let step = b - p;
+        let scale = 1.0 / b as f64;
+        let mut start = 0usize;
+        while start < out_len {
+            with_thread_cache(|cache| {
+                cache.with_scratch(b, |cache, buf| {
+                    let take = (np - start).min(b);
+                    // padded[j] is 0 for j < p and x[j − p] after; the
+                    // scratch arrives zeroed, so only real samples are
+                    // written.
+                    for j in start.max(p)..start + take {
+                        // lint: allow(panic-path) j < start+take <= start+b and j >= start.max(p)
+                        buf[j - start] = read(j - p);
+                    }
+                    cache.fft_in_place(buf);
+                    for (v, h) in buf.iter_mut().zip(kfft.iter()) {
+                        *v *= *h;
+                    }
+                    cache.inverse(b).process(buf);
+                    let emit_n = step.min(out_len - start);
+                    // Kept outputs: global indices divisible by decim.
+                    let mut g = start.next_multiple_of(self.decim);
+                    while g < start + emit_n {
+                        // lint: allow(panic-path) g < start+emit_n <= start+step, so p+g-start < b
+                        emit(buf[p + g - start] * scale);
+                        g += self.decim;
+                    }
+                });
+            });
+            start += step;
+        }
+    }
+
+    /// The memoised frequency-domain kernel for block size `b`.
+    fn kernel_fft(&self, b: usize) -> Arc<Vec<Complex64>> {
+        let mut map = self.lock_kfft();
+        map.entry(b)
+            .or_insert_with(|| Arc::new(fastconv::kernel_fft(&self.rev, b)))
+            .clone()
+    }
+
+    /// Number of distinct FFT block sizes memoised so far.
+    pub fn cached_kernels(&self) -> usize {
+        self.lock_kfft().len()
+    }
+
+    fn lock_kfft(&self) -> std::sync::MutexGuard<'_, HashMap<usize, Arc<Vec<Complex64>>>> {
+        // A poisoned lock only follows a panic mid-insert; the map holds
+        // pure function-of-taps values, so recovering it is always safe.
+        self.kfft.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::window::Window;
+
+    fn sig(n: usize) -> Vec<f64> {
+        (0..n).map(|i| ((i * 13 + 5) % 17) as f64 - 8.0).collect()
+    }
+
+    fn csig(n: usize) -> Vec<Complex64> {
+        (0..n)
+            .map(|i| {
+                Complex64::new(
+                    ((i * 13 + 5) % 17) as f64 - 8.0,
+                    ((i * 7) % 11) as f64 / 4.0 - 1.0,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn auto_real_is_bitwise_filter_then_step_by() {
+        // Straddle the FFT crossover from both sides.
+        for &(taps, n, decim) in &[(9usize, 400usize, 3usize), (127, 6000, 11), (127, 200, 4)] {
+            let f = Fir::lowpass(taps, 2_000.0, 48_000.0, Window::Hamming).unwrap();
+            let x = sig(n);
+            let want: Vec<f64> = f.filter(&x).into_iter().step_by(decim).collect();
+            let pd = PolyphaseDecimator::new(f, decim, DecimMode::Auto).unwrap();
+            let got = pd.decimate(&x);
+            assert_eq!(got.len(), want.len(), "taps={taps} n={n} decim={decim}");
+            for (i, (a, b)) in got.iter().zip(&want).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "taps={taps} n={n} decim={decim} at {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn auto_complex_is_bitwise_filter_then_step_by() {
+        for &(taps, n, decim) in &[(9usize, 400usize, 2usize), (127, 6000, 5), (255, 9000, 23)] {
+            let f = Fir::lowpass(taps, 2_000.0, 48_000.0, Window::Hamming).unwrap();
+            let x = csig(n);
+            let want: Vec<Complex64> =
+                f.filter_complex(&x).into_iter().step_by(decim).collect();
+            let pd = PolyphaseDecimator::new(f, decim, DecimMode::Auto).unwrap();
+            let got = pd.decimate_complex(&x);
+            assert_eq!(got.len(), want.len());
+            for (i, (a, b)) in got.iter().zip(&want).enumerate() {
+                assert_eq!(a.re.to_bits(), b.re.to_bits(), "re at {i}");
+                assert_eq!(a.im.to_bits(), b.im.to_bits(), "im at {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn scaled_into_is_bitwise_prescaled_filter() {
+        let f = Fir::lowpass(127, 2_000.0, 48_000.0, Window::Hamming).unwrap();
+        let x = csig(5000);
+        let scaled: Vec<Complex64> = x.iter().map(|&c| 2.0 * c).collect();
+        let want: Vec<Complex64> =
+            f.filter_complex(&scaled).into_iter().step_by(7).collect();
+        let pd = PolyphaseDecimator::new(f, 7, DecimMode::Auto).unwrap();
+        let mut got = Vec::new();
+        pd.decimate_complex_scaled_into(&x, 2.0, &mut got);
+        assert_eq!(got.len(), want.len());
+        for (i, (a, b)) in got.iter().zip(&want).enumerate() {
+            assert_eq!(a.re.to_bits(), b.re.to_bits(), "re at {i}");
+            assert_eq!(a.im.to_bits(), b.im.to_bits(), "im at {i}");
+        }
+    }
+
+    #[test]
+    fn direct_mode_is_bitwise_filter_direct_then_step_by() {
+        // Even in the FFT regime, Direct matches the direct loop exactly.
+        let f = Fir::lowpass(127, 2_000.0, 48_000.0, Window::Hamming).unwrap();
+        let x = sig(6000);
+        let want: Vec<f64> = f.filter_direct(&x).into_iter().step_by(23).collect();
+        let pd = PolyphaseDecimator::new(f.clone(), 23, DecimMode::Direct).unwrap();
+        let got = pd.decimate(&x);
+        assert_eq!(got.len(), want.len());
+        for (a, b) in got.iter().zip(&want) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // And agrees with the FFT path to rounding.
+        let fft: Vec<f64> = f.filter(&x).into_iter().step_by(23).collect();
+        for (a, b) in got.iter().zip(&fft) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn out_len_counts_kept_indices() {
+        let f = Fir::lowpass(9, 2_000.0, 48_000.0, Window::Hamming).unwrap();
+        let pd = PolyphaseDecimator::new(f, 4, DecimMode::Auto).unwrap();
+        assert_eq!(pd.out_len(0), 0);
+        assert_eq!(pd.out_len(1), 1);
+        assert_eq!(pd.out_len(4), 1);
+        assert_eq!(pd.out_len(5), 2);
+        assert_eq!(pd.out_len(9), 3);
+        assert_eq!(pd.decimate(&sig(9)).len(), 3);
+    }
+
+    #[test]
+    fn decim_one_keeps_everything() {
+        let f = Fir::lowpass(9, 2_000.0, 48_000.0, Window::Hamming).unwrap();
+        let x = sig(64);
+        let want = f.filter(&x);
+        let pd = PolyphaseDecimator::new(f, 1, DecimMode::Auto).unwrap();
+        let got = pd.decimate(&x);
+        assert_eq!(got.len(), want.len());
+        for (a, b) in got.iter().zip(&want) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn kernel_cache_fills_once_per_block_size() {
+        let f = Fir::lowpass(127, 2_000.0, 48_000.0, Window::Hamming).unwrap();
+        let pd = PolyphaseDecimator::new(f, 5, DecimMode::Auto).unwrap();
+        let x = csig(6000);
+        assert_eq!(pd.cached_kernels(), 0);
+        let _ = pd.decimate_complex(&x);
+        assert_eq!(pd.cached_kernels(), 1);
+        let _ = pd.decimate_complex(&x);
+        assert_eq!(pd.cached_kernels(), 1, "same length reuses the kernel");
+    }
+
+    #[test]
+    fn rejects_zero_decim() {
+        let f = Fir::lowpass(9, 2_000.0, 48_000.0, Window::Hamming).unwrap();
+        assert!(PolyphaseDecimator::new(f, 0, DecimMode::Auto).is_err());
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let f = Fir::lowpass(9, 2_000.0, 48_000.0, Window::Hamming).unwrap();
+        let pd = PolyphaseDecimator::new(f, 3, DecimMode::Auto).unwrap();
+        assert!(pd.decimate(&[]).is_empty());
+        assert!(pd.decimate_complex(&[]).is_empty());
+    }
+}

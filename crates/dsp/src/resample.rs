@@ -7,6 +7,7 @@
 //! post-downconversion processing.
 
 use crate::fir::Fir;
+use crate::polyphase::{DecimMode, PolyphaseDecimator};
 use crate::window::Window;
 use crate::DspError;
 
@@ -67,6 +68,11 @@ pub fn add_delayed_scaled(
 
 /// Anti-aliased decimation by integer factor `m`: low-pass at 80% of the
 /// new Nyquist, then keep every m-th sample. Returns the decimated signal.
+///
+/// Runs the fused [`PolyphaseDecimator`] in [`DecimMode::Auto`], which is
+/// bitwise identical to the historical filter-everything-then-`step_by`
+/// implementation while never materialising the full-rate filtered
+/// signal.
 pub fn decimate(x: &[f64], m: usize, fs_hz: f64) -> Result<Vec<f64>, DspError> {
     if m == 0 {
         return Err(DspError::InvalidParameter("decimation factor must be >= 1"));
@@ -76,8 +82,8 @@ pub fn decimate(x: &[f64], m: usize, fs_hz: f64) -> Result<Vec<f64>, DspError> {
     }
     let new_nyquist = fs_hz / (2.0 * m as f64);
     let f = Fir::lowpass(127, 0.8 * new_nyquist, fs_hz, Window::Hamming)?;
-    let filtered = f.filter(x);
-    Ok(filtered.iter().step_by(m).copied().collect())
+    let pd = PolyphaseDecimator::new(f, m, DecimMode::Auto)?;
+    Ok(pd.decimate(x))
 }
 
 #[cfg(test)]

@@ -7,14 +7,18 @@
 //! by running this binary once on each and diffing the output.
 //!
 //! Usage:
-//!     bench_faultnet [--smoke] [--out PATH]
+//!     bench_faultnet [--smoke] [--ladder] [--out PATH]
 //!
 //! `--smoke` shrinks the packet target so CI can keep the binary from
 //! bit-rotting without paying the full measurement; its numbers are not
-//! comparable to a full run. `--out` writes the JSON to a file as well
-//! as stdout.
+//! comparable to a full run. `--ladder` additionally sweeps the FM0 rate
+//! ladder (2731/1024/256 bps) at the full 192 kHz front-end rate, the
+//! workload recorded in `BENCH_PR10.json` — the 256 bps rung is where the
+//! decimating front-end's polyphase savings concentrate (decim ≈ 23).
+//! `--out` writes the JSON to a file as well as stdout.
 
 use pab_core::faultnet::{FaultNetConfig, FaultNetSimulator};
+use pab_net::mac::{AdaptiveConfig, MacPolicy, RateLadder};
 use std::time::Instant;
 
 /// The fixed benchmark workload at `n` nodes: the canonical
@@ -31,8 +35,28 @@ fn bench_config(n: usize, per_node: u64) -> FaultNetConfig {
     cfg
 }
 
+/// The front-end rate-ladder workload: a healthy two-node round at the
+/// full 192 kHz simulation rate with the MAC pinned to a single-rung
+/// ladder, so every uplink decodes at exactly `rate_bps`. The deep rungs
+/// push the receiver's decimation factor up (2731 bps → decim 2, 1024 →
+/// decim 5, 256 → decim 23), which is where the polyphase front-end's
+/// computed-only-kept-samples saving shows up.
+fn ladder_config(rate_bps: f64, per_node: u64) -> FaultNetConfig {
+    let mut cfg = FaultNetConfig::with_nodes(2).expect("bench node count is valid");
+    cfg.policy = MacPolicy::Adaptive(AdaptiveConfig {
+        ladder: RateLadder::new(vec![rate_bps]).expect("single-rung ladder is valid"),
+        ..Default::default()
+    });
+    cfg.bitrate_target_bps = rate_bps;
+    cfg.per_node_packets = per_node;
+    cfg.max_slots = 40 * per_node.max(1) * 2;
+    cfg.seed = 11;
+    cfg
+}
+
 fn main() -> std::io::Result<()> {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    let ladder = std::env::args().any(|a| a == "--ladder");
     let out_path = {
         let args: Vec<String> = std::env::args().collect();
         args.iter()
@@ -71,8 +95,63 @@ fn main() -> std::io::Result<()> {
         ));
     }
 
+    let mut frontend = String::new();
+    if ladder {
+        let mut rungs = Vec::new();
+        for &rate_bps in &[32_768.0 / 12.0, 1_024.0, 256.0] {
+            let cfg = ladder_config(rate_bps, per_node);
+            let mut sim = FaultNetSimulator::new(cfg).expect("ladder config is valid");
+            let t0 = Instant::now();
+            let report = sim.run().expect("ladder run failed");
+            let wall_s = t0.elapsed().as_secs_f64();
+            let fe = sim.frontend_stats();
+            // The MAC may settle on a quantized rate; the decimation the
+            // receivers actually ran is samples_in / samples_out.
+            let decim = if fe.samples_out > 0 {
+                fe.samples_in as f64 / fe.samples_out as f64
+            } else {
+                1.0
+            };
+            // Fraction of anti-alias FIR MACs skipped by computing only
+            // kept outputs (0 on the bitwise Auto path, ~1-1/decim in
+            // Direct mode).
+            let taps = 127.0;
+            let macs_saved_frac = if fe.samples_in > 0 {
+                fe.macs_saved as f64 / (fe.samples_in as f64 * taps)
+            } else {
+                0.0
+            };
+            eprintln!(
+                "rate={rate_bps:.0}: {} slots, {} delivered, completed={} in {:.3} s \
+                 ({:.2} slots/s, decim {:.1}, macs_saved {:.0}%)",
+                report.slots_used,
+                report.delivered_total,
+                report.completed,
+                wall_s,
+                report.slots_used as f64 / wall_s,
+                decim,
+                100.0 * macs_saved_frac,
+            );
+            rungs.push(format!(
+                "    \"bps{:.0}\": {{\"slots\": {}, \"delivered\": {}, \"wall_s\": {:.3}, \
+                 \"slots_per_sec\": {:.3}, \"decim\": {:.2}, \"macs_saved_frac\": {:.3}, \
+                 \"fe_design_hits\": {}, \"fe_design_misses\": {}}}",
+                rate_bps,
+                report.slots_used,
+                report.delivered_total,
+                wall_s,
+                report.slots_used as f64 / wall_s,
+                decim,
+                macs_saved_frac,
+                fe.design_hits,
+                fe.design_misses,
+            ));
+        }
+        frontend = format!(",\n  \"frontend\": {{\n{}\n  }}", rungs.join(",\n"));
+    }
+
     let json = format!(
-        "{{\n  \"mode\": \"{}\",\n  \"per_node_packets\": {per_node},\n  \"faultnet\": {{\n{}\n  }}\n}}\n",
+        "{{\n  \"mode\": \"{}\",\n  \"per_node_packets\": {per_node},\n  \"faultnet\": {{\n{}\n  }}{frontend}\n}}\n",
         if smoke { "smoke" } else { "full" },
         sections.join(",\n"),
     );

@@ -36,6 +36,7 @@ pub const PANIC_SCOPE: &[&str] = &[
     "crates/dsp/src/goertzel.rs",
     "crates/dsp/src/iir.rs",
     "crates/dsp/src/mix.rs",
+    "crates/dsp/src/polyphase.rs",
     "crates/dsp/src/resample.rs",
     "crates/core/src/collision.rs",
     "crates/core/src/collision_group.rs",

@@ -21,16 +21,42 @@ pub fn crc8(data: &[u8]) -> u8 {
 
 /// CRC-16-CCITT (XModem variant): polynomial 0x1021, init 0x0000.
 pub fn crc16_ccitt(data: &[u8]) -> u16 {
+    data.iter().fold(0u16, |crc, &b| crc16_step(crc, b))
+}
+
+/// [`crc16_ccitt`] over a bit string, MSB-first within each byte, without
+/// materialising the byte vector. A final partial byte is zero-padded in
+/// its low bits — exactly what [`crate::bits::bits_to_bytes`] produces —
+/// so `crc16_ccitt_bits(bits) == crc16_ccitt(&bits_to_bytes(bits))` for
+/// every input length.
+pub fn crc16_ccitt_bits(bits: &[bool]) -> u16 {
     let mut crc = 0u16;
-    for &b in data {
-        crc ^= (b as u16) << 8;
-        for _ in 0..8 {
-            crc = if crc & 0x8000 != 0 {
-                (crc << 1) ^ 0x1021
-            } else {
-                crc << 1
-            };
+    let mut byte = 0u8;
+    let mut nbits = 0u8;
+    for &bit in bits {
+        byte = (byte << 1) | u8::from(bit);
+        nbits += 1;
+        if nbits == 8 {
+            crc = crc16_step(crc, byte);
+            byte = 0;
+            nbits = 0;
         }
+    }
+    if nbits > 0 {
+        crc = crc16_step(crc, byte << (8 - nbits));
+    }
+    crc
+}
+
+/// One byte of the CRC-16-CCITT recurrence.
+fn crc16_step(mut crc: u16, b: u8) -> u16 {
+    crc ^= (b as u16) << 8;
+    for _ in 0..8 {
+        crc = if crc & 0x8000 != 0 {
+            (crc << 1) ^ 0x1021
+        } else {
+            crc << 1
+        };
     }
     crc
 }
@@ -70,5 +96,18 @@ mod tests {
     fn crc_is_deterministic() {
         let data = vec![0xDE, 0xAD, 0xBE, 0xEF];
         assert_eq!(crc16_ccitt(&data), crc16_ccitt(&data));
+    }
+
+    #[test]
+    fn bits_crc_matches_bytewise_crc_at_every_length() {
+        // Includes ragged tails (1..7 bits), which bits_to_bytes zero-pads.
+        for len in 0..64usize {
+            let bits: Vec<bool> = (0..len).map(|i| (i * 7 + 3) % 5 < 2).collect();
+            assert_eq!(
+                crc16_ccitt_bits(&bits),
+                crc16_ccitt(&crate::bits::bits_to_bytes(&bits)),
+                "len={len}"
+            );
+        }
     }
 }

@@ -53,7 +53,17 @@ pub fn decode(halves: &[bool], initial_level: bool) -> Result<Vec<bool>, NetErro
 /// envelopes where the ML decoder in `pab-core` has already committed to
 /// the most likely half-bit sequence).
 pub fn decode_lenient(halves: &[bool]) -> Vec<bool> {
-    halves.chunks(2).filter(|p| p.len() == 2).map(|p| p[0] == p[1]).collect()
+    let mut bits = Vec::new();
+    decode_lenient_into(halves, &mut bits);
+    bits
+}
+
+/// [`decode_lenient`] into a caller-owned buffer (cleared first), so the
+/// per-slot decode path reuses one allocation across exchanges.
+pub fn decode_lenient_into(halves: &[bool], bits: &mut Vec<bool>) {
+    bits.clear();
+    bits.reserve(halves.len() / 2);
+    bits.extend(halves.chunks(2).filter(|p| p.len() == 2).map(|p| p[0] == p[1]));
 }
 
 /// Count boundary-rule violations (a decode-quality diagnostic).

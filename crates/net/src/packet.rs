@@ -11,7 +11,7 @@
 //! ```
 
 use crate::bits::{bits_to_bytes, bytes_to_bits, push_uint, read_uint};
-use crate::crc::{crc16_ccitt, crc8};
+use crate::crc::{crc16_ccitt, crc16_ccitt_bits, crc8};
 use crate::NetError;
 
 /// The 9-bit downlink preamble (§5.1(a): "The transmitter's downlink query
@@ -261,7 +261,9 @@ impl UplinkPacket {
         let payload = bits_to_bytes(&bits[40..40 + len * 8]);
         let crc_got =
             read_uint(bits, 40 + len * 8, 16).ok_or(NetError::InvalidField("crc"))? as u16;
-        let crc_want = crc16_ccitt(&bits_to_bytes(body));
+        // Bits-direct CRC: identical to crc16_ccitt(&bits_to_bytes(body))
+        // (the body is whole bytes here anyway) without the byte vector.
+        let crc_want = crc16_ccitt_bits(body);
         if crc_got != crc_want {
             return Err(NetError::BadChecksum {
                 expected: crc_want,

@@ -5,9 +5,10 @@
 # network size) to stdout-visible file $1 (default: bench_run.json).
 #
 # Record a before/after pair across a perf change by running this once on
-# each commit and diffing the JSONs; BENCH_PR3.json (fast-path PR) and
-# BENCH_PR8.json (slot-engine PR) in the repo root are such pairs,
-# assembled from two runs each.
+# each commit and diffing the JSONs; BENCH_PR3.json (fast-path PR),
+# BENCH_PR8.json (slot-engine PR) and BENCH_PR10.json (decimating
+# front-end PR) in the repo root are such pairs, assembled from two runs
+# each.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -27,9 +28,9 @@ t1=$(date +%s.%N)
 fig7_s=$(echo "$t0 $t1" | awk '{printf "%.3f", $2 - $1}')
 echo "fig7_ber_snr wall-clock: ${fig7_s} s"
 
-echo "==> faultnet slot throughput (bench_faultnet, N=2/4/8)"
+echo "==> faultnet slot throughput + frontend rate ladder (bench_faultnet --ladder)"
 cargo build --release -p pab-experiments --bin bench_faultnet >/dev/null 2>&1
-./target/release/bench_faultnet --out "$fnet"
+./target/release/bench_faultnet --ladder --out "$fnet"
 
 echo "==> collision vs fdma goodput (ext_collision_faultnet --quick)"
 cargo build --release -p pab-experiments --bin ext_collision_faultnet >/dev/null 2>&1
@@ -38,7 +39,9 @@ colcsv="results/ext_collision_faultnet.csv"
 
 # Parse the criterion shim's report lines:
 #   <id>  <value> <unit>  [<n> iters]  (<rate>)
-# and splice in the faultnet JSON's "faultnet" object verbatim.
+# and splice in the faultnet JSON's "faultnet" and "frontend" objects
+# (everything from the "faultnet" key to the file's closing brace)
+# verbatim.
 awk -v fig7="$fig7_s" -v fnetfile="$fnet" -v colcsv="$colcsv" '
 BEGIN { print "{"; print "  \"kernels_ns\": {"; first = 1 }
 /\[[0-9]+ iters\]/ {
@@ -72,10 +75,9 @@ END {
     inobj = 0
     while ((getline line < fnetfile) > 0) {
         if (line ~ /"faultnet"/) inobj = 1
-        if (inobj) {
-            print "  " line
-            if (line ~ /^  \}/) break
-        }
+        if (!inobj) continue
+        if (line ~ /^\}/) break
+        print "  " line
     }
     close(fnetfile)
     print "}"

@@ -39,9 +39,10 @@ echo "==> ext_collision_faultnet --quick  (collision-slot smoke: pairing, traini
 cargo run --release -q -p pab-experiments --bin ext_collision_faultnet -- --quick
 [ -s results/ext_collision_faultnet.csv ] || { echo "missing results/ext_collision_faultnet.csv"; exit 1; }
 
-echo "==> bench_faultnet --smoke  (slot-throughput bench smoke; numbers not comparable to a full run)"
-cargo run --release -q -p pab-experiments --bin bench_faultnet -- --smoke --out target/bench_faultnet_smoke.json
+echo "==> bench_faultnet --smoke --ladder  (slot-throughput + frontend-rung bench smoke; numbers not comparable to a full run)"
+cargo run --release -q -p pab-experiments --bin bench_faultnet -- --smoke --ladder --out target/bench_faultnet_smoke.json
 [ -s target/bench_faultnet_smoke.json ] || { echo "bench_faultnet wrote no JSON"; exit 1; }
+grep -q '"frontend"' target/bench_faultnet_smoke.json || { echo "bench_faultnet smoke JSON lacks the frontend section"; exit 1; }
 
 if cargo clippy --version >/dev/null 2>&1; then
     echo "==> cargo clippy --workspace --all-targets"

@@ -1,11 +1,15 @@
 //! Pins the slot engine's zero-allocation claim with a counting global
-//! allocator: once the scratch arena is warm, a cache-hit exchange's
-//! engine stage (arena take → AWGN → burst noise → pressure-to-volts
-//! scaling) performs no heap allocations at all.
+//! allocator: once the scratch arena, the receiver's decode scratch and
+//! its front-end design cache are warm, a cache-hit exchange's bracketed
+//! stage (arena take → AWGN → burst noise → pressure-to-volts scaling →
+//! the full coherent `decode_uplink_verdict` pipeline) performs no heap
+//! allocations at all.
 //!
 //! The counting allocator feeds `pab_core::scratch::ALLOC_PROBE`, which
-//! `LinkSimulator::slot_exchange` brackets around the engine stage and
-//! reports through `SlotEngineStats::engine_allocs_last`. This file
+//! `LinkSimulator::slot_exchange` brackets around the engine+decode
+//! stage and reports through `SlotEngineStats::engine_allocs_last`. The
+//! network runs untraced here: the bracket now spans the decode, and a
+//! telemetry recorder legitimately grows its own tables. This file
 //! holds exactly one test so no sibling test thread can bump the global
 //! probe mid-bracket, and the network runs its slots serially for the
 //! same reason.
@@ -81,12 +85,28 @@ fn steady_state_slots_allocate_nothing_in_the_engine_stage() {
         stats.exchange_hits >= 4,
         "round too short to reach steady state: {stats:?}"
     );
-    // The claim under test: the most recent engine stage of every
-    // simulator in the network ran allocation-free (`merge` folds
-    // per-node values with max, so one allocating node would show).
+    // The claim under test: the most recent engine+decode stage of every
+    // simulator in the network — including the entire coherent decode
+    // pipeline, mix→filter→decimate through slicing and CRC — ran
+    // allocation-free (`merge` folds per-node values with max, so one
+    // allocating node would show).
     assert_eq!(
         stats.engine_allocs_last, 0,
-        "steady-state engine stage allocated: {stats:?}"
+        "steady-state engine+decode stage allocated: {stats:?}"
+    );
+    // The decode really happened inside the bracket: the front-end did
+    // work and, after the first decode per rate, hit its design cache.
+    let fe = sim.frontend_stats();
+    assert!(fe.decodes > 0, "no decodes counted: {fe:?}");
+    assert!(
+        fe.design_hits > fe.design_misses,
+        "front-end designs not reused: {fe:?}"
+    );
+    // At this config's rate the decimation factor is 1 (96 kHz, 2731
+    // bps), so the stream passes through unshrunk — but never grows.
+    assert!(
+        fe.samples_in >= fe.samples_out,
+        "decimator emitted more than it read: {fe:?}"
     );
     // And the arena really is warm: far more takes than cold growths.
     assert!(
